@@ -1,0 +1,133 @@
+// Command mssim regenerates the paper's evaluation (§4) on the
+// discrete-event simulator.
+//
+// Usage:
+//
+//	mssim -fig 10              # DCoP rounds & control packets vs H
+//	mssim -fig 11              # TCoP rounds & control packets vs H
+//	mssim -fig 12              # leaf receipt rate vs H (DCoP and TCoP)
+//	mssim -fig baselines       # §3.1 baseline comparison at -h-fixed
+//	mssim -fig all             # everything
+//	mssim -fig 10 -csv         # machine-readable output
+//	mssim -fig 10 -n 100 -seeds 5 -hs 2,10,60,100
+//	mssim -fig 10 -noshare     # leaf does not share its initial selection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"p2pmss"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, baselines, all")
+		n       = flag.Int("n", 100, "number of contents peers")
+		seeds   = flag.Int("seeds", 5, "seeds averaged per point")
+		hs      = flag.String("hs", "", "comma-separated H values (default paper sweep)")
+		hFixed  = flag.Int("h-fixed", 10, "fanout for the baseline comparison")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		noshare = flag.Bool("noshare", false, "leaf request does not carry the selected set")
+		svgDir  = flag.String("svg", "", "also render figures as SVG into this directory")
+	)
+	flag.Parse()
+
+	o := p2pmss.DefaultExperimentOptions()
+	o.N = *n
+	o.Seeds = *seeds
+	o.LeafShares = !*noshare
+	if *hs != "" {
+		o.Hs = nil
+		for _, part := range strings.Split(*hs, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -hs entry %q: %w", part, err))
+			}
+			o.Hs = append(o.Hs, v)
+		}
+	}
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if run("10") {
+		s, err := p2pmss.Figure10(o)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(p2pmss.SeriesCSV(s))
+		} else {
+			p2pmss.PrintSeries(os.Stdout, "Figure 10: rounds and control packets in DCoP", s)
+			fmt.Println()
+		}
+		if *svgDir != "" {
+			if err := p2pmss.WriteRoundsSVG(*svgDir, "figure10", "Figure 10: DCoP", s); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if run("11") {
+		s, err := p2pmss.Figure11(o)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(p2pmss.SeriesCSV(s))
+		} else {
+			p2pmss.PrintSeries(os.Stdout, "Figure 11: rounds and control packets in TCoP", s)
+			fmt.Println()
+		}
+		if *svgDir != "" {
+			if err := p2pmss.WriteRoundsSVG(*svgDir, "figure11", "Figure 11: TCoP", s); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if run("12") {
+		d, t, err := p2pmss.Figure12(o)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(p2pmss.SeriesCSV(d))
+			fmt.Print(p2pmss.SeriesCSV(t))
+		} else {
+			p2pmss.PrintRateSeries(os.Stdout, "Figure 12: receipt rate of leaf peer", d, t)
+			fmt.Println()
+		}
+		if *svgDir != "" {
+			if err := p2pmss.WriteRateSVG(*svgDir, "figure12", "Figure 12: receipt rate of leaf peer", d, t); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if run("baselines") {
+		rows, err := p2pmss.Baselines(o, *hFixed)
+		if err != nil {
+			fatal(err)
+		}
+		p2pmss.PrintBaselines(os.Stdout,
+			fmt.Sprintf("Baseline comparison (§3.1) at n=%d, H=%d", o.N, *hFixed), rows)
+		fmt.Println()
+	}
+	if run("gossip") {
+		pts, err := p2pmss.GossipCoverage(o.N, nil, o.Seeds*2)
+		if err != nil {
+			fatal(err)
+		}
+		p2pmss.PrintGossipCoverage(os.Stdout, o.N, pts)
+		fmt.Println()
+	}
+	if !run("10") && !run("11") && !run("12") && !run("baselines") && !run("gossip") {
+		fatal(fmt.Errorf("unknown -fig %q (want 10, 11, 12, baselines, gossip, all)", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mssim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Playback example: the real-time constraint of §1 made concrete. The
+// leaf peer plays the content out at the content rate after a startup
+// delay; a packet that has not arrived (or been parity-recovered) by its
+// playout deadline is an underrun. The sweep shows how startup buffering
+// and coordination speed trade against glitch-free playback.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2pmss"
+)
+
+func main() {
+	run := func(proto string, delay float64) (underruns int64, start float64) {
+		cfg := p2pmss.DefaultSimConfig()
+		cfg.N = 16
+		cfg.H = 6
+		cfg.Interval = 3
+		cfg.DataPlane = true
+		cfg.Loop = false
+		cfg.Playback = true
+		cfg.PlaybackDelay = delay
+		cfg.ContentLen = 500
+		cfg.Rate = 5
+		res, err := p2pmss.Simulate(proto, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Underruns, res.PlaybackStart
+	}
+
+	fmt.Println("Underruns vs startup delay (n=16, H=6, content 500 packets @ τ=5):")
+	fmt.Printf("%14s %10s %10s %12s\n", "startup delay", "DCoP", "TCoP", "centralized")
+	for _, delay := range []float64{0.1, 1, 2, 5, 10, 20} {
+		d, _ := run(p2pmss.DCoP, delay)
+		t, _ := run(p2pmss.TCoP, delay)
+		c, _ := run(p2pmss.Centralized, delay)
+		fmt.Printf("%13.1fδ %10d %10d %12d\n", delay, d, t, c)
+	}
+	fmt.Println("\nA short startup buffer causes underruns while the coordination")
+	fmt.Println("protocols are still activating peers; a few δ of buffering makes")
+	fmt.Println("playout glitch-free — the 'real-time constraints' of §1.")
+}

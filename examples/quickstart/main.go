@@ -1,0 +1,36 @@
+// Quickstart: simulate the paper's two coordination protocols at one
+// setting and print the headline comparison — how many rounds and control
+// packets each needs to synchronize 100 contents peers, and the leaf's
+// receipt rate once they stream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2pmss"
+)
+
+func main() {
+	cfg := p2pmss.DefaultSimConfig()
+	cfg.N = 100 // contents peers CP_1..CP_100
+	cfg.H = 60  // flooding fanout (the paper's quoted point)
+	cfg.DataPlane = true
+	cfg.Rate = 2 // content rate τ, packets per time unit
+
+	fmt.Printf("n=%d contents peers, fanout H=%d, parity interval h=%d\n\n",
+		cfg.N, cfg.H, cfg.H-1)
+
+	for _, proto := range []string{p2pmss.DCoP, p2pmss.TCoP} {
+		res, err := p2pmss.Simulate(proto, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s  rounds=%d  control packets=%d  sync time=%.2fδ  receipt rate=%.3fτ\n",
+			proto, res.Rounds, res.ControlPackets, res.SyncTime, res.ReceiptRate)
+	}
+
+	fmt.Println("\nDCoP floods redundantly and quiesces fast; TCoP's 3-round")
+	fmt.Println("handshake removes redundancy at the cost of more packets and")
+	fmt.Println("rounds — the paper's Figures 10–12 in one line each.")
+}

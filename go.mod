@@ -1,0 +1,3 @@
+module p2pmss
+
+go 1.22

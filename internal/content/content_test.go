@@ -1,0 +1,214 @@
+package content
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2pmss/internal/parity"
+	"p2pmss/internal/seq"
+)
+
+func TestContentPacketization(t *testing.T) {
+	data := []byte("hello, multi-source streaming world")
+	c := New("movie", data, 8)
+	if c.ID() != "movie" || c.Size() != len(data) || c.PacketSize() != 8 {
+		t.Errorf("basic accessors wrong: %v %v %v", c.ID(), c.Size(), c.PacketSize())
+	}
+	want := int64((len(data) + 7) / 8)
+	if c.NumPackets() != want {
+		t.Errorf("NumPackets = %d, want %d", c.NumPackets(), want)
+	}
+	p1 := c.Packet(1)
+	if !bytes.Equal(p1.Payload, data[:8]) {
+		t.Errorf("packet 1 payload = %q", p1.Payload)
+	}
+	last := c.Packet(c.NumPackets())
+	if len(last.Payload) != len(data)%8 && len(data)%8 != 0 {
+		t.Errorf("last payload len = %d", len(last.Payload))
+	}
+	s := c.Sequence()
+	if int64(len(s)) != c.NumPackets() {
+		t.Errorf("sequence len = %d", len(s))
+	}
+}
+
+func TestContentDefaultID(t *testing.T) {
+	a := New("", []byte("abc"), 4)
+	b := New("", []byte("abc"), 4)
+	if a.ID() == "" || a.ID() != b.ID() {
+		t.Errorf("digest IDs: %q vs %q", a.ID(), b.ID())
+	}
+	if New("", []byte("abd"), 4).ID() == a.ID() {
+		t.Error("different data same ID")
+	}
+}
+
+func TestContentPanics(t *testing.T) {
+	c := New("x", []byte("abcd"), 2)
+	for name, fn := range map[string]func(){
+		"zero packet size": func() { New("x", nil, 0) },
+		"packet 0":         func() { c.Packet(0) },
+		"packet beyond":    func() { c.Packet(3) },
+		"assembler size":   func() { NewAssembler(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAssemblerRoundTrip(t *testing.T) {
+	data := make([]byte, 999)
+	rand.New(rand.NewSource(1)).Read(data)
+	c := New("m", data, 16)
+	a := NewAssembler(len(data), 16)
+	if a.Complete() {
+		t.Error("empty assembler complete")
+	}
+	for _, p := range c.Sequence() {
+		a.Add(p)
+	}
+	got, ok := a.Bytes()
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: ok=%v", ok)
+	}
+	if len(a.Missing()) != 0 {
+		t.Errorf("Missing = %v", a.Missing())
+	}
+}
+
+func TestAssemblerWithParityLoss(t *testing.T) {
+	data := make([]byte, 640)
+	rand.New(rand.NewSource(2)).Read(data)
+	c := New("m", data, 32)
+	enh := parity.Enhance(c.Sequence(), 3)
+	a := NewAssembler(len(data), 32)
+	// Drop one packet per enhanced segment.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < len(enh); i += 4 {
+		end := i + 4
+		if end > len(enh) {
+			end = len(enh)
+		}
+		drop := i + rng.Intn(end-i)
+		for j := i; j < end; j++ {
+			if j != drop {
+				a.Add(enh[j])
+			}
+		}
+	}
+	got, ok := a.Bytes()
+	if !ok {
+		t.Fatalf("incomplete: missing %v", a.Missing())
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("recovered bytes differ")
+	}
+	if a.Recovered() == 0 {
+		t.Error("no recovery happened")
+	}
+}
+
+func TestAssemblerIncomplete(t *testing.T) {
+	c := New("m", []byte("0123456789"), 2)
+	a := NewAssembler(10, 2)
+	a.Add(c.Packet(1))
+	a.Add(c.Packet(3))
+	if a.Complete() {
+		t.Error("complete with gaps")
+	}
+	if _, ok := a.Bytes(); ok {
+		t.Error("Bytes ok with gaps")
+	}
+	if a.Have() != 2 {
+		t.Errorf("Have = %d", a.Have())
+	}
+	miss := a.Missing()
+	if len(miss) != 3 || miss[0] != 2 {
+		t.Errorf("Missing = %v", miss)
+	}
+}
+
+func TestMaterializeMatchesDirectComputation(t *testing.T) {
+	root := seq.Range(1, 120)
+	// Level 1: leaf division — Div(Esq(pkt, 3), 4, 1).
+	lvl1 := content1(root)
+	got := Materialize(root, []DivStep{{Mark: 0, Interval: 3, Parts: 4, Index: 1}})
+	if !seq.Equal(got, lvl1) {
+		t.Fatalf("level 1 mismatch:\n got %v\nwant %v", got, lvl1)
+	}
+	// Level 2: child of that peer — mark 5, interval 2, 3 parts, index 2.
+	tail := parity.Enhance(lvl1[5:].Clone(), 2)
+	want := seq.Div(tail, 3, 2)
+	got = Materialize(root, []DivStep{
+		{Mark: 0, Interval: 3, Parts: 4, Index: 1},
+		{Mark: 5, Interval: 2, Parts: 3, Index: 2},
+	})
+	if !seq.Equal(got, want) {
+		t.Fatalf("level 2 mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestMaterializeEdgeCases(t *testing.T) {
+	root := seq.Range(1, 10)
+	// Mark beyond the end yields an empty subsequence.
+	got := Materialize(root, []DivStep{{Mark: 99, Interval: 2, Parts: 2, Index: 0}})
+	if len(got) != 0 {
+		t.Errorf("mark past end: %v", got)
+	}
+	// Interval 0: plain division.
+	got = Materialize(root, []DivStep{{Mark: 0, Interval: 0, Parts: 2, Index: 0}})
+	if got.CountParity() != 0 || got.CountData() != 5 {
+		t.Errorf("plain division: %v", got)
+	}
+	// Negative mark clamps to 0.
+	got = Materialize(root, []DivStep{{Mark: -3, Interval: 0, Parts: 1, Index: 0}})
+	if !seq.Equal(got, root) {
+		t.Errorf("negative mark: %v", got)
+	}
+}
+
+func TestMaterializeBadStepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad step did not panic")
+		}
+	}()
+	Materialize(seq.Range(1, 5), []DivStep{{Parts: 2, Index: 5}})
+}
+
+func content1(root seq.Sequence) seq.Sequence {
+	return seq.Div(parity.Enhance(root, 3), 4, 1)
+}
+
+// Property: sibling derivations partition the parent's enhanced tail —
+// materializing every index of a step covers each packet exactly once.
+func TestMaterializeSiblingPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := seq.Range(1, int64(rng.Intn(80)+20))
+		mark := rng.Intn(10)
+		h := rng.Intn(4) + 1
+		parts := rng.Intn(4) + 2
+		var union seq.Sequence
+		for i := 0; i < parts; i++ {
+			s := Materialize(root, []DivStep{{Mark: mark, Interval: h, Parts: parts, Index: i}})
+			if len(seq.Intersect(union, s)) != 0 {
+				return false
+			}
+			union = seq.Union(union, s)
+		}
+		want := parity.Enhance(root[mark:].Clone(), h)
+		return len(union) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,739 @@
+// Package coord implements the paper's coordination protocols for
+// multi-source streaming: the primary contributions DCoP (§3.4, redundant
+// flooding) and TCoP (§3.5, non-redundant tree), plus the three baselines
+// of §3.1 — broadcast, unicast chain, and the centralized 2PC-style
+// controller protocol of reference [5].
+//
+// Each protocol runs over the discrete-event simulator (internal/des +
+// internal/simnet). Contents peers are simnet nodes 0..N-1 and the leaf
+// peer is node N. A Runner wires a protocol onto the network, executes it,
+// optionally simulates the data plane (per-packet transmission at the
+// §3.2 rates with parity enhancement), and collects the metrics the
+// paper's evaluation reports: rounds, control packets, synchronization
+// time, and leaf receipt rate.
+package coord
+
+import (
+	"fmt"
+	"math"
+
+	"p2pmss/internal/des"
+	"p2pmss/internal/failure"
+	"p2pmss/internal/overlay"
+	"p2pmss/internal/parity"
+	"p2pmss/internal/schedule"
+	"p2pmss/internal/seq"
+	"p2pmss/internal/simnet"
+	"p2pmss/internal/trace"
+)
+
+// Protocol names accepted by Run.
+const (
+	DCoP        = "dcop"
+	TCoP        = "tcop"
+	Broadcast   = "broadcast"
+	Unicast     = "unicast"
+	Centralized = "centralized"
+	// AMS is the asynchronous multi-source streaming precursor of [3–5]:
+	// asynchronous start plus periodic all-to-all state exchange via
+	// causal group communication.
+	AMS = "ams"
+)
+
+// Protocols lists all implemented coordination protocols.
+var Protocols = []string{DCoP, TCoP, Broadcast, Unicast, Centralized, AMS}
+
+// Config parameterizes one coordination run.
+type Config struct {
+	// N is the number of contents peers CP_1..CP_n.
+	N int
+	// H is the flooding fanout: the number of contents peers the leaf
+	// initially selects and each parent tries to select (§3.3).
+	H int
+	// Interval is the parity interval h used by DCoP and the initial
+	// division (§3.2). Zero means H-1 (one parity packet per H-1 data
+	// packets, the paper's h = H-1 setting). TCoP re-enhancements use
+	// the per-node interval c2.n from the pseudocode regardless.
+	Interval int
+	// Rate is the content rate τ in packets per time unit.
+	Rate float64
+	// Delta is the one-way control/data latency δ between any two peers.
+	Delta float64
+	// Jitter adds uniform extra latency in [0, Jitter).
+	Jitter float64
+	// LossProb drops each message independently with this probability.
+	LossProb float64
+	// LeafShares controls whether the leaf's content request carries the
+	// identities of the other initially selected peers (the paper leaves
+	// this unspecified; see DESIGN.md §2). Default true via DefaultConfig.
+	LeafShares bool
+	// FirstFanout is the number of children a leaf-selected peer selects
+	// (§3.4 prose says H-1, pseudocode says H). Zero means H.
+	FirstFanout int
+	// DataPlane enables per-packet data transmission so receipt rate and
+	// delivery can be measured. Figures 10 and 11 run with it off.
+	DataPlane bool
+	// ContentLen is the content length in packets (data plane only).
+	ContentLen int64
+	// Loop makes transmitters wrap around at the end of their sequence,
+	// modeling an unbounded stream for steady-state rate measurement.
+	Loop bool
+	// Settle and Window delimit the receipt-rate measurement: the window
+	// opens Settle time units after the last peer activation and spans
+	// Window time units.
+	Settle, Window float64
+	// LeafMaxRate is ρ_s, the leaf's maximum receipt rate in packets per
+	// time unit (0 = unlimited). Arrivals beyond the buffer overrun.
+	LeafMaxRate float64
+	// LeafBuffer is the leaf buffer capacity in packets when LeafMaxRate
+	// is set.
+	LeafBuffer int
+	// TrackDelivery makes the leaf feed every arrival into a parity
+	// recoverer so Result reports how much of the content was delivered
+	// (directly or via parity recovery). Use with Loop=false and a small
+	// ContentLen; the run then executes to quiescence.
+	TrackDelivery bool
+	// Seed seeds all randomness of the run.
+	Seed int64
+	// CrashPeers crash-stops the listed peers before the run starts.
+	CrashPeers []overlay.PeerID
+	// CrashAt, when >0 with CrashPeers set, delays the crashes to that
+	// virtual time instead (peers participate, then fail).
+	CrashAt float64
+	// Burst enables Gilbert–Elliott bursty loss on every directed
+	// channel (§3.2's "lost … in a bursty manner").
+	Burst *BurstParams
+	// Bandwidths, when it has N entries, gives each contents peer a
+	// relative bandwidth; the initial division then uses the §2
+	// time-slot allocation instead of round-robin, and per-peer rates
+	// are proportional (the heterogeneous-environment extension).
+	// Requires LeafShares so the selected peers know each other.
+	Bandwidths []float64
+	// StatePeriod and StatePeriods drive the AMS baseline's periodic
+	// state exchange (defaults: 2δ, 3 periods).
+	StatePeriod  float64
+	StatePeriods int
+	// Playback simulates continuous playout at the leaf: consumption of
+	// data packets in order at rate Rate, starting PlaybackDelay after
+	// the first arrival. Underruns are counted in the Result. Implies
+	// TrackDelivery; use with Loop=false.
+	Playback      bool
+	PlaybackDelay float64
+	// Repair enables the leaf-driven retransmission protocol: when
+	// delivery stalls (no new data packet for RepairInterval), the leaf
+	// asks a random live peer to retransmit the missing packets — the
+	// recovery of last resort when parity cannot cover a crash. Requires
+	// TrackDelivery (enabled automatically).
+	Repair bool
+	// RepairInterval is the stall-detection period (default 5δ).
+	RepairInterval float64
+	// RepairMaxRounds bounds repair attempts (default 20).
+	RepairMaxRounds int
+	// Trace, when non-nil, records activations, control packets and
+	// hand-offs.
+	Trace *trace.Tracer
+}
+
+// BurstParams parameterizes the per-channel Gilbert–Elliott loss model.
+type BurstParams struct {
+	PGoodToBad, PBadToGood float64
+	LossGood, LossBad      float64
+}
+
+// DefaultConfig returns the paper's evaluation setting: n = 100 contents
+// peers, reliable zero-loss links (§4 assumes 10 Gbps Ethernet), δ = 1
+// time unit, content rate 1.
+func DefaultConfig() Config {
+	return Config{
+		N:          100,
+		H:          10,
+		Rate:       1,
+		Delta:      1,
+		Jitter:     0.05,
+		LeafShares: true,
+		ContentLen: 100000,
+		Loop:       true,
+		Settle:     10,
+		Window:     100,
+		Seed:       1,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.N <= 0 {
+		return fmt.Errorf("coord: N=%d must be positive", c.N)
+	}
+	if c.H <= 0 || c.H > c.N {
+		return fmt.Errorf("coord: H=%d must be in 1..N=%d", c.H, c.N)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("coord: rate %v must be positive", c.Rate)
+	}
+	if c.Interval == 0 {
+		c.Interval = c.H - 1
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("coord: parity interval %d must be >= 0", c.Interval)
+	}
+	if c.Interval == 0 { // H == 1
+		c.Interval = 1
+	}
+	if c.FirstFanout == 0 {
+		c.FirstFanout = c.H
+	}
+	if c.DataPlane {
+		if c.ContentLen <= 0 {
+			return fmt.Errorf("coord: ContentLen %d must be positive with DataPlane", c.ContentLen)
+		}
+		if c.Window <= 0 {
+			return fmt.Errorf("coord: Window %v must be positive with DataPlane", c.Window)
+		}
+	}
+	if len(c.Bandwidths) > 0 {
+		if len(c.Bandwidths) != c.N {
+			return fmt.Errorf("coord: %d bandwidths for %d peers", len(c.Bandwidths), c.N)
+		}
+		for i, bw := range c.Bandwidths {
+			if bw <= 0 {
+				return fmt.Errorf("coord: bandwidth %v of peer %d must be positive", bw, i)
+			}
+		}
+		if !c.LeafShares {
+			return fmt.Errorf("coord: heterogeneous bandwidths require LeafShares")
+		}
+	}
+	if c.StatePeriod == 0 {
+		c.StatePeriod = 2 * c.Delta
+		if c.StatePeriod <= 0 {
+			c.StatePeriod = 1 // δ = 0 (instantaneous links): any period works
+		}
+	}
+	if c.StatePeriod < 0 {
+		return fmt.Errorf("coord: StatePeriod %v must be positive", c.StatePeriod)
+	}
+	if c.StatePeriods == 0 {
+		c.StatePeriods = 3
+	}
+	if c.Playback {
+		c.TrackDelivery = true
+		if !c.DataPlane {
+			return fmt.Errorf("coord: Playback requires DataPlane")
+		}
+	}
+	if c.Repair {
+		c.TrackDelivery = true
+		if !c.DataPlane {
+			return fmt.Errorf("coord: Repair requires DataPlane")
+		}
+		if c.RepairInterval == 0 {
+			c.RepairInterval = 5 * c.Delta
+			if c.RepairInterval <= 0 {
+				c.RepairInterval = 1
+			}
+		}
+		if c.RepairInterval < 0 {
+			return fmt.Errorf("coord: RepairInterval %v must be positive", c.RepairInterval)
+		}
+		if c.RepairMaxRounds == 0 {
+			c.RepairMaxRounds = 20
+		}
+	}
+	return nil
+}
+
+// Result carries the metrics of one run.
+type Result struct {
+	// Protocol is the protocol name.
+	Protocol string
+	// Rounds is the highest round number of any coordination message
+	// sent — how many message rounds it takes until coordination
+	// quiesces (Figures 10/11's "rounds").
+	Rounds int
+	// SyncRounds is the round at which the last peer activated.
+	SyncRounds int
+	// ControlPackets counts every coordination message: content requests,
+	// control, confirmation and commit packets (Figures 10/11's
+	// "number of control packets").
+	ControlPackets int64
+	// ActivePeers is how many contents peers ended up transmitting.
+	ActivePeers int
+	// SyncTime is the virtual time of the last activation.
+	SyncTime float64
+	// ReceiptRate is the measured leaf arrival rate divided by the
+	// content rate τ (Figure 12's "receipt rate"; 1 = exactly the
+	// content rate). Zero when the data plane is off.
+	ReceiptRate float64
+	// DataPackets / ParityPackets / DupPackets break down leaf arrivals
+	// inside the measurement window.
+	DataPackets, ParityPackets, DupPackets int64
+	// Overruns counts packets the leaf dropped to buffer overrun.
+	Overruns int64
+	// DeliveredData is how many of the ContentLen data packets the leaf
+	// holds after the run — received directly or recovered from parity
+	// (TrackDelivery only).
+	DeliveredData int64
+	// RecoveredData is how many packets parity recovery derived
+	// (TrackDelivery only).
+	RecoveredData int64
+	// StateMessages counts the AMS baseline's periodic state broadcasts
+	// (already included in ControlPackets).
+	StateMessages int64
+	// Underruns counts playback deadlines missed at the leaf
+	// (Playback only).
+	Underruns int64
+	// RepairRequests counts leaf-issued retransmission requests.
+	RepairRequests int64
+	// PeerSent[i] is how many data-plane packets contents peer i
+	// transmitted over the whole run (data plane only) — the per-peer
+	// load, proportional to bandwidth under the heterogeneous division.
+	PeerSent []int64
+	// PlaybackStart is when playout began (Playback only).
+	PlaybackStart float64
+	// NetStats is the raw network counterset.
+	NetStats simnet.Stats
+}
+
+// ---- messages ----------------------------------------------------------
+
+// reqMsg is the leaf's content request c (§3.4 step 1).
+type reqMsg struct {
+	Rate     float64          // c.τ, the content rate
+	Index    int              // which of the H initial divisions the recipient takes
+	Selected []overlay.PeerID // initial selection when Config.LeafShares
+	Round    int
+}
+
+// ctlMsg is a control packet c1 from a parent contents peer. The paper's
+// c carries the parent's view, SEQ, rate and child count; the child then
+// derives its subsequence from the parent's schedule. Because parent and
+// child compute the same deterministic division from the same (known) δ,
+// the simulator precomputes the division at the parent and carries the
+// child's share in AssignedSeq (nil when the data plane is off).
+type ctlMsg struct {
+	Parent      overlay.PeerID
+	View        []overlay.PeerID // c.VW
+	SeqOffset   int              // offset in the parent's stream of the most recently sent packet (c.SEQ)
+	Rate        float64          // c.τ, the parent's transmission rate
+	ChildRate   float64          // the derived per-child rate τ_j(h+1)/(h(H_j+1))
+	Children    int              // H_j, number of children selected
+	ChildIdx    int              // which division (1..H_j) this child takes
+	AssignedSeq seq.Sequence     // the child's division pkt_ji (data plane only)
+	Round       int
+}
+
+// confirmMsg is TCoP's (positive or negative) confirmation cc1.
+type confirmMsg struct {
+	Child  overlay.PeerID
+	Accept bool
+	Round  int
+}
+
+// commitMsg is TCoP's second control packet c2.
+type commitMsg struct {
+	Parent      overlay.PeerID
+	Streams     int // c2.n = confirmed children + 1
+	SeqOffset   int
+	Rate        float64 // the per-stream rate
+	ChildIdx    int     // 1..Streams-1
+	AssignedSeq seq.Sequence
+	Round       int
+}
+
+// stateMsg is the broadcast baseline's group-communication state exchange.
+type stateMsg struct {
+	Peer  overlay.PeerID
+	Round int
+}
+
+// prepMsg, ackMsg and startMsg implement the centralized 2PC-style
+// baseline of [5]: controller → peers, peers → controller, controller →
+// peers.
+type prepMsg struct {
+	Index int // division index assigned by the controller
+	Round int
+}
+type ackMsg struct {
+	Peer  overlay.PeerID
+	Round int
+}
+type startMsg struct {
+	Index int // division index, repeated so a lost prepMsg is harmless
+	Round int
+}
+
+// dataMsg carries one content or parity packet to the leaf peer.
+type dataMsg struct {
+	Pkt seq.Packet
+}
+
+// repairMsg is the leaf's retransmission request for missing data
+// packets (Config.Repair).
+type repairMsg struct {
+	Indices []int64
+}
+
+// ---- runner -------------------------------------------------------------
+
+type protocolImpl interface {
+	// start performs the leaf peer's step 1.
+	start()
+	// deliver handles a coordination message at contents peer p.
+	deliver(p *peerNode, from simnet.NodeID, m simnet.Message)
+}
+
+type runner struct {
+	cfg     Config
+	eng     *des.Engine
+	nw      *simnet.Network
+	peers   []*peerNode
+	leaf    *leafNode
+	impl    protocolImpl
+	content seq.Sequence
+
+	res          Result
+	enhanced     seq.Sequence // memoized Enhance(content, Interval)
+	activeCount  int
+	measureEv    [2]*des.Event
+	measureDone  bool
+	measureOpen  bool
+	quiesceRound int
+}
+
+// leafID returns the simnet node ID of the leaf peer.
+func (r *runner) leafID() simnet.NodeID { return simnet.NodeID(r.cfg.N) }
+
+// peerNode is the per-contents-peer state shared by all protocols.
+type peerNode struct {
+	r      *runner
+	id     overlay.PeerID
+	view   overlay.View
+	active bool
+	depth  int // activation round
+	tx     *transmitter
+
+	// DCoP: children taken so far (capped at H, §3.3).
+	childrenTaken int
+
+	// TCoP state.
+	tcopParent    int // -1 = none
+	tcopCommitted bool
+	tcopAwait     int // confirmations still expected
+	tcopConfirmed []overlay.PeerID
+	tcopCtlRound  int
+	tcopFinal     bool
+	tcopGen       int
+
+	// Centralized baseline state.
+	prepIdx int
+
+	// Broadcast baseline state.
+	statesSeen int
+
+	// Unicast chain state (none extra).
+}
+
+func newRunner(cfg Config) (*runner, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	eng := des.New(cfg.Seed)
+	nw := simnet.New(eng)
+	nw.SetDefaultLink(simnet.LinkParams{Latency: cfg.Delta, Jitter: cfg.Jitter, LossProb: cfg.LossProb})
+	r := &runner{cfg: cfg, eng: eng, nw: nw}
+	r.res.Protocol = "?"
+	if cfg.DataPlane {
+		r.content = seq.Range(1, cfg.ContentLen)
+	}
+	if cfg.Burst != nil {
+		cs := failure.NewChannelSet(cfg.Burst.PGoodToBad, cfg.Burst.PBadToGood,
+			cfg.Burst.LossGood, cfg.Burst.LossBad, cfg.Seed+7919)
+		nw.BurstLoss = cs.Hook
+	}
+	for i := 0; i < cfg.N; i++ {
+		p := &peerNode{r: r, id: overlay.PeerID(i), view: overlay.NewView(cfg.N), tcopParent: -1}
+		p.tx = newTransmitter(r, simnet.NodeID(i))
+		r.peers = append(r.peers, p)
+		nw.AttachFunc(simnet.NodeID(i), func(from simnet.NodeID, m simnet.Message) {
+			if rm, ok := m.(repairMsg); ok {
+				r.onRepair(p, rm)
+				return
+			}
+			r.impl.deliver(p, from, m)
+		})
+	}
+	r.leaf = newLeaf(r)
+	nw.Attach(r.leafID(), r.leaf)
+	for _, cp := range cfg.CrashPeers {
+		if cfg.CrashAt > 0 {
+			cp := cp
+			eng.At(cfg.CrashAt, func() {
+				nw.Crash(simnet.NodeID(cp))
+				r.trace(int(cp), "crash", "crash-stop")
+			})
+		} else {
+			nw.Crash(simnet.NodeID(cp))
+		}
+	}
+	return r, nil
+}
+
+// sendCtl transmits a coordination message and accounts for it.
+func (r *runner) sendCtl(from, to simnet.NodeID, m simnet.Message, round int) {
+	r.res.ControlPackets++
+	if round > r.res.Rounds {
+		r.res.Rounds = round
+	}
+	r.trace(int(from), "control", "%T to %d (round %d)", m, to, round)
+	r.nw.Send(from, to, m)
+}
+
+// trace records an event when tracing is enabled.
+func (r *runner) trace(node int, kind, format string, args ...any) {
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.Record(r.eng.Now(), node, kind, format, args...)
+	}
+}
+
+// activate marks peer p active at the given round and (data plane)
+// installs its first stream.
+func (p *peerNode) activate(round int, s seq.Sequence, rate float64) {
+	wasActive := p.active
+	p.active = true
+	if round > p.depth {
+		p.depth = round
+	}
+	if !wasActive {
+		p.r.activeCount++
+		if round > p.r.res.SyncRounds {
+			p.r.res.SyncRounds = round
+		}
+		p.r.res.SyncTime = p.r.eng.Now()
+		p.r.res.ActivePeers = p.r.activeCount
+		p.r.trace(int(p.id), "activate", "round %d, rate %.4f, %d packets", round, rate, len(s))
+		p.r.scheduleMeasurement()
+	}
+	if p.r.cfg.DataPlane {
+		if wasActive {
+			p.tx.merge(s, rate)
+		} else {
+			p.tx.assign(s, rate)
+		}
+	} else if !wasActive {
+		// Rate bookkeeping still matters for SEQ estimation.
+		p.tx.rate = rate
+		p.tx.startedAt = p.r.eng.Now()
+	}
+}
+
+// scheduleMeasurement (re)schedules the receipt-rate window after the most
+// recent activation.
+func (r *runner) scheduleMeasurement() {
+	if !r.cfg.DataPlane || r.measureDone {
+		return
+	}
+	for _, ev := range r.measureEv {
+		if ev != nil {
+			ev.Cancel()
+		}
+	}
+	r.measureOpen = false
+	r.measureEv[0] = r.eng.After(r.cfg.Settle, func() {
+		r.measureOpen = true
+		r.leaf.resetWindow()
+	})
+	r.measureEv[1] = r.eng.After(r.cfg.Settle+r.cfg.Window, func() {
+		r.measureOpen = false
+		r.measureDone = true
+		r.leaf.closeWindow()
+	})
+}
+
+// onRepair retransmits the requested content packets to the leaf.
+func (r *runner) onRepair(p *peerNode, m repairMsg) {
+	for _, k := range m.Indices {
+		if k >= 1 && k <= r.cfg.ContentLen {
+			r.nw.Send(simnet.NodeID(p.id), r.leafID(), dataMsg{Pkt: seq.NewData(k)})
+		}
+	}
+}
+
+// run executes the protocol to completion and returns the metrics.
+func (r *runner) run() Result {
+	if r.cfg.Repair {
+		r.eng.After(r.cfg.RepairInterval, r.leaf.repairCheck)
+	}
+	r.impl.start()
+	if !r.cfg.DataPlane || !r.cfg.Loop {
+		// Finite run: execute to quiescence (transmitters exhaust their
+		// streams when Loop is off).
+		r.eng.Run()
+	} else {
+		// Steady-state run: stop once the measurement window has closed
+		// (or, if no peer ever activates, when everything quiesces).
+		for !r.measureDone && r.eng.Step() {
+		}
+	}
+	r.res.NetStats = r.nw.Stats()
+	if r.cfg.DataPlane {
+		r.res.PeerSent = make([]int64, r.cfg.N)
+		for i, p := range r.peers {
+			r.res.PeerSent[i] = p.tx.sentTotal
+		}
+	}
+	if r.cfg.TrackDelivery && r.leaf.recov != nil {
+		for k := int64(1); k <= r.cfg.ContentLen; k++ {
+			if r.leaf.recov.HasData(k) {
+				r.res.DeliveredData++
+			}
+		}
+		r.res.RecoveredData = int64(r.leaf.recov.Recovered())
+	}
+	if r.cfg.DataPlane && r.measureDone && r.cfg.Window > 0 {
+		r.res.ReceiptRate = float64(r.leaf.winTotal) / r.cfg.Window / r.cfg.Rate
+		r.res.DataPackets = r.leaf.winData
+		r.res.ParityPackets = r.leaf.winParity
+		r.res.DupPackets = r.leaf.winDup
+		r.res.Overruns = r.leaf.overruns
+	}
+	return r.res
+}
+
+// Run executes the named protocol under cfg and returns its metrics.
+func Run(protocol string, cfg Config) (Result, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	switch protocol {
+	case DCoP:
+		r.impl = &dcop{r: r}
+	case TCoP:
+		r.impl = &tcop{r: r}
+	case Broadcast:
+		r.impl = &broadcast{r: r}
+	case Unicast:
+		r.impl = &unicast{r: r}
+	case Centralized:
+		r.impl = &centralized{r: r}
+	case AMS:
+		r.impl = &ams{r: r}
+	default:
+		return Result{}, fmt.Errorf("coord: unknown protocol %q", protocol)
+	}
+	r.res.Protocol = protocol
+	return r.run(), nil
+}
+
+// ---- helpers shared by the protocols ------------------------------------
+
+// initialAssignment computes the stream of the idx-th (0-based) of the H
+// peers the leaf selected: Div(Esq(pkt, h), H, CP_i) at rate τ(h+1)/(hH).
+// With heterogeneous bandwidths configured (and the selection shared),
+// the division instead uses §2's time-slot allocation so faster peers
+// carry proportionally more packets.
+func (r *runner) initialAssignment(idx int, selected []overlay.PeerID) (seq.Sequence, float64) {
+	if len(r.cfg.Bandwidths) > 0 && len(selected) > 0 {
+		return r.heterogeneousAssignment(idx, selected)
+	}
+	rate := parity.PerPeerRate(r.cfg.Rate, r.cfg.Interval, r.cfg.H)
+	if !r.cfg.DataPlane {
+		return nil, rate
+	}
+	return seq.Div(r.enhancedContent(), r.cfg.H, idx), rate
+}
+
+// heterogeneousAssignment allocates the enhanced sequence across the
+// selected peers' channels with the §2 slot algorithm; peer rates are
+// proportional to bandwidth.
+func (r *runner) heterogeneousAssignment(idx int, selected []overlay.PeerID) (seq.Sequence, float64) {
+	var total float64
+	chans := make([]schedule.Channel, len(selected))
+	for i, p := range selected {
+		bw := r.cfg.Bandwidths[p]
+		total += bw
+		chans[i] = schedule.Channel{ID: i, SlotLen: schedule.SlotLenFromBandwidth(bw)}
+	}
+	share := r.cfg.Bandwidths[selected[idx]] / total
+	rate := parity.ReceiptRate(r.cfg.Rate, r.cfg.Interval) * share
+	if !r.cfg.DataPlane {
+		return nil, rate
+	}
+	e := r.enhancedContent()
+	al := schedule.Allocate(len(e), chans)
+	positions := al.PerChannel[idx]
+	out := make(seq.Sequence, len(positions))
+	for i, k := range positions {
+		out[i] = e[k-1] // Allocate numbers packets 1..l
+	}
+	return out, rate
+}
+
+// enhancedContent memoizes Esq(content, Interval).
+func (r *runner) enhancedContent() seq.Sequence {
+	if r.enhanced == nil && r.content != nil {
+		r.enhanced = parity.Enhance(r.content, r.cfg.Interval)
+	}
+	return r.enhanced
+}
+
+// perPeerRateAll is the rate of a 1/n division: τ(h+1)/(h·n).
+func (r *runner) perPeerRateAll() float64 {
+	return parity.PerPeerRate(r.cfg.Rate, r.cfg.Interval, r.cfg.N)
+}
+
+// shareOut computes the division of parent stream ps (from mark offset)
+// into k parts using parity interval p: Esq then round-robin Div. It
+// returns the k parts (part 0 is the parent's own share) and the
+// per-stream rate that preserves aggregate content throughput,
+// parentRate·(p+1)/(p·k). (The TCoP pseudocode sets τ_i := τ_j/c2.n,
+// which silently loses the parity overhead's throughput; we keep the
+// content flowing at the parent's pace — see DESIGN.md §2.)
+//
+// p ≤ 0 requests plain division with no added parity (the unicast
+// baseline's minimum-redundancy handover), with rate parentRate/k.
+func shareOut(ps seq.Sequence, mark int, parentRate float64, p, k int) ([]seq.Sequence, float64) {
+	var rate float64
+	if p > 0 {
+		rate = parentRate * float64(p+1) / float64(p*k)
+	} else {
+		rate = parentRate / float64(k)
+	}
+	if ps == nil {
+		return nil, rate
+	}
+	if mark > len(ps) {
+		mark = len(ps)
+	}
+	tail := ps[mark:]
+	if len(tail) == 0 {
+		return make([]seq.Sequence, k), rate
+	}
+	if p > 0 {
+		tail = parity.Enhance(tail, p)
+	} else {
+		tail = tail.Clone()
+	}
+	return seq.Divide(tail, k), rate
+}
+
+// markOffset computes the §3.3 marked packet: the parent reported sending
+// the packet at sentOffset when the control packet left; δ time units
+// later it has sent ⌊δ·rate⌋ more packets. Flooring is the safe
+// direction — if the parent reaches the switch instant having sent past
+// the mark the overlap is a harmless duplicate, whereas overestimating
+// the mark would leave packets nobody transmits.
+func markOffset(sentOffset int, delta, rate float64) int {
+	return sentOffset + int(math.Floor(delta*rate+1e-9))
+}
+
+// currentOffset estimates how many packets a transmitter has sent, for
+// filling c.SEQ when the data plane is off.
+func (tx *transmitter) currentOffset() int {
+	if tx.r.cfg.DataPlane {
+		return tx.pos
+	}
+	return int((tx.r.eng.Now() - tx.startedAt) * tx.rate)
+}
+
+// viewMembers converts a view to the member list carried in messages.
+func viewMembers(v overlay.View) []overlay.PeerID { return v.Members() }

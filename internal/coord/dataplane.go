@@ -1,0 +1,305 @@
+package coord
+
+import (
+	"p2pmss/internal/des"
+	"p2pmss/internal/parity"
+	"p2pmss/internal/seq"
+	"p2pmss/internal/simnet"
+)
+
+// transmitter is a contents peer's data-plane sender: it transmits the
+// packets of its assigned subsequence to the leaf peer at its assigned
+// rate, one packet per time slot (§2's slot model: slot length = 1/rate).
+type transmitter struct {
+	r    *runner
+	node simnet.NodeID
+
+	s    seq.Sequence
+	rate float64
+	pos  int
+	gen  int
+	ev   *des.Event
+
+	startedAt float64 // activation time (control-plane-only bookkeeping)
+	sentTotal int64
+}
+
+func newTransmitter(r *runner, node simnet.NodeID) *transmitter {
+	return &transmitter{r: r, node: node}
+}
+
+// assign replaces the transmitter's stream and rate.
+func (tx *transmitter) assign(s seq.Sequence, rate float64) {
+	tx.gen++
+	if tx.ev != nil {
+		tx.ev.Cancel()
+		tx.ev = nil
+	}
+	tx.s, tx.rate, tx.pos = s, rate, 0
+	tx.startedAt = tx.r.eng.Now()
+	if rate <= 0 || len(s) == 0 {
+		return
+	}
+	// Randomize the phase of the first slot so that steady-state rate
+	// measurements see each stream's average rate even when the window is
+	// shorter than the slot length (sending early is harmless — the
+	// packets are this peer's own share).
+	gen := tx.gen
+	tx.ev = tx.r.eng.After(tx.r.eng.Rand().Float64()/tx.rate, func() {
+		if gen != tx.gen {
+			return
+		}
+		tx.sendNext()
+		if tx.pos < len(tx.s) || tx.r.cfg.Loop {
+			tx.schedule()
+		}
+	})
+}
+
+// merge unions an additional subsequence into the not-yet-sent remainder
+// (DCoP's pkt_i := pkt_i ∪ pkt_ji for redundantly selected peers) and adds
+// the new stream's rate.
+func (tx *transmitter) merge(s seq.Sequence, rate float64) {
+	var remaining seq.Sequence
+	if tx.pos < len(tx.s) {
+		remaining = tx.s[tx.pos:]
+	}
+	merged := seq.Union(remaining.Clone(), s)
+	tx.assign(merged, tx.rate+rate)
+}
+
+// planShare schedules the parent's switch to its own share δ time units
+// from now (§3.3: "the parent also changes the packet subsequence to
+// pkt_jj and the rate … on δ time units after CP_j sends the control
+// packet"). Rather than wholesale replacement, the switch subtracts the
+// packets given to children and unions in the parent's own share, so it
+// composes with assignments merged from other parents in the meantime —
+// otherwise the parent would keep retransmitting its entire delegated
+// subtree (massive duplication) or drop merged assignments (gaps).
+func (tx *transmitter) planShare(keep seq.Sequence, given []seq.Sequence, oldRate, newRate, delta float64) {
+	if tx.s == nil {
+		// Control-plane-only mode: just record the rate change.
+		tx.r.eng.After(delta, func() {
+			r := tx.rate - oldRate + newRate
+			if r <= 0 {
+				r = newRate
+			}
+			tx.rate = r
+		})
+		return
+	}
+	givenKeys := make(map[string]bool)
+	for _, g := range given {
+		for _, p := range g {
+			givenKeys[p.Key()] = true
+		}
+	}
+	tx.r.eng.After(delta, func() {
+		var rest seq.Sequence
+		if tx.pos < len(tx.s) {
+			for _, p := range tx.s[tx.pos:] {
+				if !givenKeys[p.Key()] {
+					rest = append(rest, p)
+				}
+			}
+		}
+		rate := tx.rate - oldRate + newRate
+		if rate <= 0 {
+			rate = newRate
+		}
+		tx.assign(seq.Union(rest, keep), rate)
+	})
+}
+
+func (tx *transmitter) schedule() {
+	gen := tx.gen
+	tx.ev = tx.r.eng.After(1/tx.rate, func() {
+		if gen != tx.gen {
+			return
+		}
+		tx.sendNext()
+		if tx.pos < len(tx.s) || tx.r.cfg.Loop {
+			tx.schedule()
+		}
+	})
+}
+
+func (tx *transmitter) sendNext() {
+	if tx.pos >= len(tx.s) {
+		if !tx.r.cfg.Loop || len(tx.s) == 0 {
+			return
+		}
+		tx.pos = 0
+	}
+	pkt := tx.s[tx.pos]
+	tx.pos++
+	tx.sentTotal++
+	tx.r.nw.Send(tx.node, tx.r.leafID(), dataMsg{Pkt: pkt})
+}
+
+// leafNode is the leaf peer LP_s: it receives data packets, enforces its
+// maximum receipt rate ρ_s with a drain-at-ρ buffer (§3.1's buffer
+// overrun), deduplicates, and measures arrival rate inside the
+// experiment's window.
+type leafNode struct {
+	r     *runner
+	seen  map[string]int
+	recov *parity.Recoverer // non-nil when Config.TrackDelivery
+
+	// Totals over the whole run.
+	total, dup int64
+	overruns   int64
+
+	// Buffer model (active when cfg.LeafMaxRate > 0).
+	bufLevel  float64
+	lastDrain float64
+
+	// Window counters.
+	winTotal, winData, winParity, winDup int64
+
+	// Playback model (Config.Playback): consumption of data packets in
+	// content order at the content rate, starting PlaybackDelay after
+	// the first arrival.
+	playbackScheduled bool
+	nextConsume       int64
+
+	// Repair loop state (Config.Repair).
+	lastProgress int64
+	repairRounds int
+}
+
+func newLeaf(r *runner) *leafNode {
+	l := &leafNode{r: r, seen: make(map[string]int)}
+	if r.cfg.TrackDelivery {
+		l.recov = parity.NewRecoverer()
+	}
+	return l
+}
+
+// Receive implements simnet.Handler for data packets; coordination
+// messages addressed to the leaf (TCoP confirmations are peer→peer, so
+// none today) are ignored.
+func (l *leafNode) Receive(from simnet.NodeID, m simnet.Message) {
+	dm, ok := m.(dataMsg)
+	if !ok {
+		return
+	}
+	now := l.r.eng.Now()
+	if l.r.cfg.LeafMaxRate > 0 {
+		l.bufLevel -= (now - l.lastDrain) * l.r.cfg.LeafMaxRate
+		if l.bufLevel < 0 {
+			l.bufLevel = 0
+		}
+		l.lastDrain = now
+		if l.bufLevel >= float64(l.r.cfg.LeafBuffer) {
+			l.overruns++
+			return // buffer overrun: the packet is lost (§3.1)
+		}
+		l.bufLevel++
+	}
+	l.total++
+	if l.recov != nil {
+		l.recov.Add(dm.Pkt)
+	}
+	key := dm.Pkt.Key()
+	l.seen[key]++
+	isDup := l.seen[key] > 1
+	if isDup {
+		l.dup++
+	}
+	if l.r.measureOpen {
+		l.winTotal++
+		if isDup {
+			l.winDup++
+		} else if dm.Pkt.IsData() {
+			l.winData++
+		} else {
+			l.winParity++
+		}
+	}
+	if l.r.cfg.Playback && !l.playbackScheduled {
+		l.playbackScheduled = true
+		l.nextConsume = 1
+		start := now + l.r.cfg.PlaybackDelay
+		l.r.res.PlaybackStart = start
+		l.r.eng.At(start, l.consume)
+	}
+}
+
+// consume plays out the next data packet: it must be present (received
+// or parity-recovered) by its deadline, else an underrun is counted and
+// the packet is skipped — the §1 real-time constraint.
+func (l *leafNode) consume() {
+	k := l.nextConsume
+	if k > l.r.cfg.ContentLen {
+		return // playout finished
+	}
+	if !l.recov.HasData(k) {
+		l.r.res.Underruns++
+	}
+	l.nextConsume++
+	l.r.eng.After(1/l.r.cfg.Rate, l.consume)
+}
+
+func (l *leafNode) resetWindow() {
+	l.winTotal, l.winData, l.winParity, l.winDup = 0, 0, 0, 0
+}
+
+func (l *leafNode) closeWindow() {}
+
+// splitParts separates a shareOut result into the parent's own share and
+// the children's shares; both are nil in control-plane-only mode.
+func splitParts(parts []seq.Sequence) (keep seq.Sequence, given []seq.Sequence) {
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	return parts[0], parts[1:]
+}
+
+// repairCheck implements the leaf-driven repair loop (Config.Repair):
+// when no new data packet has arrived for a full interval and the
+// content is incomplete, the leaf asks a random live peer to retransmit
+// the missing packets.
+func (l *leafNode) repairCheck() {
+	r := l.r
+	missing := l.missingData()
+	if len(missing) == 0 || l.repairRounds >= r.cfg.RepairMaxRounds {
+		return // complete, or giving up
+	}
+	if cur := int64(l.recov.Present()); cur != l.lastProgress {
+		l.lastProgress = cur
+		r.eng.After(r.cfg.RepairInterval, l.repairCheck)
+		return // still flowing; check again later
+	}
+	l.repairRounds++
+	const batch = 64
+	if len(missing) > batch {
+		missing = missing[:batch]
+	}
+	// Pick a random live peer to serve the repair.
+	alive := make([]simnet.NodeID, 0, r.cfg.N)
+	for i := 0; i < r.cfg.N; i++ {
+		if !r.nw.Crashed(simnet.NodeID(i)) {
+			alive = append(alive, simnet.NodeID(i))
+		}
+	}
+	if len(alive) == 0 {
+		return
+	}
+	target := alive[r.eng.Rand().Intn(len(alive))]
+	r.res.RepairRequests++
+	r.trace(-1, "repair", "%d missing, asking node %d", len(missing), target)
+	r.nw.Send(r.leafID(), target, repairMsg{Indices: missing})
+	r.eng.After(r.cfg.RepairInterval, l.repairCheck)
+}
+
+// missingData lists the content indices not yet present.
+func (l *leafNode) missingData() []int64 {
+	var out []int64
+	for k := int64(1); k <= l.r.cfg.ContentLen; k++ {
+		if !l.recov.HasData(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

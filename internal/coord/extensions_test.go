@@ -1,0 +1,359 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+
+	"p2pmss/internal/overlay"
+	"p2pmss/internal/simnet"
+	"p2pmss/internal/trace"
+)
+
+// simnetLink builds link params matching cfg plus a bandwidth cap.
+func simnetLink(cfg Config, bw float64) simnet.LinkParams {
+	return simnet.LinkParams{Latency: cfg.Delta, Jitter: cfg.Jitter, LossProb: cfg.LossProb, Bandwidth: bw}
+}
+
+func TestAMSBaseline(t *testing.T) {
+	cfg := baseCfg()
+	cfg.StatePeriods = 3
+	res, err := Run(AMS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActivePeers != cfg.N {
+		t.Errorf("active = %d", res.ActivePeers)
+	}
+	// Asynchronous start: everyone activates on the request (round 1).
+	if res.SyncRounds != 1 {
+		t.Errorf("sync rounds = %d, want 1", res.SyncRounds)
+	}
+	// State exchange: n(n-1) control packets per period.
+	n := int64(cfg.N)
+	wantStates := n * (n - 1) * int64(cfg.StatePeriods)
+	if res.StateMessages != wantStates {
+		t.Errorf("state messages = %d, want %d", res.StateMessages, wantStates)
+	}
+	if res.ControlPackets != n+wantStates {
+		t.Errorf("control packets = %d, want %d", res.ControlPackets, n+wantStates)
+	}
+}
+
+// The paper's critique of AMS: its state exchange costs far more control
+// packets than DCoP's flooding.
+func TestAMSCostsMoreThanDCoP(t *testing.T) {
+	cfg := baseCfg()
+	a, err := Run(AMS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Run(DCoP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ControlPackets <= d.ControlPackets {
+		t.Errorf("AMS %d not above DCoP %d", a.ControlPackets, d.ControlPackets)
+	}
+}
+
+func TestAMSDelivery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 10
+	cfg.H = 4
+	cfg.DataPlane = true
+	cfg.Loop = false
+	cfg.TrackDelivery = true
+	cfg.ContentLen = 200
+	cfg.Rate = 5
+	res, err := Run(AMS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredData != cfg.ContentLen {
+		t.Errorf("delivered %d/%d", res.DeliveredData, cfg.ContentLen)
+	}
+}
+
+func TestBurstLossIsApplied(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 10
+	cfg.H = 4
+	cfg.Interval = 2
+	cfg.DataPlane = true
+	cfg.Loop = false
+	cfg.TrackDelivery = true
+	cfg.ContentLen = 400
+	cfg.Rate = 5
+	cfg.Burst = &BurstParams{PGoodToBad: 0.05, PBadToGood: 0.2, LossGood: 0, LossBad: 1}
+	res, err := Run(DCoP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetStats.Dropped == 0 {
+		t.Error("burst model dropped nothing")
+	}
+	// h=2 parity plus repair-free recovery should still deliver most of
+	// the content despite the bursts.
+	if res.DeliveredData < cfg.ContentLen/2 {
+		t.Errorf("delivered %d/%d under bursts", res.DeliveredData, cfg.ContentLen)
+	}
+}
+
+func TestHeterogeneousBandwidthValidation(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Bandwidths = []float64{1, 2} // wrong length
+	if _, err := Run(DCoP, cfg); err == nil {
+		t.Error("wrong-length bandwidths accepted")
+	}
+	cfg = baseCfg()
+	cfg.Bandwidths = make([]float64, cfg.N)
+	if _, err := Run(DCoP, cfg); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	cfg = baseCfg()
+	cfg.Bandwidths = uniformBandwidths(cfg.N, 1)
+	cfg.LeafShares = false
+	if _, err := Run(DCoP, cfg); err == nil {
+		t.Error("heterogeneous without LeafShares accepted")
+	}
+}
+
+func uniformBandwidths(n int, bw float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = bw
+	}
+	return out
+}
+
+// Heterogeneous division: faster initial peers transmit more packets,
+// and the content still arrives completely.
+func TestHeterogeneousAssignment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 8
+	cfg.H = 4
+	cfg.Interval = 3
+	cfg.DataPlane = true
+	cfg.Loop = false
+	cfg.TrackDelivery = true
+	cfg.ContentLen = 400
+	cfg.Rate = 5
+	bws := uniformBandwidths(cfg.N, 1)
+	bws[0], bws[1], bws[2], bws[3] = 8, 8, 8, 8 // some much faster peers
+	cfg.Bandwidths = bws
+	res, err := Run(DCoP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredData != cfg.ContentLen {
+		t.Errorf("delivered %d/%d with heterogeneous division", res.DeliveredData, cfg.ContentLen)
+	}
+}
+
+func TestHeterogeneousRatesProportional(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 4
+	cfg.H = 4
+	cfg.Interval = 3
+	cfg.Bandwidths = []float64{4, 2, 1, 1}
+	r, err := newRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected := []overlay.PeerID{0, 1, 2, 3}
+	_, r0 := r.initialAssignment(0, selected)
+	_, r1 := r.initialAssignment(1, selected)
+	_, r2 := r.initialAssignment(2, selected)
+	if !(r0 > r1 && r1 > r2) {
+		t.Errorf("rates not ordered by bandwidth: %v %v %v", r0, r1, r2)
+	}
+	if ratio := r0 / r2; ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("rate ratio %v, want 4", ratio)
+	}
+}
+
+func TestPlaybackModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 10
+	cfg.H = 4
+	cfg.Interval = 2
+	cfg.DataPlane = true
+	cfg.Loop = false
+	cfg.Playback = true
+	cfg.PlaybackDelay = 20 // generous startup buffer
+	cfg.ContentLen = 300
+	cfg.Rate = 5
+	res, err := Run(DCoP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlaybackStart <= 0 {
+		t.Error("playback never started")
+	}
+	if res.Underruns != 0 {
+		t.Errorf("underruns = %d with a 20-unit startup buffer", res.Underruns)
+	}
+
+	// With (almost) no startup buffer, the real-time constraint bites:
+	// early packets are consumed before slower peers deliver them.
+	cfg.PlaybackDelay = 0.01
+	cfg.Seed = 2
+	res, err = Run(DCoP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underruns == 0 {
+		t.Error("zero startup buffer produced no underruns")
+	}
+}
+
+func TestPlaybackRequiresDataPlane(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Playback = true
+	if _, err := Run(DCoP, cfg); err == nil {
+		t.Error("playback without data plane accepted")
+	}
+}
+
+func TestTraceRecordsRun(t *testing.T) {
+	cfg := baseCfg()
+	tr := trace.New(10000)
+	cfg.Trace = tr
+	if _, err := Run(DCoP, cfg); err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.Counts()
+	if counts["activate"] == 0 || counts["control"] == 0 {
+		t.Errorf("trace counts = %v", counts)
+	}
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "activate") {
+		t.Error("dump missing activations")
+	}
+}
+
+func TestTraceRecordsCrashes(t *testing.T) {
+	cfg := baseCfg()
+	tr := trace.New(10000)
+	cfg.Trace = tr
+	cfg.CrashPeers = []overlay.PeerID{1, 2}
+	cfg.CrashAt = 1.5
+	if _, err := Run(DCoP, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Filter("crash")) != 2 {
+		t.Errorf("crash events = %d", len(tr.Filter("crash")))
+	}
+}
+
+// Repair protocol: with a crash and no parity, the leaf-driven
+// retransmission still completes delivery.
+func TestRepairRecoversAfterCrash(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 10
+	cfg.H = 5
+	cfg.Interval = 1000 // parity interval beyond any subsequence: no parity help
+	cfg.DataPlane = true
+	cfg.Loop = false
+	cfg.Repair = true
+	cfg.ContentLen = 300
+	cfg.Rate = 10
+	cfg.CrashPeers = []overlay.PeerID{0, 1}
+	cfg.CrashAt = 10
+	res, err := Run(DCoP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredData != cfg.ContentLen {
+		t.Errorf("delivered %d/%d with repair", res.DeliveredData, cfg.ContentLen)
+	}
+	if res.RepairRequests == 0 {
+		t.Error("repair never triggered despite crashes")
+	}
+
+	// Control: without repair the same scenario loses content.
+	cfg.Repair = false
+	res, err = Run(DCoP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredData == cfg.ContentLen {
+		t.Skip("crash happened to lose nothing this seed; repair effect not distinguishable")
+	}
+}
+
+func TestRepairRequiresDataPlane(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Repair = true
+	if _, err := Run(DCoP, cfg); err == nil {
+		t.Error("repair without data plane accepted")
+	}
+}
+
+// Data-plane runs under link bandwidth limits: the §2 slot model at the
+// network layer. Delivery still completes, just later.
+func TestDataPlaneWithLinkBandwidth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 8
+	cfg.H = 4
+	cfg.Interval = 3
+	cfg.DataPlane = true
+	cfg.Loop = false
+	cfg.TrackDelivery = true
+	cfg.ContentLen = 200
+	cfg.Rate = 5
+	r, err := newRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throttle every link to 2 messages per time unit.
+	r.nw.SetDefaultLink(simnetLink(cfg, 2))
+	r.impl = &dcop{r: r}
+	res := r.run()
+	if res.DeliveredData != cfg.ContentLen {
+		t.Errorf("delivered %d/%d under bandwidth limit", res.DeliveredData, cfg.ContentLen)
+	}
+}
+
+// End-to-end §2 proportionality: under the heterogeneous division, a
+// peer with 4× bandwidth transmits roughly 4× the packets of a slow one.
+func TestHeterogeneousLoadProportional(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 4
+	cfg.H = 4 // all peers selected directly: pure §2 division
+	cfg.Interval = 3
+	cfg.DataPlane = true
+	cfg.Loop = false
+	cfg.TrackDelivery = true
+	cfg.ContentLen = 800
+	cfg.Rate = 8
+	cfg.Bandwidths = []float64{4, 2, 1, 1}
+	res, err := Run(DCoP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PeerSent) != 4 {
+		t.Fatalf("PeerSent = %v", res.PeerSent)
+	}
+	var total int64
+	for _, n := range res.PeerSent {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("nothing transmitted")
+	}
+	// Identify the bw-4 peer's share: it should carry ≈ 4/8 of the load.
+	// (The leaf's selection order is random, but with H=N every peer is
+	// selected and Bandwidths[i] applies to peer i directly.)
+	shareFast := float64(res.PeerSent[0]) / float64(total)
+	shareSlow := float64(res.PeerSent[2]) / float64(total)
+	if ratio := shareFast / shareSlow; ratio < 3.0 || ratio > 5.0 {
+		t.Errorf("fast/slow load ratio = %.2f (sent %v), want ≈4", ratio, res.PeerSent)
+	}
+	if res.DeliveredData != cfg.ContentLen {
+		t.Errorf("delivered %d/%d", res.DeliveredData, cfg.ContentLen)
+	}
+}

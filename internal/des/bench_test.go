@@ -1,0 +1,31 @@
+package des
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(1)
+		for j := 0; j < 1000; j++ {
+			e.At(float64(j%97), func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkNestedEvents(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(1)
+		var chain func()
+		n := 0
+		chain = func() {
+			n++
+			if n < 1000 {
+				e.After(1, chain)
+			}
+		}
+		e.After(1, chain)
+		e.Run()
+	}
+}

@@ -1,0 +1,348 @@
+// Package experiment regenerates the paper's evaluation (§4): Figure 10
+// (DCoP rounds and control packets vs H), Figure 11 (the same for TCoP),
+// Figure 12 (leaf receipt rate vs H for both protocols), and a baseline
+// comparison table for the §3.1 coordination schemes. Each point is
+// averaged over several seeds; results are returned as printable tables
+// and as raw series for the benchmark harness.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"p2pmss/internal/coord"
+	"p2pmss/internal/gossip"
+	"p2pmss/internal/stats"
+)
+
+// Options parameterizes an experiment sweep.
+type Options struct {
+	// N is the number of contents peers (the paper uses 100).
+	N int
+	// Hs lists the fanout values to sweep.
+	Hs []int
+	// Seeds is how many independent runs are averaged per point.
+	Seeds int
+	// LeafShares mirrors coord.Config.LeafShares.
+	LeafShares bool
+	// Rate, ContentLen, Window tune the data-plane runs of Figure 12.
+	Rate       float64
+	ContentLen int64
+	Window     float64
+}
+
+// DefaultOptions returns the paper's setting: n = 100, H swept over
+// 2..100, averaged over 5 seeds.
+func DefaultOptions() Options {
+	return Options{
+		N:          100,
+		Hs:         []int{2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		Seeds:      5,
+		LeafShares: true,
+		Rate:       2,
+		ContentLen: 30000,
+		Window:     200,
+	}
+}
+
+func (o *Options) normalize() {
+	d := DefaultOptions()
+	if o.N == 0 {
+		o.N = d.N
+	}
+	if len(o.Hs) == 0 {
+		for _, h := range d.Hs {
+			if h <= o.N {
+				o.Hs = append(o.Hs, h)
+			}
+		}
+	}
+	if o.Seeds == 0 {
+		o.Seeds = d.Seeds
+	}
+	if o.Rate == 0 {
+		o.Rate = d.Rate
+	}
+	if o.ContentLen == 0 {
+		o.ContentLen = d.ContentLen
+	}
+	if o.Window == 0 {
+		o.Window = d.Window
+	}
+}
+
+// Point is one averaged sweep point. The *CI fields are 95% confidence
+// half-widths of the corresponding means across seeds.
+type Point struct {
+	H              int
+	Rounds         float64 // mean rounds to quiescence
+	SyncRounds     float64 // mean rounds to full activation
+	ControlPackets float64
+	ActivePeers    float64
+	SyncTime       float64
+	ReceiptRate    float64
+	DupRate        float64 // duplicate fraction of window arrivals
+
+	RoundsCI, ControlPacketsCI, ReceiptRateCI float64
+}
+
+// Series is a sweep over H for one protocol.
+type Series struct {
+	Protocol string
+	Points   []Point
+}
+
+// sweep runs the protocol for every H and seed.
+func sweep(protocol string, o Options, dataPlane bool) (Series, error) {
+	o.normalize()
+	s := Series{Protocol: protocol}
+	for _, H := range o.Hs {
+		if H > o.N {
+			continue
+		}
+		p := Point{H: H}
+		var rounds, syncRounds, packets, active, syncTime, rate, dup stats.Sample
+		for seed := 0; seed < o.Seeds; seed++ {
+			cfg := coord.DefaultConfig()
+			cfg.N = o.N
+			cfg.H = H
+			cfg.Seed = int64(seed + 1)
+			cfg.LeafShares = o.LeafShares
+			if dataPlane {
+				cfg.DataPlane = true
+				cfg.Rate = o.Rate
+				cfg.ContentLen = o.ContentLen
+				cfg.Window = o.Window
+			}
+			res, err := coord.Run(protocol, cfg)
+			if err != nil {
+				return Series{}, err
+			}
+			rounds.Add(float64(res.Rounds))
+			syncRounds.Add(float64(res.SyncRounds))
+			packets.Add(float64(res.ControlPackets))
+			active.Add(float64(res.ActivePeers))
+			syncTime.Add(res.SyncTime)
+			rate.Add(res.ReceiptRate)
+			if tot := res.DataPackets + res.ParityPackets + res.DupPackets; tot > 0 {
+				dup.Add(float64(res.DupPackets) / float64(tot))
+			} else {
+				dup.Add(0)
+			}
+		}
+		p.Rounds = rounds.Mean()
+		p.SyncRounds = syncRounds.Mean()
+		p.ControlPackets = packets.Mean()
+		p.ActivePeers = active.Mean()
+		p.SyncTime = syncTime.Mean()
+		p.ReceiptRate = rate.Mean()
+		p.DupRate = dup.Mean()
+		p.RoundsCI = rounds.CI95()
+		p.ControlPacketsCI = packets.CI95()
+		p.ReceiptRateCI = rate.CI95()
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// Figure10 reproduces "Rounds and number of control packets in DCoP".
+func Figure10(o Options) (Series, error) { return sweep(coord.DCoP, o, false) }
+
+// Figure11 reproduces "Rounds and number of control packets in TCoP".
+func Figure11(o Options) (Series, error) { return sweep(coord.TCoP, o, false) }
+
+// Figure12 reproduces "Receipt rate of leaf peer" for DCoP and TCoP.
+func Figure12(o Options) (dcop, tcop Series, err error) {
+	dcop, err = sweep(coord.DCoP, o, true)
+	if err != nil {
+		return
+	}
+	tcop, err = sweep(coord.TCoP, o, true)
+	return
+}
+
+// BaselineRow is one protocol's entry in the baseline comparison.
+type BaselineRow struct {
+	Protocol       string
+	Rounds         float64
+	SyncRounds     float64
+	ControlPackets float64
+	SyncTime       float64
+	ReceiptRate    float64
+}
+
+// Baselines compares all five coordination protocols at a fixed H,
+// quantifying §3.1's trade-offs (broadcast: 1 round but O(n²) packets;
+// unicast: n packets but n rounds; centralized: 3+ rounds; DCoP/TCoP in
+// between).
+func Baselines(o Options, H int) ([]BaselineRow, error) {
+	o.normalize()
+	var rows []BaselineRow
+	for _, proto := range coord.Protocols {
+		var row BaselineRow
+		row.Protocol = proto
+		for seed := 0; seed < o.Seeds; seed++ {
+			cfg := coord.DefaultConfig()
+			cfg.N = o.N
+			cfg.H = H
+			cfg.Seed = int64(seed + 1)
+			cfg.LeafShares = o.LeafShares
+			cfg.DataPlane = true
+			cfg.Rate = o.Rate
+			cfg.ContentLen = o.ContentLen
+			cfg.Window = o.Window
+			res, err := coord.Run(proto, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.Rounds += float64(res.Rounds)
+			row.SyncRounds += float64(res.SyncRounds)
+			row.ControlPackets += float64(res.ControlPackets)
+			row.SyncTime += res.SyncTime
+			row.ReceiptRate += res.ReceiptRate
+		}
+		n := float64(o.Seeds)
+		row.Rounds /= n
+		row.SyncRounds /= n
+		row.ControlPackets /= n
+		row.SyncTime /= n
+		row.ReceiptRate /= n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GossipCoveragePoint is one fanout's mean coverage.
+type GossipCoveragePoint struct {
+	Fanout   int
+	Coverage float64 // mean infected fraction
+}
+
+// GossipCoverage sweeps the gossip fanout and reports mean coverage —
+// the reference-[6] phase transition explaining why DCoP needs H ≳ ln n
+// to synchronize every contents peer.
+func GossipCoverage(n int, fanouts []int, seeds int) ([]GossipCoveragePoint, error) {
+	if len(fanouts) == 0 {
+		fanouts = []int{1, 2, 3, 4, 5, 7, 10, 15}
+	}
+	if seeds <= 0 {
+		seeds = 10
+	}
+	curve, err := gossip.CoverageCurve(n, fanouts, seeds, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GossipCoveragePoint, 0, len(fanouts))
+	for _, f := range fanouts {
+		out = append(out, GossipCoveragePoint{Fanout: f, Coverage: curve[f]})
+	}
+	return out, nil
+}
+
+// FprintGossipCoverage renders the coverage sweep.
+func FprintGossipCoverage(w io.Writer, n int, pts []GossipCoveragePoint) {
+	fmt.Fprintf(w, "Gossip coverage vs fanout (n=%d; ref [6] phase transition at ≈ln n = %.1f)\n",
+		n, math.Log(float64(n)))
+	fmt.Fprintf(w, "%8s %12s\n", "fanout", "coverage")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d %11.1f%%\n", p.Fanout, p.Coverage*100)
+	}
+}
+
+// MinStartupDelay binary-searches the smallest playback startup delay
+// (in δ units, to the given precision) that yields glitch-free playout
+// (zero underruns) for the protocol under cfg — the §1 real-time
+// constraint turned into a measurable quantity.
+func MinStartupDelay(protocol string, cfg coord.Config, maxDelay, precision float64) (float64, error) {
+	underrunsAt := func(d float64) (int64, error) {
+		c := cfg
+		c.Playback = true
+		c.PlaybackDelay = d
+		res, err := coord.Run(protocol, c)
+		if err != nil {
+			return 0, err
+		}
+		return res.Underruns, nil
+	}
+	if u, err := underrunsAt(maxDelay); err != nil {
+		return 0, err
+	} else if u > 0 {
+		return maxDelay, fmt.Errorf("experiment: underruns persist at max delay %v", maxDelay)
+	}
+	lo, hi := 0.0, maxDelay
+	for hi-lo > precision {
+		mid := (lo + hi) / 2
+		u, err := underrunsAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if u == 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// PaperReference holds the reference values quoted in the paper's text
+// for comparison in EXPERIMENTS.md.
+var PaperReference = struct {
+	Fig10H60Rounds  float64 // "two rounds ... for H = 60"
+	Fig10H60Packets float64 // "about 600 control packets"
+	Fig11H60Rounds  float64 // "six rounds"
+	Fig11H60Packets float64 // "about 7400 control packets"
+	Fig12H60DCoP    float64 // "rate = 1.019 in DCoP"
+	Fig12H60TCoP    float64 // "rate = 1.226 in TCoP"
+}{2, 600, 6, 7400, 1.019, 1.226}
+
+// ---- rendering ----------------------------------------------------------
+
+// FprintSeries renders a coordination sweep as an aligned table.
+func FprintSeries(w io.Writer, title string, s Series) {
+	fmt.Fprintf(w, "%s (protocol %s)\n", title, s.Protocol)
+	fmt.Fprintf(w, "%6s %14s %12s %20s %12s %10s\n",
+		"H", "rounds", "sync-rounds", "control-packets", "active", "sync-time")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%6d %8.2f ±%4.2f %12.2f %13.1f ±%5.1f %12.1f %10.2f\n",
+			p.H, p.Rounds, p.RoundsCI, p.SyncRounds, p.ControlPackets, p.ControlPacketsCI, p.ActivePeers, p.SyncTime)
+	}
+}
+
+// FprintRateSeries renders a Figure 12 sweep pair.
+func FprintRateSeries(w io.Writer, title string, dcop, tcop Series) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%6s %18s %18s %12s\n", "H", "DCoP rate", "TCoP rate", "DCoP dup%")
+	tp := map[int]Point{}
+	for _, p := range tcop.Points {
+		tp[p.H] = p
+	}
+	for _, p := range dcop.Points {
+		fmt.Fprintf(w, "%6d %10.3f ±%5.3f %10.3f ±%5.3f %12.1f\n",
+			p.H, p.ReceiptRate, p.ReceiptRateCI, tp[p.H].ReceiptRate, tp[p.H].ReceiptRateCI, p.DupRate*100)
+	}
+}
+
+// FprintBaselines renders the baseline comparison table.
+func FprintBaselines(w io.Writer, title string, rows []BaselineRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-12s %8s %12s %16s %10s %12s\n",
+		"protocol", "rounds", "sync-rounds", "control-packets", "sync-time", "receipt-rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8.1f %12.1f %16.1f %10.2f %12.3f\n",
+			r.Protocol, r.Rounds, r.SyncRounds, r.ControlPackets, r.SyncTime, r.ReceiptRate)
+	}
+}
+
+// SeriesCSV renders a sweep as CSV.
+func SeriesCSV(s Series) string {
+	var b strings.Builder
+	b.WriteString("protocol,h,rounds,sync_rounds,control_packets,active_peers,sync_time,receipt_rate,dup_rate\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%s,%d,%.3f,%.3f,%.1f,%.1f,%.3f,%.4f,%.4f\n",
+			s.Protocol, p.H, p.Rounds, p.SyncRounds, p.ControlPackets, p.ActivePeers, p.SyncTime, p.ReceiptRate, p.DupRate)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"p2pmss/internal/svgplot"
+)
+
+// RoundsChart builds the Figure 10/11-style chart for one protocol:
+// rounds (solid) and control packets (dashed, log axis disabled — the
+// paper plots both on linear axes with separate scales, we normalize the
+// packet curve by its maximum and annotate).
+func RoundsChart(title string, s Series) *svgplot.Chart {
+	var xs, rounds, packets []float64
+	for _, p := range s.Points {
+		xs = append(xs, float64(p.H))
+		rounds = append(rounds, p.Rounds)
+		packets = append(packets, p.ControlPackets)
+	}
+	return &svgplot.Chart{
+		Title:  title,
+		XLabel: "number of selected peers H",
+		YLabel: "rounds / control packets (log)",
+		YLog:   true,
+		Series: []svgplot.Series{
+			{Name: "rounds", X: xs, Y: rounds},
+			{Name: "control packets", X: xs, Y: packets, Dashed: true},
+		},
+	}
+}
+
+// RateChart builds the Figure 12-style chart: receipt rate vs H for DCoP
+// and TCoP.
+func RateChart(title string, dcop, tcop Series) *svgplot.Chart {
+	var xs, dy, ty []float64
+	tp := map[int]float64{}
+	for _, p := range tcop.Points {
+		tp[p.H] = p.ReceiptRate
+	}
+	for _, p := range dcop.Points {
+		xs = append(xs, float64(p.H))
+		dy = append(dy, p.ReceiptRate)
+		ty = append(ty, tp[p.H])
+	}
+	return &svgplot.Chart{
+		Title:  title,
+		XLabel: "number of selected peers H",
+		YLabel: "receipt rate (× content rate)",
+		Series: []svgplot.Series{
+			{Name: "DCoP", X: xs, Y: dy},
+			{Name: "TCoP", X: xs, Y: ty, Dashed: true},
+		},
+	}
+}
+
+// WriteSVG renders a chart into dir/name.svg.
+func WriteSVG(dir, name string, c *svgplot.Chart) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	path := filepath.Join(dir, name+".svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	defer f.Close()
+	if err := c.Render(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

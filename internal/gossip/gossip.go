@@ -1,0 +1,175 @@
+// Package gossip implements the probabilistic dissemination substrate the
+// paper's flooding protocols build on (references [6] Kermarrec/Massoulié/
+// Ganesh, "Probabilistic Reliable Dissemination in Large-Scale Systems",
+// and [7] Lin/Marzullo, "Directional Gossip"). It provides a generic
+// push-gossip round engine over the discrete-event simulator, used both to
+// study fanout/coverage trade-offs (why DCoP needs H ≳ log n) and as a
+// standalone reusable component.
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2pmss/internal/des"
+	"p2pmss/internal/simnet"
+)
+
+// Config parameterizes a gossip dissemination.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Fanout is how many targets an infected node pushes to.
+	Fanout int
+	// Rounds bounds how many rounds each node forwards for; 0 means a
+	// node forwards only once upon first infection (the paper's
+	// flooding style).
+	Rounds int
+	// Latency is the per-hop delay.
+	Latency float64
+	// LossProb drops each push independently.
+	LossProb float64
+	// Directional enables the [7]-style weighting: nodes prefer targets
+	// they have not heard from (approximated by excluding known-infected
+	// nodes from selection, like DCoP's view exclusion).
+	Directional bool
+	// Seed seeds the run.
+	Seed int64
+}
+
+// Result reports a dissemination outcome.
+type Result struct {
+	// Infected is how many nodes received the rumor.
+	Infected int
+	// Rounds is the highest hop count at which a node was first
+	// infected.
+	Rounds int
+	// Messages is the number of pushes sent.
+	Messages int64
+	// Time is the virtual time of the last first-infection.
+	Time float64
+}
+
+type push struct {
+	hop   int
+	known []int // infected nodes the sender knows (directional mode)
+}
+
+type node struct {
+	id       int
+	infected bool
+	hop      int
+	known    map[int]bool
+	forwards int
+}
+
+// Run disseminates one rumor from node 0 and reports coverage.
+func Run(cfg Config) (Result, error) {
+	if cfg.N <= 0 || cfg.Fanout <= 0 {
+		return Result{}, fmt.Errorf("gossip: N=%d and Fanout=%d must be positive", cfg.N, cfg.Fanout)
+	}
+	eng := des.New(cfg.Seed)
+	nw := simnet.New(eng)
+	nw.SetDefaultLink(simnet.LinkParams{Latency: cfg.Latency, LossProb: cfg.LossProb})
+
+	nodes := make([]*node, cfg.N)
+	var res Result
+	rng := eng.Rand()
+
+	var infect func(n *node, hop int, known []int)
+	forward := func(n *node) {
+		targets := selectTargets(rng, cfg, n)
+		if len(targets) == 0 {
+			return
+		}
+		knownList := knownOf(n)
+		for _, t := range targets {
+			n.known[t] = true
+			res.Messages++
+			nw.Send(simnet.NodeID(n.id), simnet.NodeID(t), push{hop: n.hop + 1, known: knownList})
+		}
+	}
+	infect = func(n *node, hop int, known []int) {
+		for _, k := range known {
+			n.known[k] = true
+		}
+		if n.infected {
+			// Re-pushes in multi-round mode.
+			if cfg.Rounds > 0 && n.forwards < cfg.Rounds {
+				n.forwards++
+				forward(n)
+			}
+			return
+		}
+		n.infected = true
+		n.hop = hop
+		n.known[n.id] = true
+		res.Infected++
+		if hop > res.Rounds {
+			res.Rounds = hop
+		}
+		res.Time = eng.Now()
+		n.forwards++
+		forward(n)
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		n := &node{id: i, known: make(map[int]bool)}
+		nodes[i] = n
+		nw.AttachFunc(simnet.NodeID(i), func(from simnet.NodeID, m simnet.Message) {
+			p := m.(push)
+			infect(n, p.hop, p.known)
+		})
+	}
+
+	eng.At(0, func() { infect(nodes[0], 0, nil) })
+	eng.Run()
+	return res, nil
+}
+
+func knownOf(n *node) []int {
+	out := make([]int, 0, len(n.known))
+	for k := range n.known {
+		out = append(out, k)
+	}
+	return out
+}
+
+// selectTargets picks Fanout random targets; in directional mode,
+// known-infected nodes are excluded (like DCoP's Select over CP − VW).
+func selectTargets(rng *rand.Rand, cfg Config, n *node) []int {
+	var cands []int
+	for i := 0; i < cfg.N; i++ {
+		if i == n.id {
+			continue
+		}
+		if cfg.Directional && n.known[i] {
+			continue
+		}
+		cands = append(cands, i)
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > cfg.Fanout {
+		cands = cands[:cfg.Fanout]
+	}
+	return cands
+}
+
+// CoverageCurve sweeps the fanout and returns the mean infected fraction
+// per fanout over the given number of seeds — the [6]-style phase
+// transition around fanout ≈ ln(n).
+func CoverageCurve(n int, fanouts []int, seeds int, directional bool) (map[int]float64, error) {
+	out := make(map[int]float64, len(fanouts))
+	for _, f := range fanouts {
+		var sum float64
+		for s := 0; s < seeds; s++ {
+			res, err := Run(Config{N: n, Fanout: f, Seed: int64(s + 1), Directional: directional})
+			if err != nil {
+				return nil, err
+			}
+			sum += float64(res.Infected) / float64(n)
+		}
+		out[f] = sum / float64(seeds)
+	}
+	return out, nil
+}

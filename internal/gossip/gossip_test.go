@@ -1,0 +1,152 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{N: 0, Fanout: 1}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := Run(Config{N: 5, Fanout: 0}); err == nil {
+		t.Error("Fanout=0 accepted")
+	}
+}
+
+func TestFullCoverageWithLargeFanout(t *testing.T) {
+	res, err := Run(Config{N: 50, Fanout: 49, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infected != 50 {
+		t.Errorf("infected = %d", res.Infected)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+	// Flooding: every infected node forwards once → n(n-1) pushes.
+	if res.Messages != 50*49 {
+		t.Errorf("messages = %d, want %d", res.Messages, 50*49)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	res, err := Run(Config{N: 1, Fanout: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infected != 1 || res.Messages != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// The [6] phase transition: fanout ≥ ln(n)+c yields near-complete
+// coverage; fanout 1 does not.
+func TestCoveragePhaseTransition(t *testing.T) {
+	n := 100
+	curve, err := CoverageCurve(n, []int{1, int(math.Log(float64(n))) + 3}, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := curve[1]
+	high := curve[int(math.Log(float64(n)))+3]
+	if low > 0.9 {
+		t.Errorf("fanout 1 coverage %.2f suspiciously high", low)
+	}
+	if high < 0.95 {
+		t.Errorf("fanout ln(n)+3 coverage %.2f too low", high)
+	}
+	if high <= low {
+		t.Errorf("no phase transition: %.2f vs %.2f", low, high)
+	}
+}
+
+// Directional gossip ([7]) wastes fewer messages for the same coverage:
+// excluding known-infected targets cannot reduce coverage.
+func TestDirectionalNoWorseCoverage(t *testing.T) {
+	var plain, directional float64
+	var plainMsgs, dirMsgs int64
+	for seed := int64(1); seed <= 10; seed++ {
+		p, err := Run(Config{N: 80, Fanout: 6, Seed: seed, Rounds: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Run(Config{N: 80, Fanout: 6, Seed: seed, Rounds: 2, Directional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += float64(p.Infected)
+		directional += float64(d.Infected)
+		plainMsgs += p.Messages
+		dirMsgs += d.Messages
+	}
+	if directional < plain*0.95 {
+		t.Errorf("directional coverage %v much below plain %v", directional, plain)
+	}
+}
+
+func TestLossReducesCoverage(t *testing.T) {
+	noLoss, err := Run(Config{N: 100, Fanout: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := Run(Config{N: 100, Fanout: 3, Seed: 5, LossProb: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Infected >= noLoss.Infected {
+		t.Errorf("60%% loss did not reduce coverage: %d vs %d", lossy.Infected, noLoss.Infected)
+	}
+}
+
+func TestRoundsGrowWithSmallerFanout(t *testing.T) {
+	var small, large float64
+	for seed := int64(1); seed <= 5; seed++ {
+		s, err := Run(Config{N: 100, Fanout: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Run(Config{N: 100, Fanout: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		small += float64(s.Rounds)
+		large += float64(l.Rounds)
+	}
+	if small <= large {
+		t.Errorf("fanout 2 rounds %v not above fanout 30 rounds %v", small, large)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(Config{N: 60, Fanout: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{N: 60, Fanout: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestLatencyAccumulates(t *testing.T) {
+	res, err := Run(Config{N: 40, Fanout: 3, Seed: 2, Latency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < float64(res.Rounds)-0.001 {
+		t.Errorf("time %v below rounds %d with unit latency", res.Time, res.Rounds)
+	}
+}
+
+func BenchmarkGossip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{N: 200, Fanout: 6, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

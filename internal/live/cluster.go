@@ -1,0 +1,196 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/transport"
+)
+
+// ClusterConfig wires a whole live session — n contents peers plus one
+// leaf — in one call, over either the in-memory fabric or TCP loopback.
+type ClusterConfig struct {
+	// Content is the content every contents peer holds.
+	Content *content.Content
+	// Peers is the number of contents peers.
+	Peers int
+	// H is the selection fanout; Interval the parity interval h.
+	H, Interval int
+	// Rate is the content rate in packets per second.
+	Rate float64
+	// Protocol selects ProtocolTCoP (default) or ProtocolDCoP.
+	Protocol string
+	// UseTCP runs every peer on its own TCP loopback socket instead of
+	// the in-memory fabric.
+	UseTCP bool
+	// Delta is the assumed one-way latency for marking (default 10 ms).
+	Delta time.Duration
+	// RepairAfter is the leaf's stall-detection period (default 500 ms).
+	RepairAfter time.Duration
+	// Seed seeds all peers deterministically; 0 uses the clock.
+	Seed int64
+}
+
+// Cluster is a running live session.
+type Cluster struct {
+	Peers  []*Peer
+	Leaf   *Leaf
+	fabric *transport.Fabric
+}
+
+// StartCluster builds and starts a live session: it wires the peers,
+// creates the leaf, and sends the content request.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Content == nil {
+		return nil, fmt.Errorf("live: cluster needs a content")
+	}
+	if cfg.Peers <= 0 {
+		return nil, fmt.Errorf("live: cluster needs at least one peer")
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 10 * time.Millisecond
+	}
+	if cfg.RepairAfter == 0 {
+		cfg.RepairAfter = 500 * time.Millisecond
+	}
+
+	c := &Cluster{}
+	var roster []string
+	attachers := make([]func(transport.Handler) (transport.Endpoint, error), cfg.Peers)
+	var leafAttach func(transport.Handler) (transport.Endpoint, error)
+
+	if cfg.UseTCP {
+		// Bind listeners first so the roster is known before peers start.
+		lates := make([]*lateBinder, cfg.Peers)
+		for i := range lates {
+			lb := &lateBinder{}
+			ep, err := transport.ListenTCP("127.0.0.1:0", lb.dispatch)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			lb.ep = ep
+			lates[i] = lb
+			roster = append(roster, ep.Name())
+			attachers[i] = func(h transport.Handler) (transport.Endpoint, error) {
+				lb.h = h
+				return lb.ep, nil
+			}
+		}
+		leafLB := &lateBinder{}
+		lep, err := transport.ListenTCP("127.0.0.1:0", leafLB.dispatch)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		leafLB.ep = lep
+		leafAttach = func(h transport.Handler) (transport.Endpoint, error) {
+			leafLB.h = h
+			return leafLB.ep, nil
+		}
+	} else {
+		c.fabric = transport.NewFabric()
+		for i := 0; i < cfg.Peers; i++ {
+			name := fmt.Sprintf("cp%d", i)
+			roster = append(roster, name)
+			attachers[i] = func(h transport.Handler) (transport.Endpoint, error) {
+				return c.fabric.Endpoint(name, h), nil
+			}
+		}
+		leafAttach = func(h transport.Handler) (transport.Endpoint, error) {
+			return c.fabric.Endpoint("leaf", h), nil
+		}
+	}
+
+	for i := 0; i < cfg.Peers; i++ {
+		seed := cfg.Seed
+		if seed != 0 {
+			seed += int64(i) + 1
+		}
+		p, err := NewPeer(PeerConfig{
+			Content:  cfg.Content,
+			Roster:   roster,
+			H:        cfg.H,
+			Interval: cfg.Interval,
+			Delta:    cfg.Delta,
+			Protocol: cfg.Protocol,
+			Seed:     seed,
+		}, attachers[i])
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Peers = append(c.Peers, p)
+	}
+
+	leafSeed := cfg.Seed
+	if leafSeed != 0 {
+		leafSeed += 1000003
+	}
+	leaf, err := NewLeaf(LeafConfig{
+		Roster:      roster,
+		H:           cfg.H,
+		Interval:    cfg.Interval,
+		Rate:        cfg.Rate,
+		ContentSize: cfg.Content.Size(),
+		PacketSize:  cfg.Content.PacketSize(),
+		RepairAfter: cfg.RepairAfter,
+		Seed:        leafSeed,
+	}, leafAttach)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Leaf = leaf
+	if err := leaf.Start(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// CrashActive crash-stops up to n currently transmitting peers and
+// returns how many were stopped.
+func (c *Cluster) CrashActive(n int) int {
+	killed := 0
+	for _, p := range c.Peers {
+		if killed >= n {
+			break
+		}
+		if p.Active() {
+			p.Close()
+			killed++
+		}
+	}
+	return killed
+}
+
+// Wait blocks until the leaf holds the whole content or the timeout
+// elapses.
+func (c *Cluster) Wait(timeout time.Duration) error { return c.Leaf.Wait(timeout) }
+
+// Bytes returns the reassembled content once complete.
+func (c *Cluster) Bytes() ([]byte, bool) { return c.Leaf.Bytes() }
+
+// Close stops every peer and the leaf.
+func (c *Cluster) Close() {
+	for _, p := range c.Peers {
+		p.Close()
+	}
+	if c.Leaf != nil {
+		c.Leaf.Close()
+	}
+}
+
+// lateBinder lets a TCP listener start before its peer exists.
+type lateBinder struct {
+	ep *transport.TCPEndpoint
+	h  transport.Handler
+}
+
+func (l *lateBinder) dispatch(m transport.Msg) {
+	if l.h != nil {
+		l.h(m)
+	}
+}

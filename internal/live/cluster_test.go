@@ -1,0 +1,186 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/transport"
+)
+
+func TestClusterFabric(t *testing.T) {
+	data := randomData(5000, 41)
+	c, err := StartCluster(ClusterConfig{
+		Content:  content.New("m", data, 64),
+		Peers:    6,
+		H:        3,
+		Interval: 2,
+		Rate:     400,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Bytes()
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("cluster content mismatch")
+	}
+}
+
+func TestClusterTCPWithCrash(t *testing.T) {
+	data := randomData(6000, 42)
+	c, err := StartCluster(ClusterConfig{
+		Content:  content.New("m", data, 128),
+		Peers:    6,
+		H:        3,
+		Interval: 2,
+		Rate:     600,
+		UseTCP:   true,
+		Protocol: ProtocolDCoP,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	time.Sleep(150 * time.Millisecond)
+	if killed := c.CrashActive(1); killed != 1 {
+		t.Logf("no active peer yet; continuing without crash")
+	}
+	if err := c.Wait(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Bytes()
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("TCP cluster content mismatch")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := StartCluster(ClusterConfig{Peers: 3, H: 2, Interval: 2, Rate: 100}); err == nil {
+		t.Error("nil content accepted")
+	}
+	if _, err := StartCluster(ClusterConfig{Content: content.New("x", []byte("ab"), 1), Peers: 0, H: 1, Interval: 1, Rate: 1}); err == nil {
+		t.Error("zero peers accepted")
+	}
+	if _, err := StartCluster(ClusterConfig{Content: content.New("x", []byte("ab"), 1), Peers: 2, H: 1, Interval: 1, Rate: 1, Protocol: "bogus"}); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+}
+
+// A catalog of contents: peers hold a Store and the leaf requests one
+// content by ID.
+func TestStoreBackedPeers(t *testing.T) {
+	movieA := randomData(3000, 51)
+	movieB := randomData(2000, 52)
+	store := content.NewStore()
+	store.Put(content.New("alpha", movieA, 64))
+	store.Put(content.New("beta", movieB, 64))
+
+	f := newFabricFor(t)
+	roster := []string{"s0", "s1", "s2", "s3", "s4"}
+	var peers []*Peer
+	for i, name := range roster {
+		name := name
+		p, err := NewPeer(PeerConfig{
+			Store:    store,
+			Roster:   roster,
+			H:        3,
+			Interval: 2,
+			Delta:    5 * time.Millisecond,
+			Seed:     int64(i) + 1,
+		}, func(h transportHandler) (transportEndpoint, error) {
+			return f.Endpoint(name, h), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	defer closeAll(peers)
+
+	leaf, err := NewLeaf(LeafConfig{
+		Roster:      roster,
+		H:           3,
+		Interval:    2,
+		Rate:        400,
+		ContentID:   "beta",
+		ContentSize: len(movieB),
+		PacketSize:  64,
+		RepairAfter: 300 * time.Millisecond,
+		Seed:        9,
+	}, func(h transportHandler) (transportEndpoint, error) {
+		return f.Endpoint("leaf", h), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	if err := leaf.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaf.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := leaf.Bytes()
+	if !ok || !bytes.Equal(got, movieB) {
+		t.Fatal("store-backed session delivered wrong bytes")
+	}
+}
+
+// Requesting a content nobody holds: peers ignore the request and the
+// leaf times out rather than receiving garbage.
+func TestUnknownContentIgnored(t *testing.T) {
+	store := content.NewStore()
+	store.Put(content.New("alpha", randomData(500, 53), 64))
+	f := newFabricFor(t)
+	roster := []string{"u0", "u1"}
+	var peers []*Peer
+	for i, name := range roster {
+		name := name
+		p, err := NewPeer(PeerConfig{
+			Store: store, Roster: roster, H: 2, Interval: 2,
+			Delta: 5 * time.Millisecond, Seed: int64(i) + 1,
+		}, func(h transportHandler) (transportEndpoint, error) {
+			return f.Endpoint(name, h), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	defer closeAll(peers)
+	leaf, err := NewLeaf(LeafConfig{
+		Roster: roster, H: 2, Interval: 2, Rate: 100,
+		ContentID: "missing", ContentSize: 500, PacketSize: 64, Seed: 3,
+	}, func(h transportHandler) (transportEndpoint, error) {
+		return f.Endpoint("leaf", h), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	if err := leaf.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaf.Wait(400 * time.Millisecond); err == nil {
+		t.Fatal("delivery of a content nobody holds")
+	}
+	if leaf.Progress() != 0 {
+		t.Errorf("progress = %d for unknown content", leaf.Progress())
+	}
+}
+
+// helpers keeping the added tests terse.
+type transportHandler = transport.Handler
+type transportEndpoint = transport.Endpoint
+
+func newFabricFor(t *testing.T) *transport.Fabric {
+	t.Helper()
+	return transport.NewFabric()
+}

@@ -1,0 +1,226 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/transport"
+)
+
+// LeafConfig configures a live leaf peer.
+type LeafConfig struct {
+	// Roster lists the contents peers' addresses.
+	Roster []string
+	// H is how many peers the leaf initially selects.
+	H int
+	// Interval is the parity interval h.
+	Interval int
+	// Rate is the content rate in packets per second.
+	Rate float64
+	// ContentID names the content to request (peers with a Store serve
+	// by ID; empty matches a peer's single content).
+	ContentID string
+	// ContentSize and PacketSize describe the expected content.
+	ContentSize, PacketSize int
+	// RepairAfter is how long the leaf waits without progress before
+	// asking a random peer to retransmit missing packets. Zero disables
+	// repair.
+	RepairAfter time.Duration
+	// Seed seeds peer selection; 0 uses the clock.
+	Seed int64
+}
+
+// Leaf is a live leaf peer LP_s: it requests a content from H contents
+// peers, reassembles arrivals (with parity recovery), and optionally
+// issues repair requests for stragglers.
+type Leaf struct {
+	cfg LeafConfig
+	ep  transport.Endpoint
+	rng *rand.Rand
+
+	mu       sync.Mutex
+	asm      *content.Assembler
+	total    int64
+	dup      int64
+	seen     map[string]bool
+	lastGain time.Time
+	done     chan struct{}
+	doneOnce sync.Once
+
+	stopCh  chan struct{}
+	stopped sync.Once
+}
+
+// NewLeaf creates a leaf attached via the given transport constructor.
+func NewLeaf(cfg LeafConfig, attach func(transport.Handler) (transport.Endpoint, error)) (*Leaf, error) {
+	if cfg.H <= 0 || cfg.H > len(cfg.Roster) {
+		return nil, fmt.Errorf("live: H=%d must be in 1..len(roster)=%d", cfg.H, len(cfg.Roster))
+	}
+	if cfg.Interval <= 0 || cfg.Rate <= 0 {
+		return nil, fmt.Errorf("live: interval and rate must be positive")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	l := &Leaf{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		asm:      content.NewAssembler(cfg.ContentSize, cfg.PacketSize),
+		seen:     make(map[string]bool),
+		lastGain: time.Now(),
+		done:     make(chan struct{}),
+		stopCh:   make(chan struct{}),
+	}
+	ep, err := attach(l.handle)
+	if err != nil {
+		return nil, err
+	}
+	l.ep = ep
+	return l, nil
+}
+
+// Addr returns the leaf's transport address.
+func (l *Leaf) Addr() string { return l.ep.Name() }
+
+// Start sends the content request to H randomly selected contents peers
+// (DCoP/TCoP step 1) and begins the repair monitor.
+func (l *Leaf) Start() error {
+	roster := append([]string{}, l.cfg.Roster...)
+	l.rng.Shuffle(len(roster), func(i, j int) { roster[i], roster[j] = roster[j], roster[i] })
+	sel := roster[:l.cfg.H]
+	for idx, addr := range sel {
+		body := requestBody{
+			ContentID: l.cfg.ContentID,
+			Rate:      l.cfg.Rate,
+			H:         l.cfg.H,
+			Interval:  l.cfg.Interval,
+			Index:     idx,
+			Selected:  sel,
+			Leaf:      l.Addr(),
+		}
+		m, err := transport.Encode(typeRequest, l.Addr(), body)
+		if err != nil {
+			return err
+		}
+		if err := l.ep.Send(addr, m); err != nil {
+			return fmt.Errorf("live: request to %s: %w", addr, err)
+		}
+	}
+	if l.cfg.RepairAfter > 0 {
+		go l.repairLoop()
+	}
+	return nil
+}
+
+// handle processes data packets.
+func (l *Leaf) handle(m transport.Msg) {
+	if m.Type != typeData {
+		return
+	}
+	var b dataBody
+	if m.Decode(&b) != nil {
+		return
+	}
+	l.mu.Lock()
+	l.total++
+	key := b.Pkt.Key()
+	if l.seen[key] {
+		l.dup++
+		l.mu.Unlock()
+		return
+	}
+	l.seen[key] = true
+	before := l.asm.Have()
+	l.asm.Add(b.Pkt)
+	if l.asm.Have() > before {
+		l.lastGain = time.Now()
+	}
+	complete := l.asm.Complete()
+	l.mu.Unlock()
+	if complete {
+		l.doneOnce.Do(func() { close(l.done) })
+	}
+}
+
+// repairLoop watches for stalled progress and requests retransmission of
+// missing data packets from randomly chosen peers.
+func (l *Leaf) repairLoop() {
+	tick := time.NewTicker(l.cfg.RepairAfter / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.stopCh:
+			return
+		case <-tick.C:
+		}
+		l.mu.Lock()
+		stalled := time.Since(l.lastGain) >= l.cfg.RepairAfter
+		var missing []int64
+		if stalled {
+			missing = l.asm.Missing()
+			l.lastGain = time.Now() // back off until the next stall
+		}
+		l.mu.Unlock()
+		if len(missing) == 0 {
+			continue
+		}
+		const batch = 64
+		for off := 0; off < len(missing); off += batch {
+			end := off + batch
+			if end > len(missing) {
+				end = len(missing)
+			}
+			peer := l.cfg.Roster[l.rng.Intn(len(l.cfg.Roster))]
+			m, err := transport.Encode(typeRepair, l.Addr(), repairBody{ContentID: l.cfg.ContentID, Indices: missing[off:end], Leaf: l.Addr()})
+			if err == nil {
+				l.ep.Send(peer, m) //nolint:errcheck // dead peers are retried on the next stall
+			}
+		}
+	}
+}
+
+// Wait blocks until the content is complete or the timeout elapses.
+func (l *Leaf) Wait(timeout time.Duration) error {
+	select {
+	case <-l.done:
+		return nil
+	case <-time.After(timeout):
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return fmt.Errorf("live: timeout with %d/%d packets (%d arrivals, %d dup)",
+			l.asm.Have(), (int64(l.cfg.ContentSize)+int64(l.cfg.PacketSize)-1)/int64(l.cfg.PacketSize), l.total, l.dup)
+	}
+}
+
+// Bytes returns the reassembled content once complete.
+func (l *Leaf) Bytes() ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.asm.Bytes()
+}
+
+// Stats reports arrivals, duplicates and parity recoveries so far.
+func (l *Leaf) Stats() (total, dup int64, recovered int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total, l.dup, l.asm.Recovered()
+}
+
+// Progress returns how many data packets are present.
+func (l *Leaf) Progress() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.asm.Have()
+}
+
+// Close stops the leaf.
+func (l *Leaf) Close() error {
+	l.stopped.Do(func() { close(l.stopCh) })
+	return l.ep.Close()
+}

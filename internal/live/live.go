@@ -1,0 +1,567 @@
+// Package live runs the paper's multi-source streaming on real
+// goroutines and wall-clock time: contents peers are concurrent
+// processes exchanging JSON control packets over a transport (in-memory
+// or TCP), coordinating with TCoP (§3.5, the default) or DCoP (§3.4) and
+// streaming packet payloads to a leaf peer, which reassembles the content
+// bytes with parity recovery and a repair round for anything still
+// missing (e.g. after a peer crash).
+//
+// TCoP is the default live protocol because its confirm/commit handshake
+// makes stream hand-offs exact — no packet is delegated to a child that
+// declines, so the peers' subsequences partition the enhanced content
+// and delivery is complete without relying on duplicates. DCoP trades
+// duplicates (deduplicated at the leaf) for one-round coordination.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/seq"
+	"p2pmss/internal/transport"
+)
+
+// Message type tags.
+const (
+	typeRequest = "request"
+	typeControl = "control"
+	typeConfirm = "confirm"
+	typeCommit  = "commit"
+	typeData    = "data"
+	typeRepair  = "repair"
+)
+
+// requestBody is the leaf's content request.
+type requestBody struct {
+	ContentID string   `json:"content_id"`
+	Rate      float64  `json:"rate"` // packets per second
+	H         int      `json:"h"`
+	Interval  int      `json:"interval"`
+	Index     int      `json:"index"`
+	Selected  []string `json:"selected"`
+	Leaf      string   `json:"leaf"`
+}
+
+// controlBody is TCoP's c1.
+type controlBody struct {
+	Parent string   `json:"parent"`
+	View   []string `json:"view"`
+	Leaf   string   `json:"leaf"`
+}
+
+// confirmBody is TCoP's confirmation.
+type confirmBody struct {
+	Child  string `json:"child"`
+	Accept bool   `json:"accept"`
+}
+
+// commitBody is TCoP's c2 carrying the child's complete derivation.
+type commitBody struct {
+	Parent    string            `json:"parent"`
+	ContentID string            `json:"content_id"`
+	Deriv     []content.DivStep `json:"deriv"`
+	Rate      float64           `json:"rate"`
+	Leaf      string            `json:"leaf"`
+}
+
+// dataBody carries one packet.
+type dataBody struct {
+	Pkt seq.Packet `json:"pkt"`
+}
+
+// repairBody asks a peer to retransmit specific data packets.
+type repairBody struct {
+	ContentID string  `json:"content_id"`
+	Indices   []int64 `json:"indices"`
+	Leaf      string  `json:"leaf"`
+}
+
+// Live protocol names.
+const (
+	// ProtocolTCoP coordinates with the three-round handshake (§3.5) —
+	// hand-offs are exact, so delivery never depends on repair.
+	ProtocolTCoP = "tcop"
+	// ProtocolDCoP coordinates with single-round redundant flooding
+	// (§3.4): children may be assigned by several parents and merge
+	// (union) their streams; duplicates are deduplicated at the leaf.
+	ProtocolDCoP = "dcop"
+)
+
+// PeerConfig configures a live contents peer.
+type PeerConfig struct {
+	// Content is the peer's copy of the content (every contents peer
+	// holds it, per the MSS model). Alternatively (or additionally) set
+	// Store to serve a whole catalog of contents by ID.
+	Content *content.Content
+	// Store is an optional catalog; requests name a ContentID and the
+	// peer serves whichever content it holds under that ID.
+	Store *content.Store
+	// Roster lists the addresses of all contents peers (including this
+	// one).
+	Roster []string
+	// H is the selection fanout.
+	H int
+	// Interval is the parity interval h for the initial enhancement.
+	Interval int
+	// Delta is the assumed one-way latency used for marking.
+	Delta time.Duration
+	// Protocol selects the coordination protocol: ProtocolTCoP
+	// (default) or ProtocolDCoP.
+	Protocol string
+	// Seed seeds the peer's random selection; 0 uses the clock.
+	Seed int64
+}
+
+// Peer is a live contents peer: a TCoP state machine plus a streaming
+// goroutine.
+type Peer struct {
+	cfg PeerConfig
+	ep  transport.Endpoint
+	rng *rand.Rand
+
+	mu        sync.Mutex
+	content   *content.Content // the content currently being served
+	view      map[string]bool
+	active    bool
+	parent    string
+	deriv     []content.DivStep
+	stream    seq.Sequence
+	pos       int
+	rate      float64
+	leaf      string
+	await     int
+	confirmed []string
+	ctlSent   bool
+	final     bool
+
+	// A planned hand-off: applied when pos reaches pendingMark.
+	pendingStream seq.Sequence
+	pendingMark   int
+	pendingRate   float64
+
+	stopCh  chan struct{}
+	stopped sync.Once
+	wake    chan struct{}
+
+	// Sent counts data packets transmitted (for tests/metrics).
+	sent int64
+}
+
+// NewPeer creates a live peer attached to the fabric-or-TCP endpoint
+// produced by attach. The attach function receives the peer's message
+// handler and returns its endpoint (this inversion lets the caller pick
+// the transport and address).
+func NewPeer(cfg PeerConfig, attach func(transport.Handler) (transport.Endpoint, error)) (*Peer, error) {
+	if cfg.Content == nil && cfg.Store == nil {
+		return nil, fmt.Errorf("live: peer needs a content or a store")
+	}
+	if cfg.H <= 0 || cfg.Interval <= 0 {
+		return nil, fmt.Errorf("live: H=%d and Interval=%d must be positive", cfg.H, cfg.Interval)
+	}
+	switch cfg.Protocol {
+	case "":
+		cfg.Protocol = ProtocolTCoP
+	case ProtocolTCoP, ProtocolDCoP:
+	default:
+		return nil, fmt.Errorf("live: unknown protocol %q", cfg.Protocol)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	p := &Peer{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		view:   make(map[string]bool),
+		stopCh: make(chan struct{}),
+		wake:   make(chan struct{}, 1),
+	}
+	ep, err := attach(p.handle)
+	if err != nil {
+		return nil, err
+	}
+	p.ep = ep
+	go p.streamLoop()
+	return p, nil
+}
+
+// Addr returns the peer's transport address.
+func (p *Peer) Addr() string { return p.ep.Name() }
+
+// Sent returns the number of data packets transmitted so far.
+func (p *Peer) Sent() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// Active reports whether the peer is transmitting.
+func (p *Peer) Active() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Close stops the peer (crash-stop: no goodbye messages).
+func (p *Peer) Close() error {
+	p.stopped.Do(func() { close(p.stopCh) })
+	return p.ep.Close()
+}
+
+// handle dispatches inbound messages. It runs on transport goroutines.
+func (p *Peer) handle(m transport.Msg) {
+	switch m.Type {
+	case typeRequest:
+		var b requestBody
+		if m.Decode(&b) == nil {
+			p.onRequest(b)
+		}
+	case typeControl:
+		var b controlBody
+		if m.Decode(&b) == nil {
+			p.onControl(b)
+		}
+	case typeConfirm:
+		var b confirmBody
+		if m.Decode(&b) == nil {
+			p.onConfirm(b)
+		}
+	case typeCommit:
+		var b commitBody
+		if m.Decode(&b) == nil {
+			p.onCommit(b)
+		}
+	case typeRepair:
+		var b repairBody
+		if m.Decode(&b) == nil {
+			p.onRepair(b)
+		}
+	}
+}
+
+// resolveContent finds the content to serve for a request's ID.
+func (p *Peer) resolveContent(id string) (*content.Content, bool) {
+	if p.cfg.Store != nil {
+		if c, ok := p.cfg.Store.Get(id); ok {
+			return c, true
+		}
+	}
+	if c := p.cfg.Content; c != nil && (id == "" || id == c.ID()) {
+		return c, true
+	}
+	return nil, false
+}
+
+func (p *Peer) onRequest(b requestBody) {
+	c, ok := p.resolveContent(b.ContentID)
+	if !ok {
+		return // we do not hold that content
+	}
+	p.mu.Lock()
+	if p.active {
+		p.mu.Unlock()
+		return
+	}
+	p.content = c
+	p.leaf = b.Leaf
+	p.view[p.Addr()] = true
+	for _, s := range b.Selected {
+		p.view[s] = true
+	}
+	p.parent = "leaf"
+	p.deriv = []content.DivStep{{Mark: 0, Interval: b.Interval, Parts: b.H, Index: b.Index}}
+	p.stream = content.Materialize(c.Sequence(), p.deriv)
+	p.pos = 0
+	p.rate = b.Rate * float64(b.Interval+1) / float64(b.Interval*b.H)
+	p.active = true
+	p.mu.Unlock()
+	p.kick()
+	p.selectChildren()
+}
+
+// selectChildren starts child selection: TCoP's three-round handshake,
+// or DCoP's single-round redundant assignment.
+func (p *Peer) selectChildren() {
+	p.mu.Lock()
+	if p.ctlSent {
+		p.mu.Unlock()
+		return
+	}
+	var cands []string
+	for _, a := range p.cfg.Roster {
+		if a != p.Addr() && !p.view[a] {
+			cands = append(cands, a)
+		}
+	}
+	p.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > p.cfg.H {
+		cands = cands[:p.cfg.H]
+	}
+	if len(cands) == 0 {
+		p.mu.Unlock()
+		return
+	}
+	if p.cfg.Protocol == ProtocolDCoP {
+		// DCoP: assign directly, no handshake; children merge.
+		p.ctlSent = true
+		for _, c := range cands {
+			p.view[c] = true
+		}
+		p.confirmed = cands
+		p.final = true
+		p.mu.Unlock()
+		p.commitShares()
+		return
+	}
+	p.ctlSent = true
+	p.await = len(cands)
+	for _, c := range cands {
+		p.view[c] = true
+	}
+	vm := []string{p.Addr()}
+	vm = append(vm, cands...)
+	leaf := p.leaf
+	p.mu.Unlock()
+
+	for _, c := range cands {
+		m, err := transport.Encode(typeControl, p.Addr(), controlBody{Parent: p.Addr(), View: vm, Leaf: leaf})
+		if err == nil {
+			p.ep.Send(c, m) //nolint:errcheck // unreachable peers count as refusals via timeout
+		}
+	}
+	// Timeout: finalize with whatever confirmed.
+	go func() {
+		select {
+		case <-time.After(4*p.cfg.Delta + 50*time.Millisecond):
+			p.finalize()
+		case <-p.stopCh:
+		}
+	}()
+}
+
+func (p *Peer) onControl(b controlBody) {
+	p.mu.Lock()
+	accept := !p.active && p.parent == ""
+	if accept {
+		p.parent = b.Parent
+		p.leaf = b.Leaf
+	}
+	p.view[b.Parent] = true
+	for _, v := range b.View {
+		p.view[v] = true
+	}
+	p.mu.Unlock()
+	m, err := transport.Encode(typeConfirm, p.Addr(), confirmBody{Child: p.Addr(), Accept: accept})
+	if err == nil {
+		p.ep.Send(b.Parent, m) //nolint:errcheck
+	}
+}
+
+func (p *Peer) onConfirm(b confirmBody) {
+	p.mu.Lock()
+	if p.final || p.await == 0 {
+		p.mu.Unlock()
+		return
+	}
+	p.await--
+	if b.Accept {
+		p.confirmed = append(p.confirmed, b.Child)
+	}
+	done := p.await == 0
+	p.mu.Unlock()
+	if done {
+		p.finalize()
+	}
+}
+
+// finalize closes TCoP's confirmation phase exactly once.
+func (p *Peer) finalize() {
+	p.mu.Lock()
+	if p.final {
+		p.mu.Unlock()
+		return
+	}
+	p.final = true
+	p.mu.Unlock()
+	p.commitShares()
+}
+
+// commitShares splits the stream among this peer and its (confirmed or,
+// under DCoP, directly assigned) children exactly at the mark: the
+// parent's own switch applies when the transmit position reaches the
+// mark, so hand-offs are gap- and duplicate-free.
+func (p *Peer) commitShares() {
+	p.mu.Lock()
+	confirmed := p.confirmed
+	if len(confirmed) == 0 {
+		p.mu.Unlock()
+		return
+	}
+	k := len(confirmed) + 1
+	// Mark far enough ahead that the commit reaches children before
+	// their share begins.
+	ahead := int(p.rate*p.cfg.Delta.Seconds()*2) + 1
+	mark := p.pos + ahead
+	step := content.DivStep{Mark: mark, Interval: k, Parts: k}
+	parentDeriv := append(append([]content.DivStep{}, p.deriv...), step)
+	rate := p.rate * float64(k+1) / float64(k*k)
+	leaf := p.leaf
+	served := p.content
+	p.mu.Unlock()
+	if served == nil {
+		return
+	}
+
+	for u, c := range confirmed {
+		d := append([]content.DivStep{}, parentDeriv...)
+		d[len(d)-1].Index = u + 1
+		m, err := transport.Encode(typeCommit, p.Addr(), commitBody{
+			Parent: p.Addr(), ContentID: served.ID(), Deriv: d, Rate: rate, Leaf: leaf,
+		})
+		if err == nil {
+			p.ep.Send(c, m) //nolint:errcheck
+		}
+	}
+	// The parent's own share: applied when pos reaches the mark.
+	own := append([]content.DivStep{}, parentDeriv...)
+	own[len(own)-1].Index = 0
+	ownStream := content.Materialize(served.Sequence(), own)
+	p.mu.Lock()
+	p.pendingMark = mark
+	p.pendingStream = ownStream
+	p.pendingRate = rate
+	p.mu.Unlock()
+}
+
+// Under DCoP a commit may arrive at an already-active peer (redundant
+// parent): the assigned subsequence is merged (unioned) into the unsent
+// remainder and the rates add (§3.3's pkt_i := pkt_i ∪ pkt_ji).
+func (p *Peer) onCommit(b commitBody) {
+	c, ok := p.resolveContent(b.ContentID)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	p.content = c
+	if p.cfg.Protocol == ProtocolDCoP {
+		assigned := content.Materialize(c.Sequence(), b.Deriv)
+		if p.active {
+			var remaining seq.Sequence
+			if p.pos < len(p.stream) {
+				remaining = p.stream[p.pos:].Clone()
+			}
+			p.stream = seq.Union(remaining, assigned)
+			p.pos = 0
+			p.rate += b.Rate
+			p.mu.Unlock()
+			p.kick()
+			return
+		}
+		p.leaf = b.Leaf
+		p.deriv = b.Deriv
+		p.stream = assigned
+		p.pos = 0
+		p.rate = b.Rate
+		p.active = true
+		p.mu.Unlock()
+		p.kick()
+		p.selectChildren()
+		return
+	}
+	if p.active || p.parent != b.Parent {
+		p.mu.Unlock()
+		return
+	}
+	p.leaf = b.Leaf
+	p.deriv = b.Deriv
+	p.stream = content.Materialize(c.Sequence(), b.Deriv)
+	p.pos = 0
+	p.rate = b.Rate
+	p.active = true
+	p.mu.Unlock()
+	p.kick()
+	p.selectChildren()
+}
+
+// onRepair retransmits the requested data packets immediately.
+func (p *Peer) onRepair(b repairBody) {
+	c, ok := p.resolveContent(b.ContentID)
+	if !ok {
+		return
+	}
+	for _, k := range b.Indices {
+		if k < 1 || k > c.NumPackets() {
+			continue
+		}
+		m, err := transport.Encode(typeData, p.Addr(), dataBody{Pkt: c.Packet(k)})
+		if err == nil {
+			p.ep.Send(b.Leaf, m) //nolint:errcheck
+			p.mu.Lock()
+			p.sent++
+			p.mu.Unlock()
+		}
+	}
+}
+
+// kick wakes the streaming loop after an assignment change.
+func (p *Peer) kick() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// streamLoop transmits the current stream at the current rate.
+func (p *Peer) streamLoop() {
+	for {
+		p.mu.Lock()
+		active := p.active && p.pos < len(p.stream)
+		rate := p.rate
+		p.mu.Unlock()
+		if !active {
+			select {
+			case <-p.stopCh:
+				return
+			case <-p.wake:
+				continue
+			}
+		}
+		interval := time.Duration(float64(time.Second) / rate)
+		if interval < 50*time.Microsecond {
+			interval = 50 * time.Microsecond
+		}
+		select {
+		case <-p.stopCh:
+			return
+		case <-time.After(interval):
+		}
+		p.sendOne()
+	}
+}
+
+func (p *Peer) sendOne() {
+	p.mu.Lock()
+	// Apply a pending hand-off exactly at its mark.
+	if p.pendingStream != nil && p.pos >= p.pendingMark {
+		p.stream = p.pendingStream
+		p.pos = 0
+		p.rate = p.pendingRate
+		p.pendingStream = nil
+	}
+	if p.pos >= len(p.stream) {
+		p.mu.Unlock()
+		return
+	}
+	pkt := p.stream[p.pos]
+	p.pos++
+	p.sent++
+	leaf := p.leaf
+	p.mu.Unlock()
+	m, err := transport.Encode(typeData, p.Addr(), dataBody{Pkt: pkt})
+	if err == nil {
+		p.ep.Send(leaf, m) //nolint:errcheck
+	}
+}

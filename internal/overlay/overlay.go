@@ -1,0 +1,160 @@
+// Package overlay provides the membership primitives of §3.3–3.5: peer
+// identifiers, views (the bit vector VW_i each contents peer maintains
+// over the n contents peers), and the random child-selection functions
+// Select and Aselect.
+package overlay
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+)
+
+// PeerID identifies a contents peer; contents peers are numbered 0..n-1.
+type PeerID int
+
+// View is the bit vector VW_i = ⟨VW_i1, …, VW_in⟩ of §3.4: bit k is set
+// when peer k is perceived active (selected/transmitting). Views are
+// value types; operations return new views unless suffixed In.
+type View struct {
+	n    int
+	bits []uint64
+}
+
+// NewView returns an empty view over n contents peers.
+func NewView(n int) View {
+	if n < 0 {
+		panic(fmt.Sprintf("overlay: view size %d", n))
+	}
+	return View{n: n, bits: make([]uint64, (n+63)/64)}
+}
+
+// Size returns n, the total number of contents peers.
+func (v View) Size() int { return v.n }
+
+// Clone returns an independent copy of the view.
+func (v View) Clone() View {
+	c := View{n: v.n, bits: make([]uint64, len(v.bits))}
+	copy(c.bits, v.bits)
+	return c
+}
+
+// Add sets bit p. It panics if p is out of range.
+func (v *View) Add(p PeerID) {
+	v.check(p)
+	v.bits[p/64] |= 1 << (uint(p) % 64)
+}
+
+// AddAll sets every bit in ps.
+func (v *View) AddAll(ps []PeerID) {
+	for _, p := range ps {
+		v.Add(p)
+	}
+}
+
+// Has reports whether bit p is set.
+func (v View) Has(p PeerID) bool {
+	v.check(p)
+	return v.bits[p/64]&(1<<(uint(p)%64)) != 0
+}
+
+func (v View) check(p PeerID) {
+	if p < 0 || int(p) >= v.n {
+		panic(fmt.Sprintf("overlay: peer %d outside view of size %d", p, v.n))
+	}
+}
+
+// Count returns |VW| — the number of set bits.
+func (v View) Count() int {
+	c := 0
+	for _, w := range v.bits {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Full reports whether all n bits are set (|VW_i| = n, DCoP's stopping
+// condition).
+func (v View) Full() bool { return v.Count() == v.n }
+
+// UnionIn merges o into v (VW_i := VW_i ∪ c.VW). Both views must have the
+// same size.
+func (v *View) UnionIn(o View) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("overlay: union of views with sizes %d and %d", v.n, o.n))
+	}
+	for i := range v.bits {
+		v.bits[i] |= o.bits[i]
+	}
+}
+
+// Union returns VW_i ∪ VW_j as a new view.
+func (v View) Union(o View) View {
+	c := v.Clone()
+	c.UnionIn(o)
+	return c
+}
+
+// Members returns the set peers in ascending order.
+func (v View) Members() []PeerID {
+	out := make([]PeerID, 0, v.Count())
+	for p := PeerID(0); int(p) < v.n; p++ {
+		if v.Has(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Missing returns the unset peers in ascending order.
+func (v View) Missing() []PeerID {
+	out := make([]PeerID, 0, v.n-v.Count())
+	for p := PeerID(0); int(p) < v.n; p++ {
+		if !v.Has(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// String renders the view as the set of active peers.
+func (v View) String() string {
+	ms := v.Members()
+	parts := make([]string, len(ms))
+	for i, p := range ms {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Select implements the paper's Select(CP, CP_i, m): it returns up to m
+// distinct contents peers drawn uniformly at random from the peers NOT in
+// view (CP − {CP_k | CP_k ∈ VW_i}). If the view is full it returns nil
+// (the paper's φ). The caller's own ID should already be in its view.
+func Select(rng *rand.Rand, view View, m int) []PeerID {
+	if m <= 0 {
+		return nil
+	}
+	cand := view.Missing()
+	if len(cand) == 0 {
+		return nil
+	}
+	rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+	if m < len(cand) {
+		cand = cand[:m]
+	}
+	return cand
+}
+
+// SelectFrom returns up to m distinct peers drawn uniformly at random
+// from the 0..n-1 universe excluding `exclude` — used by TCoP's Aselect,
+// where the exclusion set is the peers CP_i knows to have been selected,
+// and by the leaf peer's initial selection (exclude empty).
+func SelectFrom(rng *rand.Rand, n int, exclude View, m int) []PeerID {
+	v := exclude
+	if v.n == 0 && n > 0 {
+		v = NewView(n)
+	}
+	return Select(rng, v, m)
+}

@@ -1,0 +1,59 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2pmss/internal/seq"
+)
+
+func BenchmarkEnhance(b *testing.B) {
+	for _, h := range []int{1, 4, 16} {
+		b.Run(name("h", h), func(b *testing.B) {
+			s := seq.Range(1, 10000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Enhance(s, h)
+			}
+		})
+	}
+}
+
+func BenchmarkXOR(b *testing.B) {
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, 1024)
+		rand.New(rand.NewSource(int64(i))).Read(bufs[i])
+	}
+	b.SetBytes(8 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XOR(bufs)
+	}
+}
+
+func BenchmarkRecoverWithLoss(b *testing.B) {
+	var s seq.Sequence
+	rng := rand.New(rand.NewSource(1))
+	for k := int64(1); k <= 1000; k++ {
+		buf := make([]byte, 64)
+		rng.Read(buf)
+		s = append(s, seq.NewDataPayload(k, buf))
+	}
+	e := Enhance(s, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRecoverer()
+		for j, p := range e {
+			if j%5 != 2 { // drop one packet per segment
+				r.Add(p)
+			}
+		}
+	}
+}
+
+func name(k string, v int) string {
+	return k + "=" + string(rune('0'+v/10)) + string(rune('0'+v%10))
+}

@@ -1,0 +1,313 @@
+// Package parity implements the XOR parity scheme of §3.2 of the paper:
+// recovery segments, the Esq enhancement operator producing [pkt]^h, the
+// per-peer division of enhanced sequences, and loss recovery at the leaf
+// peer.
+//
+// A packet sequence pkt is split into recovery segments of h consecutive
+// packets. For each segment one parity packet — the XOR of the segment's
+// packets — is inserted into the stream. The paper's case analysis for the
+// insertion offset (j = d mod h) contradicts its own worked example
+// ⟨t⟨1,2⟩, t1, t2, t3, t⟨3,4⟩, t4, t5, t6, t⟨5,6⟩⟩; the example's pattern
+// is a rotation over the h+1 possible offsets, parity of segment d landing
+// at offset d mod (h+1). We implement the example (the rotation is what
+// spreads parity packets across peers under round-robin division); see
+// DESIGN.md §2.
+//
+// Because coordination re-enhances subsequences at every tree level
+// (§3.6), segments may contain parity packets, producing nested parities
+// such as t⟨5,⟨7,8⟩⟩. The Recoverer resolves nested parities to a
+// fixpoint.
+package parity
+
+import (
+	"fmt"
+	"strings"
+
+	"p2pmss/internal/seq"
+)
+
+// Enhance implements Esq(pkt, h): it returns the enhanced sequence [pkt]^h
+// obtained by inserting one XOR parity packet per recovery segment of h
+// packets. h must be positive. A short final segment (fewer than h
+// packets) still receives a parity packet so every packet is protected.
+//
+// |Enhance(s, h)| = |s|·(h+1)/h (up to the final partial segment).
+func Enhance(s seq.Sequence, h int) seq.Sequence {
+	if h <= 0 {
+		panic(fmt.Sprintf("parity: Enhance interval h=%d must be positive", h))
+	}
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(seq.Sequence, 0, len(s)+len(s)/h+1)
+	for d := 0; d*h < len(s); d++ {
+		segStart := d * h
+		segEnd := segStart + h
+		if segEnd > len(s) {
+			segEnd = len(s)
+		}
+		segment := s[segStart:segEnd]
+		offset := d % (h + 1)
+		if offset > len(segment) {
+			offset = len(segment)
+		}
+		p := makeParity(s, segStart, segEnd, offset)
+		out = append(out, segment[:offset]...)
+		out = append(out, p)
+		out = append(out, segment[offset:]...)
+	}
+	return out
+}
+
+// makeParity builds the parity packet for s[segStart:segEnd], positioned
+// for insertion at the given offset within the segment.
+func makeParity(s seq.Sequence, segStart, segEnd, offset int) seq.Packet {
+	segment := s[segStart:segEnd]
+	var lo, hi float64
+	switch {
+	case offset == 0:
+		// Before the segment: between the previous packet and the first.
+		hi = segment[0].Pos
+		if segStart > 0 {
+			lo = s[segStart-1].Pos
+		} else {
+			lo = hi - 1
+		}
+	case offset >= len(segment):
+		// After the segment: between the last packet and the next.
+		lo = segment[len(segment)-1].Pos
+		if segEnd < len(s) {
+			hi = s[segEnd].Pos
+		} else {
+			hi = lo + 1
+		}
+	default:
+		lo = segment[offset-1].Pos
+		hi = segment[offset].Pos
+	}
+	p := seq.NewParity(segment, seq.MidPos(lo, hi))
+	p.Payload = XOR(payloads(segment))
+	return p
+}
+
+func payloads(pkts []seq.Packet) [][]byte {
+	out := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		out[i] = p.Payload
+	}
+	return out
+}
+
+// XOR returns the bitwise exclusive-or of the given byte slices, padded to
+// the longest length. It returns nil when every input is empty (the
+// accounting-only mode used by the simulator, where payloads are nil).
+func XOR(bufs [][]byte) []byte {
+	maxLen := 0
+	for _, b := range bufs {
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	out := make([]byte, maxLen)
+	for _, b := range bufs {
+		for i, c := range b {
+			out[i] ^= c
+		}
+	}
+	return out
+}
+
+// CoversOf parses a parity identity key "p(a,b,…)" into the keys of the
+// covered packets, honoring nesting. ok is false when key is not a parity
+// key.
+func CoversOf(key string) (covers []string, ok bool) {
+	if !strings.HasPrefix(key, "p(") || !strings.HasSuffix(key, ")") {
+		return nil, false
+	}
+	inner := key[2 : len(key)-1]
+	if inner == "" {
+		return nil, false
+	}
+	depth := 0
+	start := 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				covers = append(covers, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, false
+	}
+	covers = append(covers, inner[start:])
+	return covers, true
+}
+
+// Recoverer reconstructs lost packets at the leaf peer from received data
+// and parity packets. Add every received packet, then call Recover (or
+// rely on the incremental recovery Add performs). A packet is "present"
+// once received or derived.
+//
+// Recovery rule: if a parity packet p(a,b,…,z) is present and exactly one
+// of its covers is missing, the missing packet's payload is the XOR of the
+// parity payload with the present covers' payloads. Derived parity packets
+// recursively enable further recovery; Recover runs to a fixpoint.
+type Recoverer struct {
+	payload map[string][]byte   // key → payload for present packets
+	rules   map[string][]string // parity key → covered keys (known structure)
+	// watch maps a missing key to the parity rules that cover it, so
+	// recovery is incremental rather than a full rescan.
+	recovered int
+}
+
+// NewRecoverer returns an empty Recoverer.
+func NewRecoverer() *Recoverer {
+	return &Recoverer{
+		payload: make(map[string][]byte),
+		rules:   make(map[string][]string),
+	}
+}
+
+// Add records a received packet and performs any recovery it enables.
+func (r *Recoverer) Add(p seq.Packet) {
+	r.AddKey(p.Key(), p.Payload)
+}
+
+// AddKey records a received packet by identity key and payload.
+func (r *Recoverer) AddKey(key string, payload []byte) {
+	if r.Has(key) {
+		return
+	}
+	r.payload[key] = payload
+	r.noteRule(key)
+	r.fixpoint()
+}
+
+// noteRule registers the recovery rule implied by a parity key, and
+// recursively the rules of nested parity covers.
+func (r *Recoverer) noteRule(key string) {
+	covers, ok := CoversOf(key)
+	if !ok {
+		return
+	}
+	if _, seen := r.rules[key]; seen {
+		return
+	}
+	r.rules[key] = covers
+	for _, c := range covers {
+		r.noteRule(c)
+	}
+}
+
+// Has reports whether the packet with the given key is present (received
+// or recovered).
+func (r *Recoverer) Has(key string) bool {
+	_, ok := r.payload[key]
+	return ok
+}
+
+// HasData reports whether content data packet t_k is present.
+func (r *Recoverer) HasData(k int64) bool {
+	return r.Has(fmt.Sprintf("t%d", k))
+}
+
+// DataPayload returns the payload of data packet t_k if present.
+func (r *Recoverer) DataPayload(k int64) ([]byte, bool) {
+	b, ok := r.payload[fmt.Sprintf("t%d", k)]
+	return b, ok
+}
+
+// Recovered returns how many packets have been derived (not directly
+// received) so far.
+func (r *Recoverer) Recovered() int { return r.recovered }
+
+// Present returns the number of present packets (received + recovered).
+func (r *Recoverer) Present() int { return len(r.payload) }
+
+// fixpoint applies recovery rules until no further packet can be derived.
+func (r *Recoverer) fixpoint() {
+	for {
+		progressed := false
+		for pk, covers := range r.rules {
+			if !r.Has(pk) {
+				// The parity itself can be rebuilt if all covers are
+				// present; that in turn may satisfy an outer rule.
+				if r.allPresent(covers) {
+					r.payload[pk] = r.xorOf(covers, nil)
+					r.recovered++
+					progressed = true
+				}
+				continue
+			}
+			missing := ""
+			nMissing := 0
+			for _, c := range covers {
+				if !r.Has(c) {
+					missing = c
+					nMissing++
+					if nMissing > 1 {
+						break
+					}
+				}
+			}
+			if nMissing == 1 {
+				r.payload[missing] = r.xorOf(covers, &missing)
+				r.noteRule(missing)
+				r.recovered++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (r *Recoverer) allPresent(keys []string) bool {
+	for _, k := range keys {
+		if !r.Has(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// xorOf XORs the payloads of the given present covers, excluding skip, and
+// of the parity packet owning them when skip != nil.
+func (r *Recoverer) xorOf(covers []string, skip *string) []byte {
+	var bufs [][]byte
+	for _, c := range covers {
+		if skip != nil && c == *skip {
+			continue
+		}
+		bufs = append(bufs, r.payload[c])
+	}
+	if skip != nil {
+		// Include the parity packet payload itself: missing = p ⊕ others.
+		pk := "p(" + strings.Join(covers, ",") + ")"
+		bufs = append(bufs, r.payload[pk])
+	}
+	return XOR(bufs)
+}
+
+// PerPeerRate returns the transmission rate τ(h+1)/(hH) each of H peers
+// sends an h-enhanced division of a rate-τ content at (§3.2).
+func PerPeerRate(contentRate float64, h, H int) float64 {
+	return contentRate * float64(h+1) / float64(h*H)
+}
+
+// ReceiptRate returns the aggregate rate τ(h+1)/h arriving at the leaf
+// peer when H peers send the h-enhanced division of a rate-τ content.
+func ReceiptRate(contentRate float64, h int) float64 {
+	return contentRate * float64(h+1) / float64(h)
+}

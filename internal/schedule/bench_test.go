@@ -1,0 +1,21 @@
+package schedule
+
+import "testing"
+
+func BenchmarkAllocate(b *testing.B) {
+	chs := ProportionalChannels(8, 4, 4, 2, 2, 1, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Allocate(10000, chs)
+	}
+}
+
+func BenchmarkAllocatorNext(b *testing.B) {
+	a := NewAllocator(ProportionalChannels(4, 2, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Next()
+	}
+}

@@ -1,0 +1,44 @@
+package seq
+
+import "testing"
+
+func BenchmarkUnion(b *testing.B) {
+	x := Range(1, 2000)
+	var y Sequence
+	for k := int64(1); k <= 4000; k += 2 {
+		y = append(y, NewData(k))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Union(x, y)
+	}
+}
+
+func BenchmarkDivide(b *testing.B) {
+	s := Range(1, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Divide(s, 16)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x := Range(1, 2000)
+	y := Range(1000, 3000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersect(x, y)
+	}
+}
+
+func BenchmarkPacketKey(b *testing.B) {
+	p := NewParity([]Packet{NewData(12345), NewData(12346)}, 12345.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Key()
+	}
+}

@@ -1,0 +1,352 @@
+// Package seq implements the packet-sequence algebra of Section 2 of the
+// paper: packets (data and XOR-parity), ordered packet sequences, and the
+// operations the coordination protocols are defined in terms of — prefix
+// pkt⟨t], postfix pkt[t⟩, union, intersection, and round-robin division
+// into per-peer subsequences.
+//
+// A multimedia content is a sequence of data packets t_1 … t_l. Parity
+// packets are created by the parity package and cover a set of other
+// packets (possibly parity packets themselves, since subsequences are
+// re-enhanced at each coordination level, cf. §3.6's t⟨5,⟨7,8⟩⟩).
+//
+// Ordering. Every packet carries a Pos value fixing its place in the
+// stream a peer transmits. Data packet t_k has Pos k; a parity packet
+// inserted between two packets gets the midpoint of their positions, so
+// sequences derived from a common ancestor interleave consistently and
+// Union can merge them by position.
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind distinguishes content data packets from XOR parity packets.
+type Kind uint8
+
+const (
+	// Data is an original content packet t_k.
+	Data Kind = iota
+	// Parity is an XOR parity packet covering a recovery segment.
+	Parity
+)
+
+// String returns "data" or "parity".
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Parity:
+		return "parity"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Packet is the unit of transmission in the MSS model.
+//
+// The zero value is not a valid packet; construct packets with NewData and
+// NewParity so identity and position are consistent.
+type Packet struct {
+	// Kind is Data or Parity.
+	Kind Kind
+	// Index is the 1-based content index of a data packet (t_Index).
+	// Zero for parity packets.
+	Index int64
+	// Covers holds the identity keys of the packets a parity packet
+	// protects, in stream order. Nil for data packets.
+	Covers []string
+	// Pos is the packet's position in the transmission stream. Data
+	// packet t_k has Pos k; parity packets carry fractional positions.
+	Pos float64
+	// Payload is the packet body. Experiments that only count packets
+	// leave it nil; the content and live layers fill it in.
+	Payload []byte
+}
+
+// NewData returns the content data packet t_index (1-based).
+func NewData(index int64) Packet {
+	return Packet{Kind: Data, Index: index, Pos: float64(index)}
+}
+
+// NewDataPayload returns t_index carrying the given payload.
+func NewDataPayload(index int64, payload []byte) Packet {
+	p := NewData(index)
+	p.Payload = payload
+	return p
+}
+
+// NewParity returns a parity packet covering the given packets, positioned
+// at pos. The covered packets' keys are recorded in stream order.
+func NewParity(covered []Packet, pos float64) Packet {
+	keys := make([]string, len(covered))
+	for i, c := range covered {
+		keys[i] = c.Key()
+	}
+	return Packet{Kind: Parity, Covers: keys, Pos: pos}
+}
+
+// Key returns the packet's identity: "t<k>" for data packet t_k and
+// "p(<keys>)" for a parity packet, matching the paper's t⟨…⟩ notation.
+// Two packets with equal keys carry the same bytes.
+func (p Packet) Key() string {
+	if p.Kind == Data {
+		return "t" + strconv.FormatInt(p.Index, 10)
+	}
+	return "p(" + strings.Join(p.Covers, ",") + ")"
+}
+
+// IsData reports whether p is a content data packet.
+func (p Packet) IsData() bool { return p.Kind == Data }
+
+// String renders the packet in the paper's notation.
+func (p Packet) String() string { return p.Key() }
+
+// Sequence is an ordered sequence of packets, sorted by Pos (ties broken
+// by identity key so ordering is total and deterministic).
+type Sequence []Packet
+
+// FromIndices builds the data packet sequence ⟨t_i : i ∈ idx⟩.
+func FromIndices(idx ...int64) Sequence {
+	s := make(Sequence, len(idx))
+	for i, k := range idx {
+		s[i] = NewData(k)
+	}
+	return s
+}
+
+// Range returns the content sequence ⟨t_lo, …, t_hi⟩ inclusive.
+func Range(lo, hi int64) Sequence {
+	if hi < lo {
+		return nil
+	}
+	s := make(Sequence, 0, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		s = append(s, NewData(k))
+	}
+	return s
+}
+
+// less orders packets by position, then identity key.
+func less(a, b Packet) bool {
+	if a.Pos != b.Pos {
+		return a.Pos < b.Pos
+	}
+	return a.Key() < b.Key()
+}
+
+// Sort sorts the sequence in place into canonical order.
+func (s Sequence) Sort() {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// Sorted reports whether the sequence is in canonical order.
+func (s Sequence) Sorted() bool {
+	return sort.SliceIsSorted(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// Clone returns a copy of the sequence sharing packet payloads.
+func (s Sequence) Clone() Sequence {
+	c := make(Sequence, len(s))
+	copy(c, s)
+	return c
+}
+
+// Keys returns the identity keys of all packets in order.
+func (s Sequence) Keys() []string {
+	ks := make([]string, len(s))
+	for i, p := range s {
+		ks[i] = p.Key()
+	}
+	return ks
+}
+
+// String renders the sequence in the paper's ⟨…⟩ notation.
+func (s Sequence) String() string {
+	return "⟨" + strings.Join(s.Keys(), ", ") + "⟩"
+}
+
+// DataIndices returns the content indices of the data packets in s, in order.
+func (s Sequence) DataIndices() []int64 {
+	var out []int64
+	for _, p := range s {
+		if p.IsData() {
+			out = append(out, p.Index)
+		}
+	}
+	return out
+}
+
+// CountData returns the number of data packets in s.
+func (s Sequence) CountData() int {
+	n := 0
+	for _, p := range s {
+		if p.IsData() {
+			n++
+		}
+	}
+	return n
+}
+
+// CountParity returns the number of parity packets in s.
+func (s Sequence) CountParity() int { return len(s) - s.CountData() }
+
+// IndexOfData returns the offset of data packet t_k in s, or -1.
+func (s Sequence) IndexOfData(k int64) int {
+	for i, p := range s {
+		if p.IsData() && p.Index == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexOfKey returns the offset of the packet with the given identity key,
+// or -1 if absent.
+func (s Sequence) IndexOfKey(key string) int {
+	for i, p := range s {
+		if p.Key() == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// Prefix returns pkt⟨t] — the prefix of s up to and including the packet at
+// offset i. It panics if i is out of range.
+func (s Sequence) Prefix(i int) Sequence {
+	return s[:i+1].Clone()
+}
+
+// Postfix returns pkt[t⟩ — the postfix of s from offset i (inclusive) to the
+// end. It panics if i is out of range.
+func (s Sequence) Postfix(i int) Sequence {
+	return s[i:].Clone()
+}
+
+// PostfixFromData returns pkt[t_k⟩ for data packet t_k. If t_k is not in s,
+// the postfix starts at the first packet positioned after t_k would be.
+func (s Sequence) PostfixFromData(k int64) Sequence {
+	if i := s.IndexOfData(k); i >= 0 {
+		return s.Postfix(i)
+	}
+	for i, p := range s {
+		if p.Pos >= float64(k) {
+			return s.Postfix(i)
+		}
+	}
+	return nil
+}
+
+// Union returns the sequence containing every packet of a and b exactly
+// once, in canonical order (paper: pkt_i ∪ pkt_j). Both inputs must be in
+// canonical order; the result is.
+func Union(a, b Sequence) Sequence {
+	out := make(Sequence, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Key() == b[j].Key():
+			out = append(out, a[i])
+			i++
+			j++
+		case less(a[i], b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return dedupe(out)
+}
+
+// Intersect returns the sequence of packets present in both a and b
+// (paper: pkt_i ∩ pkt_j), in canonical order.
+func Intersect(a, b Sequence) Sequence {
+	inB := make(map[string]struct{}, len(b))
+	for _, p := range b {
+		inB[p.Key()] = struct{}{}
+	}
+	var out Sequence
+	for _, p := range a {
+		if _, ok := inB[p.Key()]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Disjoint reports whether a and b share no packets
+// (pkt_i ∩ pkt_j = φ, the condition §3.2 imposes on subsequences).
+func Disjoint(a, b Sequence) bool { return len(Intersect(a, b)) == 0 }
+
+// dedupe removes adjacent duplicate identities from a sorted sequence.
+func dedupe(s Sequence) Sequence {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, p := range s[1:] {
+		if p.Key() != out[len(out)-1].Key() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Divide splits s into H subsequences by round-robin: the j-th packet
+// (0-based) of s goes to subsequence j mod H, matching §3.2's division
+// rule. It returns all H subsequences; Divide(s, H)[i] is Div(s, H, CP_i)
+// for the i-th assigned peer (0-based).
+func Divide(s Sequence, H int) []Sequence {
+	if H <= 0 {
+		panic(fmt.Sprintf("seq: Divide fanout H=%d must be positive", H))
+	}
+	out := make([]Sequence, H)
+	for j, p := range s {
+		i := j % H
+		out[i] = append(out[i], p)
+	}
+	return out
+}
+
+// Div returns the i-th (0-based) of the H round-robin subsequences of s
+// without materializing the others.
+func Div(s Sequence, H, i int) Sequence {
+	if H <= 0 || i < 0 || i >= H {
+		panic(fmt.Sprintf("seq: Div(H=%d, i=%d) out of range", H, i))
+	}
+	var out Sequence
+	for j := i; j < len(s); j += H {
+		out = append(out, s[j])
+	}
+	return out
+}
+
+// Equal reports whether a and b contain the same packets in the same order.
+func Equal(a, b Sequence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// MidPos returns a position strictly between lo and hi suitable for an
+// inserted packet. When the interval is degenerate it falls back to lo.
+func MidPos(lo, hi float64) float64 {
+	m := lo + (hi-lo)/2
+	if m <= lo || m >= hi {
+		return lo
+	}
+	return m
+}

@@ -1,0 +1,254 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDataKeyAndPos(t *testing.T) {
+	p := NewData(7)
+	if p.Key() != "t7" {
+		t.Errorf("Key() = %q, want t7", p.Key())
+	}
+	if p.Pos != 7 {
+		t.Errorf("Pos = %v, want 7", p.Pos)
+	}
+	if !p.IsData() {
+		t.Error("IsData() = false, want true")
+	}
+}
+
+func TestNewParityKeyNesting(t *testing.T) {
+	inner := NewParity([]Packet{NewData(7), NewData(8)}, 7.5)
+	if inner.Key() != "p(t7,t8)" {
+		t.Errorf("inner key = %q", inner.Key())
+	}
+	outer := NewParity([]Packet{NewData(5), inner}, 5.5)
+	if outer.Key() != "p(t5,p(t7,t8))" {
+		t.Errorf("outer key = %q", outer.Key())
+	}
+	if outer.IsData() {
+		t.Error("parity IsData() = true")
+	}
+}
+
+func TestRangeAndIndices(t *testing.T) {
+	s := Range(3, 6)
+	want := []int64{3, 4, 5, 6}
+	got := s.DataIndices()
+	if len(got) != len(want) {
+		t.Fatalf("DataIndices() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DataIndices() = %v, want %v", got, want)
+		}
+	}
+	if Range(5, 4) != nil {
+		t.Error("empty Range not nil")
+	}
+}
+
+func TestPrefixPostfix(t *testing.T) {
+	s := Range(1, 8)
+	pre := s.Prefix(2) // ⟨t1,t2,t3⟩
+	if !Equal(pre, FromIndices(1, 2, 3)) {
+		t.Errorf("Prefix = %v", pre)
+	}
+	post := s.Postfix(5) // ⟨t6,t7,t8⟩
+	if !Equal(post, FromIndices(6, 7, 8)) {
+		t.Errorf("Postfix = %v", post)
+	}
+	// Mutating the views must not alias the original.
+	pre[0] = NewData(99)
+	if s[0].Index != 1 {
+		t.Error("Prefix aliases original")
+	}
+}
+
+func TestPostfixFromData(t *testing.T) {
+	s := FromIndices(1, 3, 5, 7)
+	got := s.PostfixFromData(5)
+	if !Equal(got, FromIndices(5, 7)) {
+		t.Errorf("PostfixFromData(5) = %v", got)
+	}
+	// Absent index: start from first packet at or after that position.
+	got = s.PostfixFromData(4)
+	if !Equal(got, FromIndices(5, 7)) {
+		t.Errorf("PostfixFromData(4) = %v", got)
+	}
+	if s.PostfixFromData(100) != nil {
+		t.Error("PostfixFromData beyond end should be nil")
+	}
+}
+
+func TestUnionPaperExample(t *testing.T) {
+	// §2: pkt1 ∪ pkt2 ∪ pkt3 = ⟨t1..t8⟩ for pkt1=⟨t1,t2,t4,t5⟩,
+	// pkt2=⟨t3,t6⟩, pkt3=⟨t7,t8⟩.
+	u := Union(Union(FromIndices(1, 2, 4, 5), FromIndices(3, 6)), FromIndices(7, 8))
+	if !Equal(u, Range(1, 8)) {
+		t.Errorf("union = %v", u)
+	}
+}
+
+func TestUnionDedupes(t *testing.T) {
+	a := FromIndices(1, 2, 3)
+	b := FromIndices(2, 3, 4)
+	u := Union(a, b)
+	if !Equal(u, Range(1, 4)) {
+		t.Errorf("union = %v", u)
+	}
+}
+
+func TestIntersectAndDisjoint(t *testing.T) {
+	a := FromIndices(1, 2, 4, 5)
+	b := FromIndices(2, 5, 9)
+	got := Intersect(a, b)
+	if !Equal(got, FromIndices(2, 5)) {
+		t.Errorf("intersect = %v", got)
+	}
+	if Disjoint(a, b) {
+		t.Error("Disjoint = true for overlapping sequences")
+	}
+	if !Disjoint(FromIndices(1, 3), FromIndices(2, 4)) {
+		t.Error("Disjoint = false for disjoint sequences")
+	}
+}
+
+func TestDivideRoundRobin(t *testing.T) {
+	s := Range(1, 7)
+	parts := Divide(s, 3)
+	if !Equal(parts[0], FromIndices(1, 4, 7)) {
+		t.Errorf("part0 = %v", parts[0])
+	}
+	if !Equal(parts[1], FromIndices(2, 5)) {
+		t.Errorf("part1 = %v", parts[1])
+	}
+	if !Equal(parts[2], FromIndices(3, 6)) {
+		t.Errorf("part2 = %v", parts[2])
+	}
+	for i := 0; i < 3; i++ {
+		if !Equal(Div(s, 3, i), parts[i]) {
+			t.Errorf("Div(%d) != Divide[%d]", i, i)
+		}
+	}
+}
+
+func TestDividePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Divide(s, 0) did not panic")
+		}
+	}()
+	Divide(Range(1, 3), 0)
+}
+
+// Property: Divide partitions — subsequences are pairwise disjoint and
+// their union is the original sequence.
+func TestDividePartitionProperty(t *testing.T) {
+	f := func(n uint8, h uint8) bool {
+		l := int64(n%50) + 1
+		H := int(h%8) + 1
+		s := Range(1, l)
+		parts := Divide(s, H)
+		u := Sequence(nil)
+		for i, p := range parts {
+			for j := i + 1; j < len(parts); j++ {
+				if !Disjoint(p, parts[j]) {
+					return false
+				}
+			}
+			u = Union(u, p)
+		}
+		return Equal(u, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union is commutative, associative, idempotent on random
+// subsequences of a common ancestor stream.
+func TestUnionAlgebraProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sub := func() Sequence {
+		var s Sequence
+		for k := int64(1); k <= 30; k++ {
+			if rng.Intn(2) == 0 {
+				s = append(s, NewData(k))
+			}
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := sub(), sub(), sub()
+		if !Equal(Union(a, b), Union(b, a)) {
+			t.Fatal("union not commutative")
+		}
+		if !Equal(Union(Union(a, b), c), Union(a, Union(b, c))) {
+			t.Fatal("union not associative")
+		}
+		if !Equal(Union(a, a), a) {
+			t.Fatal("union not idempotent")
+		}
+	}
+}
+
+func TestSortAndSorted(t *testing.T) {
+	s := FromIndices(3, 1, 2)
+	if s.Sorted() {
+		t.Error("unsorted sequence reported sorted")
+	}
+	s.Sort()
+	if !Equal(s, FromIndices(1, 2, 3)) {
+		t.Errorf("after Sort = %v", s)
+	}
+	if !s.Sorted() {
+		t.Error("sorted sequence reported unsorted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := Range(1, 4)
+	s = append(s, NewParity([]Packet{s[0], s[1]}, 0.5))
+	s.Sort()
+	if s.CountData() != 4 || s.CountParity() != 1 {
+		t.Errorf("counts = %d data, %d parity", s.CountData(), s.CountParity())
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	s := FromIndices(2, 4, 6)
+	if i := s.IndexOfData(4); i != 1 {
+		t.Errorf("IndexOfData(4) = %d", i)
+	}
+	if i := s.IndexOfData(5); i != -1 {
+		t.Errorf("IndexOfData(5) = %d", i)
+	}
+	if i := s.IndexOfKey("t6"); i != 2 {
+		t.Errorf("IndexOfKey(t6) = %d", i)
+	}
+	if i := s.IndexOfKey("p(t1,t2)"); i != -1 {
+		t.Errorf("IndexOfKey missing = %d", i)
+	}
+}
+
+func TestMidPos(t *testing.T) {
+	if m := MidPos(1, 2); m <= 1 || m >= 2 {
+		t.Errorf("MidPos(1,2) = %v", m)
+	}
+	if m := MidPos(1, 1); m != 1 {
+		t.Errorf("MidPos degenerate = %v", m)
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	s := FromIndices(1, 2)
+	if got := s.String(); got != "⟨t1, t2⟩" {
+		t.Errorf("String() = %q", got)
+	}
+	if Data.String() != "data" || Parity.String() != "parity" {
+		t.Error("Kind.String wrong")
+	}
+}

@@ -1,0 +1,181 @@
+// Package simnet models the P2P overlay's underlying network on top of
+// the discrete-event engine: logical channels with propagation latency,
+// jitter, loss probability and bandwidth, plus crash-stop node failures.
+//
+// The paper assumes "reliable high-speed communication like 10 Gbps
+// Ethernet" between contents peers and the leaf (§4) for the coordination
+// experiments, and separately studies packet loss and peer faults for the
+// data plane (§3.2); both regimes are expressible with LinkParams.
+package simnet
+
+import (
+	"fmt"
+
+	"p2pmss/internal/des"
+)
+
+// NodeID identifies a node in the simulated overlay. By convention the
+// experiment layer uses 0..n-1 for contents peers and LeafID for the leaf.
+type NodeID int
+
+// Message is anything a node sends to another.
+type Message any
+
+// Handler receives messages delivered to a node.
+type Handler interface {
+	Receive(from NodeID, m Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from NodeID, m Message)
+
+// Receive calls f(from, m).
+func (f HandlerFunc) Receive(from NodeID, m Message) { f(from, m) }
+
+// LinkParams describes one direction of a logical channel.
+type LinkParams struct {
+	// Latency is the fixed propagation delay (the paper's δ).
+	Latency float64
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter float64
+	// LossProb is the probability a message is silently dropped.
+	LossProb float64
+	// Bandwidth, when positive, limits the link to that many messages
+	// per time unit: messages serialize FIFO, each occupying the link
+	// for 1/Bandwidth (the §2 slot model at the network layer). Zero
+	// means unlimited.
+	Bandwidth float64
+}
+
+// Stats aggregates network-wide delivery counters.
+type Stats struct {
+	Sent      int64 // messages handed to Send
+	Delivered int64 // messages delivered to a handler
+	Dropped   int64 // lost to LossProb
+	ToCrashed int64 // discarded because the destination had crashed
+}
+
+// Network simulates message exchange between nodes.
+type Network struct {
+	eng     *des.Engine
+	nodes   map[NodeID]Handler
+	crashed map[NodeID]bool
+	def     LinkParams
+	links   map[[2]NodeID]LinkParams
+	// busyUntil tracks per-directed-link FIFO serialization when the
+	// link has finite bandwidth.
+	busyUntil map[[2]NodeID]float64
+	stats     Stats
+	// BurstLoss, when non-nil, is consulted per message in addition to
+	// LossProb; it enables correlated (bursty) loss models from the
+	// failure package.
+	BurstLoss func(from, to NodeID) bool
+}
+
+// New returns a network over the given engine with zero-latency,
+// loss-free default links.
+func New(eng *des.Engine) *Network {
+	return &Network{
+		eng:       eng,
+		nodes:     make(map[NodeID]Handler),
+		crashed:   make(map[NodeID]bool),
+		links:     make(map[[2]NodeID]LinkParams),
+		busyUntil: make(map[[2]NodeID]float64),
+	}
+}
+
+// Engine returns the underlying discrete-event engine.
+func (n *Network) Engine() *des.Engine { return n.eng }
+
+// Attach registers the handler for a node ID, replacing any previous one.
+func (n *Network) Attach(id NodeID, h Handler) { n.nodes[id] = h }
+
+// AttachFunc registers a function handler for a node ID.
+func (n *Network) AttachFunc(id NodeID, f func(from NodeID, m Message)) {
+	n.Attach(id, HandlerFunc(f))
+}
+
+// SetDefaultLink sets the parameters used for node pairs without an
+// explicit link override.
+func (n *Network) SetDefaultLink(p LinkParams) { n.def = p }
+
+// SetLink overrides the parameters of the directed link from → to.
+func (n *Network) SetLink(from, to NodeID, p LinkParams) {
+	n.links[[2]NodeID{from, to}] = p
+}
+
+// Link returns the effective parameters of the directed link from → to.
+func (n *Network) Link(from, to NodeID) LinkParams {
+	if p, ok := n.links[[2]NodeID{from, to}]; ok {
+		return p
+	}
+	return n.def
+}
+
+// Crash marks a node as crash-stopped: it no longer sends or receives.
+func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+
+// Recover clears a node's crashed state.
+func (n *Network) Recover(id NodeID) { delete(n.crashed, id) }
+
+// Crashed reports whether a node is crash-stopped.
+func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
+
+// Stats returns a snapshot of the delivery counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Send transmits m from → to over the simulated link. Sends from crashed
+// nodes are ignored; messages to crashed or unknown nodes are discarded at
+// delivery time (matching a real network, where the sender cannot tell).
+func (n *Network) Send(from, to NodeID, m Message) {
+	if n.crashed[from] {
+		return
+	}
+	n.stats.Sent++
+	p := n.Link(from, to)
+	if p.LossProb > 0 && n.eng.Rand().Float64() < p.LossProb {
+		n.stats.Dropped++
+		return
+	}
+	if n.BurstLoss != nil && n.BurstLoss(from, to) {
+		n.stats.Dropped++
+		return
+	}
+	d := p.Latency
+	if p.Jitter > 0 {
+		d += n.eng.Rand().Float64() * p.Jitter
+	}
+	if p.Bandwidth > 0 {
+		// FIFO serialization: the message occupies the link for
+		// 1/Bandwidth starting when the link frees up.
+		key := [2]NodeID{from, to}
+		start := n.eng.Now()
+		if busy := n.busyUntil[key]; busy > start {
+			start = busy
+		}
+		done := start + 1/p.Bandwidth
+		n.busyUntil[key] = done
+		d += done - n.eng.Now()
+	}
+	n.eng.After(d, func() {
+		if n.crashed[to] {
+			n.stats.ToCrashed++
+			return
+		}
+		h, ok := n.nodes[to]
+		if !ok {
+			panic(fmt.Sprintf("simnet: message %T delivered to unattached node %d", m, to))
+		}
+		n.stats.Delivered++
+		h.Receive(from, m)
+	})
+}
+
+// Broadcast sends m from the given node to every other attached node.
+func (n *Network) Broadcast(from NodeID, m Message) {
+	for id := range n.nodes {
+		if id != from {
+			n.Send(from, id, m)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stddev() != 0 || s.N() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample not zero")
+	}
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	// Known dataset: sample stddev = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if d := s.Stddev() - want; d > 1e-12 || d < -1e-12 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3, 4, 5)
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Error("extreme quantiles wrong")
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Errorf("median = %v", s.Quantile(0.5))
+	}
+	if q := s.Quantile(0.25); q != 2 {
+		t.Errorf("q25 = %v", q)
+	}
+	if s.Quantile(-1) != 1 || s.Quantile(2) != 5 {
+		t.Error("clamping failed")
+	}
+	var empty Sample
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty quantile")
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// The 95% CI of the mean should contain the true mean ~95% of the
+	// time; check it is at least roughly calibrated.
+	rng := rand.New(rand.NewSource(1))
+	hits := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		var s Sample
+		for j := 0; j < 30; j++ {
+			s.Add(rng.NormFloat64()*2 + 10)
+		}
+		if math.Abs(s.Mean()-10) <= s.CI95() {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if frac < 0.88 || frac > 0.99 {
+		t.Errorf("CI coverage %.3f, want ≈0.95", frac)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 1, 1)
+	if !strings.Contains(s.Summary(), "±") {
+		t.Errorf("Summary = %q", s.Summary())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, 9.99, -5, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 9 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -5 clamps into bin 0; 100 into bin 4.
+	if h.Counts[0] != 3 { // 0.5, 1, -5
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 9, 9.99, and the clamped 100
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if f := h.Fraction(0); math.Abs(f-3.0/9.0) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", f)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestRateEstimator(t *testing.T) {
+	r := NewRateEstimator(10)
+	for i := 0; i < 20; i++ {
+		r.Tick(float64(i))
+	}
+	// Events at t=10..19 fall in window (9, 19]: 10 events / 10 units.
+	if rate := r.Rate(19); math.Abs(rate-1.0) > 0.11 {
+		t.Errorf("rate = %v, want ≈1", rate)
+	}
+	// Long silence: rate decays to 0.
+	if rate := r.Rate(100); rate != 0 {
+		t.Errorf("stale rate = %v", rate)
+	}
+}
+
+func TestRateEstimatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero window did not panic")
+		}
+	}()
+	NewRateEstimator(0)
+}
+
+// Property: mean is within [min, max], stddev non-negative, quantiles
+// monotone.
+func TestSampleProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, x := range raw {
+			// Exclude non-finite and astronomically large inputs whose
+			// sums overflow float64 — out of scope for metric data.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				s.Add(x)
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		if m < s.Min()-1e-9 || m > s.Max()+1e-9 {
+			return false
+		}
+		if s.Stddev() < 0 {
+			return false
+		}
+		return s.Quantile(0.25) <= s.Quantile(0.75)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title:  "Figure 10",
+		XLabel: "H",
+		YLabel: "rounds",
+		Series: []Series{
+			{Name: "rounds", X: []float64{2, 10, 60, 100}, Y: []float64{10, 4, 2, 1}},
+			{Name: "packets", X: []float64{2, 10, 60, 100}, Y: []float64{170, 1010, 2460, 100}, Dashed: true},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var b strings.Builder
+	if err := lineChart().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "Figure 10", "polyline", "stroke-dasharray", "rounds", "packets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+	// Two polylines, one per series.
+	if n := strings.Count(out, "<polyline"); n != 2 {
+		t.Errorf("polylines = %d", n)
+	}
+}
+
+func TestRenderLogAxis(t *testing.T) {
+	c := lineChart()
+	c.YLog = true
+	// Zero/negative values are skipped on a log axis, not rendered.
+	c.Series[0].Y[0] = 0
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<polyline") {
+		t.Error("log chart missing lines")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var b strings.Builder
+	empty := &Chart{Title: "x"}
+	if err := empty.Render(&b); err == nil {
+		t.Error("empty chart rendered")
+	}
+	mismatched := &Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := mismatched.Render(&b); err == nil {
+		t.Error("mismatched series rendered")
+	}
+	allNonPos := &Chart{YLog: true, Series: []Series{{Name: "z", X: []float64{1}, Y: []float64{0}}}}
+	if err := allNonPos.Render(&b); err == nil {
+		t.Error("undrawable log chart rendered")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := lineChart()
+	c.Title = `<&">`
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `<&">`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(b.String(), "&lt;&amp;&quot;&gt;") {
+		t.Error("escaped form missing")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{5, 5}, Y: []float64{3, 3}}}}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+}

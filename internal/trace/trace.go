@@ -1,0 +1,157 @@
+// Package trace records structured simulation events — activations,
+// control packets, stream hand-offs, crashes — into a bounded buffer for
+// debugging and timeline analysis (cmd/msstrace renders them).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Time is the (virtual) time of the event.
+	Time float64
+	// Node is the acting node (contents peer index, or -1 for the leaf).
+	Node int
+	// Kind classifies the event ("activate", "control", "data", ...).
+	Kind string
+	// Detail is a human-readable elaboration.
+	Detail string
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	return fmt.Sprintf("%10.3f  node %3d  %-10s %s", e.Time, e.Node, e.Kind, e.Detail)
+}
+
+// Tracer collects events up to a capacity; once full, the oldest events
+// are evicted (ring semantics). The zero value is unusable; use New.
+// Tracer is safe for concurrent use (the live runtime records from many
+// goroutines).
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Event
+	start   int // ring head
+	dropped int64
+	enabled bool
+}
+
+// New returns a tracer holding up to capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: capacity %d must be positive", capacity))
+	}
+	return &Tracer{cap: capacity, enabled: true}
+}
+
+// Enabled reports whether recording is on.
+func (t *Tracer) Enabled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
+}
+
+// SetEnabled toggles recording.
+func (t *Tracer) SetEnabled(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enabled = on
+}
+
+// Record appends an event (dropping the oldest beyond capacity).
+func (t *Tracer) Record(time float64, node int, kind, format string, args ...any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.enabled {
+		return
+	}
+	ev := Event{Time: time, Node: node, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.start] = ev
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Len returns how many events are currently held.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were evicted.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the held events in recording order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Filter returns the held events of one kind, in order.
+func (t *Tracer) Filter(kind string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Counts tallies events per kind.
+func (t *Tracer) Counts() map[string]int {
+	out := make(map[string]int)
+	for _, e := range t.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Dump writes the timeline (sorted by time, stable) to w, followed by a
+// per-kind summary.
+func (t *Tracer) Dump(w io.Writer) error {
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	for _, e := range evs {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	counts := t.Counts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	if _, err := fmt.Fprintf(w, "-- %d events", len(evs)); err != nil {
+		return err
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, " (%d evicted)", d); err != nil {
+			return err
+		}
+	}
+	for _, k := range kinds {
+		if _, err := fmt.Fprintf(w, "  %s=%d", k, counts[k]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

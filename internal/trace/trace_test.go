@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	tr := New(10)
+	tr.Record(1, 0, "activate", "peer %d at round %d", 0, 1)
+	tr.Record(2, 1, "control", "to %d", 2)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != "activate" || !strings.Contains(evs[0].Detail, "round 1") {
+		t.Errorf("event = %+v", evs[0])
+	}
+	if tr.Len() != 2 || tr.Dropped() != 0 {
+		t.Errorf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 7; i++ {
+		tr.Record(float64(i), i, "k", "e%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	// Oldest evicted: remaining are e4, e5, e6 in order.
+	for i, want := range []string{"e4", "e5", "e6"} {
+		if evs[i].Detail != want {
+			t.Errorf("evs[%d] = %q, want %q", i, evs[i].Detail, want)
+		}
+	}
+	if tr.Dropped() != 4 {
+		t.Errorf("dropped = %d", tr.Dropped())
+	}
+}
+
+func TestFilterAndCounts(t *testing.T) {
+	tr := New(10)
+	tr.Record(1, 0, "a", "x")
+	tr.Record(2, 0, "b", "y")
+	tr.Record(3, 0, "a", "z")
+	if got := tr.Filter("a"); len(got) != 2 {
+		t.Errorf("Filter(a) = %d", len(got))
+	}
+	c := tr.Counts()
+	if c["a"] != 2 || c["b"] != 1 {
+		t.Errorf("Counts = %v", c)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	tr := New(5)
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Error("still enabled")
+	}
+	tr.Record(1, 0, "k", "x")
+	if tr.Len() != 0 {
+		t.Error("recorded while disabled")
+	}
+	tr.SetEnabled(true)
+	tr.Record(1, 0, "k", "x")
+	if tr.Len() != 1 {
+		t.Error("not recorded after enable")
+	}
+}
+
+func TestDump(t *testing.T) {
+	tr := New(10)
+	tr.Record(2, 1, "b", "later")
+	tr.Record(1, 0, "a", "earlier")
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "earlier") || !strings.Contains(out, "a=1") {
+		t.Errorf("dump = %q", out)
+	}
+	// Sorted by time: "earlier" printed before "later".
+	if strings.Index(out, "earlier") > strings.Index(out, "later") {
+		t.Error("dump not time-sorted")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Record(float64(i), g, "k", "g%d", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 1000 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if tr.Dropped() != 600 {
+		t.Errorf("dropped = %d", tr.Dropped())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 did not panic")
+		}
+	}()
+	New(0)
+}

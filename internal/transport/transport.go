@@ -1,0 +1,323 @@
+// Package transport provides the live runtime's message fabric: named
+// endpoints exchanging length-prefixed JSON frames. Two implementations
+// are provided — an in-process memory fabric for tests and single-binary
+// demos, and a TCP fabric where every peer listens on a socket.
+//
+// The simulator (internal/simnet) models the same role under virtual
+// time; this package is the real-time counterpart used by internal/live.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Msg is one framed wire message.
+type Msg struct {
+	// Type tags the payload (e.g. "request", "control", "data").
+	Type string `json:"type"`
+	// From names the sending endpoint.
+	From string `json:"from"`
+	// Payload is the JSON-encoded body.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Encode builds a message of the given type from body v.
+func Encode(typ, from string, v any) (Msg, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return Msg{}, fmt.Errorf("transport: encode %s: %w", typ, err)
+	}
+	return Msg{Type: typ, From: from, Payload: b}, nil
+}
+
+// Decode unmarshals the message body into v.
+func (m Msg) Decode(v any) error {
+	if err := json.Unmarshal(m.Payload, v); err != nil {
+		return fmt.Errorf("transport: decode %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Handler processes an inbound message. Handlers may be invoked
+// concurrently and must be safe for concurrent use.
+type Handler func(m Msg)
+
+// Endpoint sends messages to named peers.
+type Endpoint interface {
+	// Name returns this endpoint's address.
+	Name() string
+	// Send delivers m to the named endpoint.
+	Send(to string, m Msg) error
+	// Close releases resources; the endpoint stops receiving.
+	Close() error
+}
+
+// ---- in-memory fabric ----------------------------------------------------
+
+// Fabric is an in-process message fabric connecting named endpoints.
+// Optional latency and loss emulate a WAN inside tests.
+type Fabric struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	closed   map[string]bool
+	// Latency delays every delivery (applied in the sender goroutine's
+	// timer, preserving per-pair ordering is NOT guaranteed under jitter).
+	Latency time.Duration
+	// Drop, when non-nil, decides per message whether to lose it. It may
+	// be invoked concurrently from many sender goroutines and must be
+	// safe for concurrent use.
+	Drop func(from, to string) bool
+	wg   sync.WaitGroup
+}
+
+// NewFabric returns an empty in-memory fabric.
+func NewFabric() *Fabric {
+	return &Fabric{handlers: make(map[string]Handler), closed: make(map[string]bool)}
+}
+
+// Endpoint registers name with the handler and returns its endpoint.
+func (f *Fabric) Endpoint(name string, h Handler) Endpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handlers[name] = h
+	delete(f.closed, name)
+	return &memEndpoint{f: f, name: name}
+}
+
+// Wait blocks until all in-flight deliveries complete.
+func (f *Fabric) Wait() { f.wg.Wait() }
+
+type memEndpoint struct {
+	f    *Fabric
+	name string
+}
+
+func (e *memEndpoint) Name() string { return e.name }
+
+func (e *memEndpoint) Send(to string, m Msg) error {
+	f := e.f
+	f.mu.Lock()
+	h, ok := f.handlers[to]
+	closed := f.closed[to]
+	drop := f.Drop
+	lat := f.Latency
+	f.mu.Unlock()
+	if !ok || closed {
+		return fmt.Errorf("transport: no endpoint %q", to)
+	}
+	if drop != nil && drop(e.name, to) {
+		return nil // silently lost, like the network would
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		if lat > 0 {
+			time.Sleep(lat)
+		}
+		f.mu.Lock()
+		stillClosed := f.closed[to]
+		f.mu.Unlock()
+		if !stillClosed {
+			h(m)
+		}
+	}()
+	return nil
+}
+
+func (e *memEndpoint) Close() error {
+	e.f.mu.Lock()
+	defer e.f.mu.Unlock()
+	e.f.closed[e.name] = true
+	return nil
+}
+
+// ---- TCP fabric -----------------------------------------------------------
+
+// TCPEndpoint is an endpoint listening on a TCP address; peers are
+// addressed by their host:port. Frames are 4-byte big-endian length +
+// JSON.
+type TCPEndpoint struct {
+	name string
+	ln   net.Listener
+	h    Handler
+
+	mu       sync.Mutex
+	conns    map[string]net.Conn // outbound, by remote address
+	accepted map[net.Conn]bool   // inbound, closed on shutdown
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// MaxFrame bounds a frame's size (16 MiB) to fail fast on corrupt input.
+const MaxFrame = 16 << 20
+
+// ListenTCP starts an endpoint on addr (e.g. "127.0.0.1:0"); its Name is
+// the bound address.
+func ListenTCP(addr string, h Handler) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		name:     ln.Addr().String(),
+		ln:       ln,
+		h:        h,
+		conns:    make(map[string]net.Conn),
+		accepted: make(map[net.Conn]bool),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+func (e *TCPEndpoint) Name() string { return e.name }
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.accepted[c] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer func() {
+				e.mu.Lock()
+				delete(e.accepted, c)
+				e.mu.Unlock()
+				c.Close()
+			}()
+			e.readLoop(c)
+		}()
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	for {
+		m, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		e.h(m)
+	}
+}
+
+// Send dials (or reuses) a connection to the named address and writes one
+// frame.
+func (e *TCPEndpoint) Send(to string, m Msg) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("transport: endpoint closed")
+	}
+	c, ok := e.conns[to]
+	e.mu.Unlock()
+	if !ok {
+		nc, err := net.DialTimeout("tcp", to, 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("transport: dial %s: %w", to, err)
+		}
+		e.mu.Lock()
+		if prev, exists := e.conns[to]; exists {
+			nc.Close()
+			c = prev
+		} else {
+			e.conns[to] = nc
+			c = nc
+		}
+		e.mu.Unlock()
+	}
+	if err := writeFrame(c, m); err != nil {
+		// Connection went bad: drop it so the next send redials.
+		e.mu.Lock()
+		if e.conns[to] == c {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		c.Close()
+		return err
+	}
+	return nil
+}
+
+// Close stops the listener and closes cached connections.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[string]net.Conn{}
+	inbound := make([]net.Conn, 0, len(e.accepted))
+	for c := range e.accepted {
+		inbound = append(inbound, c)
+	}
+	e.mu.Unlock()
+	err := e.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, c := range inbound {
+		c.Close() // unblocks the readLoop so wg.Wait can return
+	}
+	e.wg.Wait()
+	return err
+}
+
+func writeFrame(w io.Writer, m Msg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) (Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Msg{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Msg{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return Msg{}, err
+	}
+	var m Msg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Msg{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,284 @@
+// Package p2pmss is a reproduction of "Distributed Coordination Protocols
+// to Realize Scalable Multimedia Streaming in Peer-to-Peer Overlay
+// Networks" (Itaya, Hayashibara, Enokido, Takizawa — ICPP 2006).
+//
+// The paper's multi-source streaming (MSS) model has a set of contents
+// peers CP_1..CP_n jointly stream one content to a leaf peer: each sends
+// a disjoint division of the parity-enhanced packet sequence, and two
+// flooding-based coordination protocols — the redundant DCoP and the
+// tree-based TCoP — activate the peers without a central controller.
+//
+// The package exposes three layers:
+//
+//   - Simulation: Simulate runs any of the five coordination protocols
+//     (DCoP, TCoP, and the broadcast / unicast / centralized baselines of
+//     §3.1) on a deterministic discrete-event simulator and reports
+//     rounds, control packets, synchronization time and leaf receipt
+//     rate.
+//
+//   - Experiments: Figure10, Figure11, Figure12 and Baselines regenerate
+//     the paper's evaluation (§4) as printable tables and CSV.
+//
+//   - Live streaming: NewContent, NewPeer and NewLeaf run the same
+//     protocols on goroutines over an in-memory fabric or TCP loopback,
+//     streaming real bytes with parity recovery and repair.
+//
+// A quickstart:
+//
+//	cfg := p2pmss.DefaultSimConfig()
+//	cfg.H = 60
+//	res, err := p2pmss.Simulate(p2pmss.DCoP, cfg)
+//	// res.Rounds, res.ControlPackets, ...
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory and the per-experiment index.
+package p2pmss
+
+import (
+	"io"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/coord"
+	"p2pmss/internal/experiment"
+	"p2pmss/internal/live"
+	"p2pmss/internal/overlay"
+	"p2pmss/internal/schedule"
+	"p2pmss/internal/trace"
+	"p2pmss/internal/transport"
+)
+
+// Coordination protocol names accepted by Simulate.
+const (
+	// DCoP is the paper's redundant distributed coordination protocol
+	// (§3.4): flooding where a peer may be selected by multiple parents.
+	DCoP = coord.DCoP
+	// TCoP is the non-redundant tree-based coordination protocol (§3.5):
+	// a three-round handshake gives every peer at most one parent.
+	TCoP = coord.TCoP
+	// Broadcast is the §3.1 baseline where the leaf contacts all n peers
+	// and peers exchange state in a group communication.
+	Broadcast = coord.Broadcast
+	// Unicast is the §3.1 chain baseline: one peer informs the next.
+	Unicast = coord.Unicast
+	// Centralized is the 2PC-style controller protocol of reference [5].
+	Centralized = coord.Centralized
+	// AMS is the asynchronous multi-source streaming precursor of the
+	// paper's references [3–5]: asynchronous start plus periodic
+	// all-to-all state exchange over causal group communication.
+	AMS = coord.AMS
+)
+
+// Protocols lists every implemented coordination protocol.
+var Protocols = coord.Protocols
+
+// SimConfig parameterizes a simulated coordination/streaming run. See
+// the field documentation for the paper mapping (n, H, h, τ, δ, ρ_s).
+type SimConfig = coord.Config
+
+// SimResult carries the metrics of a simulated run.
+type SimResult = coord.Result
+
+// PeerID identifies a contents peer in a simulation (0..N-1).
+type PeerID = overlay.PeerID
+
+// BurstParams parameterizes the Gilbert–Elliott bursty loss model on
+// every simulated channel (§3.2's bursty loss).
+type BurstParams = coord.BurstParams
+
+// Tracer records simulation events (activations, control packets,
+// hand-offs, crashes) for timeline analysis; see cmd/msstrace.
+type Tracer = trace.Tracer
+
+// NewTracer returns a tracer holding up to capacity events.
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// DefaultSimConfig returns the paper's evaluation setting (n = 100
+// contents peers, reliable links, δ = 1).
+func DefaultSimConfig() SimConfig { return coord.DefaultConfig() }
+
+// Simulate runs the named protocol under cfg on the discrete-event
+// simulator and returns its metrics.
+func Simulate(protocol string, cfg SimConfig) (SimResult, error) {
+	return coord.Run(protocol, cfg)
+}
+
+// ---- experiments ---------------------------------------------------------
+
+// ExperimentOptions parameterizes the figure sweeps.
+type ExperimentOptions = experiment.Options
+
+// Series is one protocol's sweep over H.
+type Series = experiment.Series
+
+// BaselineRow is one protocol's entry in the baseline comparison table.
+type BaselineRow = experiment.BaselineRow
+
+// DefaultExperimentOptions returns the paper-scale sweep (n = 100,
+// H ∈ {2..100}, 5 seeds).
+func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
+
+// Figure10 regenerates "Rounds and number of control packets in DCoP".
+func Figure10(o ExperimentOptions) (Series, error) { return experiment.Figure10(o) }
+
+// Figure11 regenerates "Rounds and number of control packets in TCoP".
+func Figure11(o ExperimentOptions) (Series, error) { return experiment.Figure11(o) }
+
+// Figure12 regenerates "Receipt rate of leaf peer" for DCoP and TCoP.
+func Figure12(o ExperimentOptions) (dcop, tcop Series, err error) { return experiment.Figure12(o) }
+
+// Baselines compares all five protocols at fanout H.
+func Baselines(o ExperimentOptions, H int) ([]BaselineRow, error) { return experiment.Baselines(o, H) }
+
+// PrintSeries writes a sweep as an aligned table.
+func PrintSeries(w io.Writer, title string, s Series) { experiment.FprintSeries(w, title, s) }
+
+// PrintRateSeries writes a Figure 12 pair as an aligned table.
+func PrintRateSeries(w io.Writer, title string, dcop, tcop Series) {
+	experiment.FprintRateSeries(w, title, dcop, tcop)
+}
+
+// PrintBaselines writes the baseline comparison as an aligned table.
+func PrintBaselines(w io.Writer, title string, rows []BaselineRow) {
+	experiment.FprintBaselines(w, title, rows)
+}
+
+// SeriesCSV renders a sweep as CSV.
+func SeriesCSV(s Series) string { return experiment.SeriesCSV(s) }
+
+// GossipCoveragePoint is one fanout's mean dissemination coverage.
+type GossipCoveragePoint = experiment.GossipCoveragePoint
+
+// GossipCoverage sweeps gossip fanout vs coverage — the reference-[6]
+// phase transition behind DCoP's H ≳ ln n requirement.
+func GossipCoverage(n int, fanouts []int, seeds int) ([]GossipCoveragePoint, error) {
+	return experiment.GossipCoverage(n, fanouts, seeds)
+}
+
+// PrintGossipCoverage writes the coverage sweep as a table.
+func PrintGossipCoverage(w io.Writer, n int, pts []GossipCoveragePoint) {
+	experiment.FprintGossipCoverage(w, n, pts)
+}
+
+// ---- heterogeneous scheduling (§2) ----------------------------------------
+
+// Channel models a logical channel CC_i with slot length τ_i.
+type Channel = schedule.Channel
+
+// Allocation is the result of allocating packets to channels.
+type Allocation = schedule.Allocation
+
+// Allocator allocates packets incrementally and supports mid-stream
+// bandwidth changes (the paper's §5 heterogeneous extension).
+type Allocator = schedule.Allocator
+
+// Allocate assigns packets t_1..t_l to channels with the paper's §2
+// algorithm (earliest-finishing initial slot, largest start time).
+func Allocate(l int, channels []Channel) Allocation { return schedule.Allocate(l, channels) }
+
+// NewAllocator returns an incremental allocator over the channels.
+func NewAllocator(channels []Channel) *Allocator { return schedule.NewAllocator(channels) }
+
+// ProportionalChannels builds channels realizing relative bandwidths
+// (e.g. 4:2:1 as in the paper's Figure 1).
+func ProportionalChannels(bandwidths ...float64) []Channel {
+	return schedule.ProportionalChannels(bandwidths...)
+}
+
+// ---- live streaming -------------------------------------------------------
+
+// Content is a multimedia content decomposed into packets (§2).
+type Content = content.Content
+
+// NewContent wraps data as a content with the given packet size.
+func NewContent(id string, data []byte, packetSize int) *Content {
+	return content.New(id, data, packetSize)
+}
+
+// Assembler reassembles a content at a leaf from packet arrivals.
+type Assembler = content.Assembler
+
+// NewAssembler prepares reassembly of a content of size bytes split into
+// packetSize-byte packets.
+func NewAssembler(size, packetSize int) *Assembler { return content.NewAssembler(size, packetSize) }
+
+// LivePeer is a contents peer running on goroutines and a real transport.
+type LivePeer = live.Peer
+
+// LivePeerConfig configures a live contents peer.
+type LivePeerConfig = live.PeerConfig
+
+// LiveLeaf is a leaf peer receiving a live stream.
+type LiveLeaf = live.Leaf
+
+// LiveLeafConfig configures a live leaf peer.
+type LiveLeafConfig = live.LeafConfig
+
+// TransportMsg is a framed live-transport message.
+type TransportMsg = transport.Msg
+
+// TransportHandler processes inbound live-transport messages.
+type TransportHandler = transport.Handler
+
+// TransportEndpoint sends live-transport messages to named peers.
+type TransportEndpoint = transport.Endpoint
+
+// Fabric is the in-memory transport for single-process demos and tests.
+type Fabric = transport.Fabric
+
+// NewFabric returns an empty in-memory transport fabric.
+func NewFabric() *Fabric { return transport.NewFabric() }
+
+// ListenTCP starts a TCP transport endpoint on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string, h TransportHandler) (TransportEndpoint, error) {
+	return transport.ListenTCP(addr, h)
+}
+
+// NewLivePeer starts a live contents peer; attach receives the peer's
+// message handler and must return its transport endpoint.
+func NewLivePeer(cfg LivePeerConfig, attach func(TransportHandler) (TransportEndpoint, error)) (*LivePeer, error) {
+	return live.NewPeer(cfg, attach)
+}
+
+// NewLiveLeaf starts a live leaf peer.
+func NewLiveLeaf(cfg LiveLeafConfig, attach func(TransportHandler) (TransportEndpoint, error)) (*LiveLeaf, error) {
+	return live.NewLeaf(cfg, attach)
+}
+
+// WriteRoundsSVG renders a Figure 10/11-style chart (rounds + control
+// packets vs H) into dir/name.svg.
+func WriteRoundsSVG(dir, name, title string, s Series) error {
+	return experiment.WriteSVG(dir, name, experiment.RoundsChart(title, s))
+}
+
+// WriteRateSVG renders a Figure 12-style chart (receipt rate vs H) into
+// dir/name.svg.
+func WriteRateSVG(dir, name, title string, dcop, tcop Series) error {
+	return experiment.WriteSVG(dir, name, experiment.RateChart(title, dcop, tcop))
+}
+
+// LiveCluster is a running live session (peers + leaf) created by
+// StartLiveCluster.
+type LiveCluster = live.Cluster
+
+// LiveClusterConfig wires a whole live session in one call.
+type LiveClusterConfig = live.ClusterConfig
+
+// Live protocol names for LivePeerConfig.Protocol and
+// LiveClusterConfig.Protocol.
+const (
+	LiveTCoP = live.ProtocolTCoP
+	LiveDCoP = live.ProtocolDCoP
+)
+
+// StartLiveCluster builds and starts a live session: n contents peers
+// plus a leaf over the in-memory fabric or TCP loopback, with the
+// content request already sent.
+func StartLiveCluster(cfg LiveClusterConfig) (*LiveCluster, error) {
+	return live.StartCluster(cfg)
+}
+
+// ContentStore is a peer's catalog of contents, keyed by ID.
+type ContentStore = content.Store
+
+// NewContentStore returns an empty content catalog.
+func NewContentStore() *ContentStore { return content.NewStore() }

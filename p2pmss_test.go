@@ -1,0 +1,140 @@
+package p2pmss
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimulatePublicAPI(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.N = 30
+	cfg.H = 10
+	for _, proto := range Protocols {
+		res, err := Simulate(proto, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if res.Protocol != proto {
+			t.Errorf("protocol = %q", res.Protocol)
+		}
+		if res.ActivePeers == 0 {
+			t.Errorf("%s: no peers activated", proto)
+		}
+	}
+}
+
+func TestExperimentPublicAPI(t *testing.T) {
+	o := DefaultExperimentOptions()
+	o.N = 20
+	o.Hs = []int{5, 20}
+	o.Seeds = 1
+	s, err := Figure10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	PrintSeries(&b, "fig10", s)
+	if !strings.Contains(b.String(), "fig10") {
+		t.Error("PrintSeries output missing title")
+	}
+	if !strings.Contains(SeriesCSV(s), "dcop") {
+		t.Error("CSV missing protocol")
+	}
+	rows, err := Baselines(ExperimentOptions{N: 10, Hs: []int{4}, Seeds: 1, Rate: 2, ContentLen: 2000, Window: 40}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bb strings.Builder
+	PrintBaselines(&bb, "base", rows)
+	if !strings.Contains(bb.String(), "unicast") {
+		t.Error("baseline table missing unicast")
+	}
+}
+
+func TestAllocatePublicAPI(t *testing.T) {
+	al := Allocate(7, ProportionalChannels(4, 2, 1))
+	if len(al.PerChannel[0]) != 4 {
+		t.Errorf("fast channel got %v", al.PerChannel[0])
+	}
+	a := NewAllocator(ProportionalChannels(1, 1))
+	a.Next()
+	a.SetSlotLen(0, 2)
+	a.Next()
+	if a.Allocated() != 2 {
+		t.Error("allocator miscounts")
+	}
+}
+
+func TestContentAndAssemblerPublicAPI(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	c := NewContent("q", data, 8)
+	a := NewAssembler(len(data), 8)
+	for k := int64(1); k <= c.NumPackets(); k++ {
+		a.Add(c.Packet(k))
+	}
+	got, ok := a.Bytes()
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("assembler round trip failed")
+	}
+}
+
+// End-to-end public-API live session over the in-memory fabric.
+func TestLiveSessionPublicAPI(t *testing.T) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(5)).Read(data)
+	c := NewContent("api", data, 64)
+	f := NewFabric()
+	roster := []string{"p0", "p1", "p2", "p3", "p4"}
+	var peers []*LivePeer
+	for i, name := range roster {
+		name := name
+		p, err := NewLivePeer(LivePeerConfig{
+			Content:  c,
+			Roster:   roster,
+			H:        3,
+			Interval: 2,
+			Delta:    5 * time.Millisecond,
+			Seed:     int64(i) + 1,
+		}, func(h TransportHandler) (TransportEndpoint, error) {
+			return f.Endpoint(name, h), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+	leaf, err := NewLiveLeaf(LiveLeafConfig{
+		Roster:      roster,
+		H:           3,
+		Interval:    2,
+		Rate:        500,
+		ContentSize: len(data),
+		PacketSize:  64,
+		RepairAfter: 300 * time.Millisecond,
+		Seed:        9,
+	}, func(h TransportHandler) (TransportEndpoint, error) {
+		return f.Endpoint("leaf", h), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	if err := leaf.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaf.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := leaf.Bytes()
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("live session content mismatch")
+	}
+}
