@@ -2,6 +2,7 @@ package p2pmss
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -12,11 +13,15 @@ import (
 // reproduction record (see EXPERIMENTS.md). For the paper-scale sweep
 // with seed averaging, run cmd/mssim.
 
-// benchOptions returns a single-seed sweep sized for benchmarking.
+// benchOptions returns a single-seed sweep sized for benchmarking. The
+// figure benchmarks run on the worker pool; the sweep output is
+// byte-identical to serial (asserted in internal/experiment), so the
+// reproduction record is unaffected.
 func benchOptions() ExperimentOptions {
 	o := DefaultExperimentOptions()
 	o.Seeds = 1
 	o.Hs = []int{2, 10, 20, 40, 60, 80, 100}
+	o.Parallel = runtime.NumCPU()
 	return o
 }
 
@@ -122,6 +127,28 @@ func BenchmarkFaultTolerance(b *testing.B) {
 		delivered = float64(res.DeliveredData) / float64(cfg.ContentLen)
 	}
 	b.ReportMetric(delivered*100, "delivered-%")
+}
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel run the same
+// multi-seed data-plane sweep serially and on the NumCPU-bounded worker
+// pool. The results are identical by construction; the ratio of the two
+// wall-clock times is the experiment harness speedup.
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, runtime.NumCPU()) }
+
+func benchSweep(b *testing.B, workers int) {
+	o := DefaultExperimentOptions()
+	o.N = 60
+	o.Hs = []int{10, 20, 30, 60}
+	o.Seeds = 4
+	o.ContentLen = 10000
+	o.Window = 100
+	o.Parallel = workers
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Figure12(o); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkDCoPSync and BenchmarkTCoPSync measure raw coordination speed

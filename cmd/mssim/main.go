@@ -11,12 +11,14 @@
 //	mssim -fig 10 -csv         # machine-readable output
 //	mssim -fig 10 -n 100 -seeds 5 -hs 2,10,60,100
 //	mssim -fig 10 -noshare     # leaf does not share its initial selection
+//	mssim -fig 12 -parallel 1  # serial sweep (output identical to parallel)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -25,14 +27,16 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, baselines, all")
-		n       = flag.Int("n", 100, "number of contents peers")
-		seeds   = flag.Int("seeds", 5, "seeds averaged per point")
-		hs      = flag.String("hs", "", "comma-separated H values (default paper sweep)")
-		hFixed  = flag.Int("h-fixed", 10, "fanout for the baseline comparison")
-		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
-		noshare = flag.Bool("noshare", false, "leaf request does not carry the selected set")
-		svgDir  = flag.String("svg", "", "also render figures as SVG into this directory")
+		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, baselines, all")
+		n        = flag.Int("n", 100, "number of contents peers")
+		seeds    = flag.Int("seeds", 5, "seeds averaged per point")
+		hs       = flag.String("hs", "", "comma-separated H values (default paper sweep)")
+		hFixed   = flag.Int("h-fixed", 10, "fanout for the baseline comparison")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		noshare  = flag.Bool("noshare", false, "leaf request does not carry the selected set")
+		svgDir   = flag.String("svg", "", "also render figures as SVG into this directory")
+		parallel = flag.Int("parallel", runtime.NumCPU(),
+			"worker goroutines for sweep points (1 = serial; output is byte-identical at any setting)")
 	)
 	flag.Parse()
 
@@ -40,6 +44,7 @@ func main() {
 	o.N = *n
 	o.Seeds = *seeds
 	o.LeafShares = !*noshare
+	o.Parallel = *parallel
 	if *hs != "" {
 		o.Hs = nil
 		for _, part := range strings.Split(*hs, ",") {

@@ -581,11 +581,10 @@ func (r *runner) run() Result {
 		}
 	}
 	if r.cfg.TrackDelivery && r.leaf.recov != nil {
-		for k := int64(1); k <= r.cfg.ContentLen; k++ {
-			if r.leaf.recov.HasData(k) {
-				r.res.DeliveredData++
-			}
-		}
+		// Every data key the recoverer holds is a content index in
+		// 1..ContentLen (transmitters and repair only emit those), so the
+		// counter equals the per-index scan it replaces.
+		r.res.DeliveredData = int64(r.leaf.recov.DataPresent())
 		r.res.RecoveredData = int64(r.leaf.recov.Recovered())
 	}
 	if r.cfg.DataPlane && r.measureDone && r.cfg.Window > 0 {

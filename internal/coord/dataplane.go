@@ -1,6 +1,8 @@
 package coord
 
 import (
+	"slices"
+
 	"p2pmss/internal/des"
 	"p2pmss/internal/parity"
 	"p2pmss/internal/seq"
@@ -166,12 +168,29 @@ type leafNode struct {
 	// Repair loop state (Config.Repair).
 	lastProgress int64
 	repairRounds int
+	quietChecks  int
+	// missing tracks the not-yet-present content indices incrementally
+	// off the recoverer, so a repair check costs O(|missing|) instead of
+	// rescanning all ContentLen indices every interval.
+	missing map[int64]struct{}
 }
 
 func newLeaf(r *runner) *leafNode {
 	l := &leafNode{r: r, seen: make(map[string]int)}
 	if r.cfg.TrackDelivery {
 		l.recov = parity.NewRecoverer()
+	}
+	if r.cfg.Repair {
+		// Seed lastProgress so that even after the bounded quiet-period
+		// checks in repairCheck are exhausted, the first fall-through
+		// records progress (-1 never equals Present()) instead of burning
+		// a repair round on a spurious request.
+		l.lastProgress = -1
+		l.missing = make(map[int64]struct{}, r.cfg.ContentLen)
+		for k := int64(1); k <= r.cfg.ContentLen; k++ {
+			l.missing[k] = struct{}{}
+		}
+		l.recov.OnData(func(k int64) { delete(l.missing, k) })
 	}
 	return l
 }
@@ -262,9 +281,18 @@ func splitParts(parts []seq.Sequence) (keep seq.Sequence, given []seq.Sequence) 
 // the missing packets.
 func (l *leafNode) repairCheck() {
 	r := l.r
-	missing := l.missingData()
-	if len(missing) == 0 || l.repairRounds >= r.cfg.RepairMaxRounds {
+	if len(l.missing) == 0 || l.repairRounds >= r.cfg.RepairMaxRounds {
 		return // complete, or giving up
+	}
+	if l.recov.Present() == 0 && l.quietChecks < r.cfg.RepairMaxRounds {
+		// Nothing has arrived yet: coordination and the first transmission
+		// slot are still in flight, so a flat counter is a quiet period,
+		// not a stall. Bounded by RepairMaxRounds so a run where no packet
+		// ever arrives still falls through to the stall path below (and
+		// repair, then give-up) instead of rescheduling forever.
+		l.quietChecks++
+		r.eng.After(r.cfg.RepairInterval, l.repairCheck)
+		return
 	}
 	if cur := int64(l.recov.Present()); cur != l.lastProgress {
 		l.lastProgress = cur
@@ -272,6 +300,7 @@ func (l *leafNode) repairCheck() {
 		return // still flowing; check again later
 	}
 	l.repairRounds++
+	missing := l.missingData()
 	const batch = 64
 	if len(missing) > batch {
 		missing = missing[:batch]
@@ -293,13 +322,14 @@ func (l *leafNode) repairCheck() {
 	r.eng.After(r.cfg.RepairInterval, l.repairCheck)
 }
 
-// missingData lists the content indices not yet present.
+// missingData lists the content indices not yet present, in order. It
+// reads the incrementally maintained missing set rather than probing
+// every index of the content.
 func (l *leafNode) missingData() []int64 {
-	var out []int64
-	for k := int64(1); k <= l.r.cfg.ContentLen; k++ {
-		if !l.recov.HasData(k) {
-			out = append(out, k)
-		}
+	out := make([]int64, 0, len(l.missing))
+	for k := range l.missing {
+		out = append(out, k)
 	}
+	slices.Sort(out)
 	return out
 }

@@ -31,6 +31,12 @@ type Options struct {
 	Rate       float64
 	ContentLen int64
 	Window     float64
+	// Parallel is the number of worker goroutines sweep points fan out
+	// over: 0 or 1 runs serially, a negative value selects
+	// runtime.NumCPU(). Every run is an isolated deterministic DES
+	// instance and results are collected by grid index, so tables,
+	// series and SVGs are byte-identical at any setting.
+	Parallel int
 }
 
 // DefaultOptions returns the paper's setting: n = 100, H swept over
@@ -94,32 +100,71 @@ type Series struct {
 	Points   []Point
 }
 
-// sweep runs the protocol for every H and seed.
+// pointConfig resolves the coordination config of one sweep point.
+func (o Options) pointConfig(H, seed int, dataPlane bool) coord.Config {
+	cfg := coord.DefaultConfig()
+	cfg.N = o.N
+	cfg.H = H
+	cfg.Seed = int64(seed + 1)
+	cfg.LeafShares = o.LeafShares
+	if dataPlane {
+		cfg.DataPlane = true
+		cfg.Rate = o.Rate
+		cfg.ContentLen = o.ContentLen
+		cfg.Window = o.Window
+	}
+	return cfg
+}
+
+// checkHs rejects sweep points outside 1..N up front, so a caller asking
+// for an out-of-range sweep gets an error instead of a silently shorter
+// series.
+func (o Options) checkHs() error {
+	for _, H := range o.Hs {
+		if H < 1 || H > o.N {
+			return fmt.Errorf("experiment: sweep point H=%d out of range 1..N=%d", H, o.N)
+		}
+	}
+	return nil
+}
+
+// sweepJobs lays out the (H, seed) grid of one protocol's sweep in the
+// aggregation order of aggregateSweep.
+func sweepJobs(protocol string, o Options, dataPlane bool) []runJob {
+	jobs := make([]runJob, 0, len(o.Hs)*o.Seeds)
+	for _, H := range o.Hs {
+		for seed := 0; seed < o.Seeds; seed++ {
+			jobs = append(jobs, runJob{protocol, o.pointConfig(H, seed, dataPlane)})
+		}
+	}
+	return jobs
+}
+
+// sweep runs the protocol for every H and seed, fanning the grid out
+// over Options.Parallel workers.
 func sweep(protocol string, o Options, dataPlane bool) (Series, error) {
 	o.normalize()
+	if err := o.checkHs(); err != nil {
+		return Series{}, err
+	}
+	results, err := runGrid(sweepJobs(protocol, o, dataPlane), o.Parallel)
+	if err != nil {
+		return Series{}, err
+	}
+	return aggregateSweep(protocol, o, results), nil
+}
+
+// aggregateSweep averages per-(H, seed) results, laid out in sweepJobs
+// order, into one series.
+func aggregateSweep(protocol string, o Options, results []coord.Result) Series {
 	s := Series{Protocol: protocol}
+	idx := 0
 	for _, H := range o.Hs {
-		if H > o.N {
-			continue
-		}
 		p := Point{H: H}
 		var rounds, syncRounds, packets, active, syncTime, rate, dup stats.Sample
 		for seed := 0; seed < o.Seeds; seed++ {
-			cfg := coord.DefaultConfig()
-			cfg.N = o.N
-			cfg.H = H
-			cfg.Seed = int64(seed + 1)
-			cfg.LeafShares = o.LeafShares
-			if dataPlane {
-				cfg.DataPlane = true
-				cfg.Rate = o.Rate
-				cfg.ContentLen = o.ContentLen
-				cfg.Window = o.Window
-			}
-			res, err := coord.Run(protocol, cfg)
-			if err != nil {
-				return Series{}, err
-			}
+			res := results[idx]
+			idx++
 			rounds.Add(float64(res.Rounds))
 			syncRounds.Add(float64(res.SyncRounds))
 			packets.Add(float64(res.ControlPackets))
@@ -144,7 +189,7 @@ func sweep(protocol string, o Options, dataPlane bool) (Series, error) {
 		p.ReceiptRateCI = rate.CI95()
 		s.Points = append(s.Points, p)
 	}
-	return s, nil
+	return s
 }
 
 // Figure10 reproduces "Rounds and number of control packets in DCoP".
@@ -154,13 +199,22 @@ func Figure10(o Options) (Series, error) { return sweep(coord.DCoP, o, false) }
 func Figure11(o Options) (Series, error) { return sweep(coord.TCoP, o, false) }
 
 // Figure12 reproduces "Receipt rate of leaf peer" for DCoP and TCoP.
+// Both protocols' grids run on one worker pool so the sweep has a single
+// fan-out barrier instead of two.
 func Figure12(o Options) (dcop, tcop Series, err error) {
-	dcop, err = sweep(coord.DCoP, o, true)
-	if err != nil {
-		return
+	o.normalize()
+	if err := o.checkHs(); err != nil {
+		return Series{}, Series{}, err
 	}
-	tcop, err = sweep(coord.TCoP, o, true)
-	return
+	dj := sweepJobs(coord.DCoP, o, true)
+	jobs := append(dj, sweepJobs(coord.TCoP, o, true)...)
+	results, err := runGrid(jobs, o.Parallel)
+	if err != nil {
+		return Series{}, Series{}, err
+	}
+	dcop = aggregateSweep(coord.DCoP, o, results[:len(dj)])
+	tcop = aggregateSweep(coord.TCoP, o, results[len(dj):])
+	return dcop, tcop, nil
 }
 
 // BaselineRow is one protocol's entry in the baseline comparison.
@@ -179,24 +233,27 @@ type BaselineRow struct {
 // between).
 func Baselines(o Options, H int) ([]BaselineRow, error) {
 	o.normalize()
+	if H < 1 || H > o.N {
+		return nil, fmt.Errorf("experiment: baseline H=%d out of range 1..N=%d", H, o.N)
+	}
+	jobs := make([]runJob, 0, len(coord.Protocols)*o.Seeds)
+	for _, proto := range coord.Protocols {
+		for seed := 0; seed < o.Seeds; seed++ {
+			jobs = append(jobs, runJob{proto, o.pointConfig(H, seed, true)})
+		}
+	}
+	results, err := runGrid(jobs, o.Parallel)
+	if err != nil {
+		return nil, err
+	}
 	var rows []BaselineRow
+	idx := 0
 	for _, proto := range coord.Protocols {
 		var row BaselineRow
 		row.Protocol = proto
 		for seed := 0; seed < o.Seeds; seed++ {
-			cfg := coord.DefaultConfig()
-			cfg.N = o.N
-			cfg.H = H
-			cfg.Seed = int64(seed + 1)
-			cfg.LeafShares = o.LeafShares
-			cfg.DataPlane = true
-			cfg.Rate = o.Rate
-			cfg.ContentLen = o.ContentLen
-			cfg.Window = o.Window
-			res, err := coord.Run(proto, cfg)
-			if err != nil {
-				return nil, err
-			}
+			res := results[idx]
+			idx++
 			row.Rounds += float64(res.Rounds)
 			row.SyncRounds += float64(res.SyncRounds)
 			row.ControlPackets += float64(res.ControlPackets)

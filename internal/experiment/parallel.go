@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"p2pmss/internal/coord"
+)
+
+// runJob is one grid point of a sweep: a protocol run under a fixed,
+// fully-resolved configuration.
+type runJob struct {
+	protocol string
+	cfg      coord.Config
+}
+
+// runGrid executes the jobs and returns their results in job order.
+// workers <= 1 runs serially on the calling goroutine; workers < 0
+// selects runtime.NumCPU(). Any other value fans the jobs out over a
+// bounded worker pool.
+//
+// Determinism: each coord.Run is an isolated discrete-event simulation
+// seeded from its own config, sharing no state with its neighbours, and
+// results land in a slice indexed by job order — so the output (and
+// anything rendered from it) is byte-identical for every worker count.
+// Errors are likewise reported deterministically: the whole grid runs,
+// then the error of the lowest-indexed failing job is returned.
+func runGrid(jobs []runJob, workers int) ([]coord.Result, error) {
+	results := make([]coord.Result, len(jobs))
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			res, err := coord.Run(j.protocol, j.cfg)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	errs := make([]error, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = coord.Run(jobs[i].protocol, jobs[i].cfg)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,106 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2pmss/internal/seq"
+)
+
+// Randomly nested parity packets round-trip through their identity keys:
+// CoversOf(p.Key()) returns exactly p.Covers at every nesting level.
+func TestCoversOfNestedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		pool := []seq.Packet{seq.NewData(int64(rng.Intn(50) + 1))}
+		for depth := 0; depth < 1+rng.Intn(4); depth++ {
+			n := 1 + rng.Intn(3)
+			covered := make([]seq.Packet, 0, n)
+			for i := 0; i < n; i++ {
+				covered = append(covered, pool[rng.Intn(len(pool))])
+			}
+			p := seq.NewParity(covered, float64(trial))
+			covers, ok := CoversOf(p.Key())
+			if !ok {
+				t.Fatalf("CoversOf rejected constructed key %q", p.Key())
+			}
+			if len(covers) != len(p.Covers) {
+				t.Fatalf("CoversOf(%q) = %v, want %v", p.Key(), covers, p.Covers)
+			}
+			for i := range covers {
+				if covers[i] != p.Covers[i] {
+					t.Fatalf("cover %d = %q, want %q", i, covers[i], p.Covers[i])
+				}
+			}
+			pool = append(pool, p)
+		}
+	}
+}
+
+// |Esq(pkt, h)| = |pkt| + ⌈|pkt|/h⌉: one parity packet per (possibly
+// short final) recovery segment, for arbitrary lengths and intervals.
+func TestEnhanceCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		l := int64(1 + rng.Intn(200))
+		h := 1 + rng.Intn(12)
+		s := seq.Range(1, l)
+		e := Enhance(s, h)
+		segments := (int(l) + h - 1) / h
+		if len(e) != int(l)+segments {
+			t.Fatalf("|Enhance(len %d, h %d)| = %d, want %d", l, h, len(e), int(l)+segments)
+		}
+		if e.CountData() != int(l) || e.CountParity() != segments {
+			t.Fatalf("enhanced counts: %d data, %d parity", e.CountData(), e.CountParity())
+		}
+	}
+}
+
+// DataKey/DataIndexOf invert each other, and reject non-data keys.
+func TestDataKeyRoundTrip(t *testing.T) {
+	for _, k := range []int64{1, 7, 100000} {
+		got, ok := DataIndexOf(DataKey(k))
+		if !ok || got != k {
+			t.Errorf("DataIndexOf(DataKey(%d)) = %d, %v", k, got, ok)
+		}
+	}
+	for _, bad := range []string{"", "t", "p(t1,t2)", "x7", "tx"} {
+		if _, ok := DataIndexOf(bad); ok {
+			t.Errorf("DataIndexOf(%q) accepted", bad)
+		}
+	}
+}
+
+// The OnData hook fires exactly once per content index, for received and
+// recovered packets alike, and DataPresent tracks it.
+func TestRecovererDataHook(t *testing.T) {
+	var s seq.Sequence
+	rng := rand.New(rand.NewSource(2))
+	for k := int64(1); k <= 20; k++ {
+		buf := make([]byte, 16)
+		rng.Read(buf)
+		s = append(s, seq.NewDataPayload(k, buf))
+	}
+	e := Enhance(s, 4)
+	r := NewRecoverer()
+	seen := map[int64]int{}
+	r.OnData(func(k int64) { seen[k]++ })
+	for j, p := range e {
+		if j%5 == 2 {
+			continue // drop one packet per segment; parity recovers it
+		}
+		r.Add(p)
+		r.Add(p) // duplicate delivery must not re-fire the hook
+	}
+	if len(seen) != 20 || r.DataPresent() != 20 {
+		t.Fatalf("hook saw %d indices, DataPresent %d, want 20", len(seen), r.DataPresent())
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("t%d hook fired %d times", k, n)
+		}
+	}
+	if r.Recovered() == 0 {
+		t.Error("nothing was recovered; hook path for derived packets untested")
+	}
+}

@@ -21,6 +21,7 @@ package parity
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"p2pmss/internal/seq"
@@ -153,6 +154,24 @@ func CoversOf(key string) (covers []string, ok bool) {
 	return covers, true
 }
 
+// DataKey returns the identity key "t<k>" of content data packet t_k.
+func DataKey(k int64) string {
+	return "t" + strconv.FormatInt(k, 10)
+}
+
+// DataIndexOf parses a data identity key "t<k>" back into its content
+// index. ok is false when key is not a data key.
+func DataIndexOf(key string) (k int64, ok bool) {
+	if len(key) < 2 || key[0] != 't' {
+		return 0, false
+	}
+	k, err := strconv.ParseInt(key[1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return k, true
+}
+
 // Recoverer reconstructs lost packets at the leaf peer from received data
 // and parity packets. Add every received packet, then call Recover (or
 // rely on the incremental recovery Add performs). A packet is "present"
@@ -163,11 +182,16 @@ func CoversOf(key string) (covers []string, ok bool) {
 // parity payload with the present covers' payloads. Derived parity packets
 // recursively enable further recovery; Recover runs to a fixpoint.
 type Recoverer struct {
-	payload map[string][]byte   // key → payload for present packets
-	rules   map[string][]string // parity key → covered keys (known structure)
-	// watch maps a missing key to the parity rules that cover it, so
-	// recovery is incremental rather than a full rescan.
+	payload   map[string][]byte   // key → payload for present packets
+	rules     map[string][]string // parity key → covered keys (known structure)
 	recovered int
+	// dataPresent counts the distinct data packets present, so callers
+	// need not rescan the whole content to measure delivery.
+	dataPresent int
+	// onData, when set, is invoked with the content index of every data
+	// packet that becomes present (received or recovered), exactly once
+	// per index — the incremental feed for missing-set tracking.
+	onData func(k int64)
 }
 
 // NewRecoverer returns an empty Recoverer.
@@ -188,10 +212,27 @@ func (r *Recoverer) AddKey(key string, payload []byte) {
 	if r.Has(key) {
 		return
 	}
-	r.payload[key] = payload
+	r.markPresent(key, payload)
 	r.noteRule(key)
 	r.fixpoint()
 }
+
+// markPresent is the single insertion point into the present-packet map:
+// it maintains the data-packet counter and fires the OnData hook.
+func (r *Recoverer) markPresent(key string, payload []byte) {
+	r.payload[key] = payload
+	if k, ok := DataIndexOf(key); ok {
+		r.dataPresent++
+		if r.onData != nil {
+			r.onData(k)
+		}
+	}
+}
+
+// OnData registers fn to be called with the content index of every data
+// packet that becomes present from now on (received or recovered), once
+// per index. Pass nil to clear.
+func (r *Recoverer) OnData(fn func(k int64)) { r.onData = fn }
 
 // noteRule registers the recovery rule implied by a parity key, and
 // recursively the rules of nested parity covers.
@@ -218,12 +259,12 @@ func (r *Recoverer) Has(key string) bool {
 
 // HasData reports whether content data packet t_k is present.
 func (r *Recoverer) HasData(k int64) bool {
-	return r.Has(fmt.Sprintf("t%d", k))
+	return r.Has(DataKey(k))
 }
 
 // DataPayload returns the payload of data packet t_k if present.
 func (r *Recoverer) DataPayload(k int64) ([]byte, bool) {
-	b, ok := r.payload[fmt.Sprintf("t%d", k)]
+	b, ok := r.payload[DataKey(k)]
 	return b, ok
 }
 
@@ -234,6 +275,9 @@ func (r *Recoverer) Recovered() int { return r.recovered }
 // Present returns the number of present packets (received + recovered).
 func (r *Recoverer) Present() int { return len(r.payload) }
 
+// DataPresent returns the number of distinct data packets present.
+func (r *Recoverer) DataPresent() int { return r.dataPresent }
+
 // fixpoint applies recovery rules until no further packet can be derived.
 func (r *Recoverer) fixpoint() {
 	for {
@@ -243,7 +287,7 @@ func (r *Recoverer) fixpoint() {
 				// The parity itself can be rebuilt if all covers are
 				// present; that in turn may satisfy an outer rule.
 				if r.allPresent(covers) {
-					r.payload[pk] = r.xorOf(covers, nil)
+					r.markPresent(pk, r.xorOf(covers, "", ""))
 					r.recovered++
 					progressed = true
 				}
@@ -261,7 +305,7 @@ func (r *Recoverer) fixpoint() {
 				}
 			}
 			if nMissing == 1 {
-				r.payload[missing] = r.xorOf(covers, &missing)
+				r.markPresent(missing, r.xorOf(covers, missing, pk))
 				r.noteRule(missing)
 				r.recovered++
 				progressed = true
@@ -282,20 +326,20 @@ func (r *Recoverer) allPresent(keys []string) bool {
 	return true
 }
 
-// xorOf XORs the payloads of the given present covers, excluding skip, and
-// of the parity packet owning them when skip != nil.
-func (r *Recoverer) xorOf(covers []string, skip *string) []byte {
-	var bufs [][]byte
+// xorOf XORs the payloads of the given present covers, excluding skip,
+// and of the parity packet parityKey owning them when skip is non-empty
+// (missing = p ⊕ others). The caller already holds the parity key, so it
+// is never re-joined from the cover strings.
+func (r *Recoverer) xorOf(covers []string, skip, parityKey string) []byte {
+	bufs := make([][]byte, 0, len(covers)+1)
 	for _, c := range covers {
-		if skip != nil && c == *skip {
+		if skip != "" && c == skip {
 			continue
 		}
 		bufs = append(bufs, r.payload[c])
 	}
-	if skip != nil {
-		// Include the parity packet payload itself: missing = p ⊕ others.
-		pk := "p(" + strings.Join(covers, ",") + ")"
-		bufs = append(bufs, r.payload[pk])
+	if skip != "" {
+		bufs = append(bufs, r.payload[parityKey])
 	}
 	return XOR(bufs)
 }

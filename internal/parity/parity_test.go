@@ -289,18 +289,27 @@ func TestEnhancePanicsOnBadInterval(t *testing.T) {
 func FuzzCoversOf(f *testing.F) {
 	f.Add("p(t1,t2)")
 	f.Add("p(t5,p(t7,t8),t9)")
+	f.Add("p(p(t1,t2),p(t3,p(t4,t5)))")
 	f.Add("t3")
 	f.Add("p(")
+	f.Add("p()")
+	f.Add("p(,)")
+	f.Add("p(a))")
+	f.Add("p((a)")
 	f.Add("")
 	f.Fuzz(func(t *testing.T, key string) {
 		covers, ok := CoversOf(key)
 		if !ok {
 			return
 		}
-		// Parsed covers joined back must reproduce the key.
+		// Parsed covers joined back must reproduce the key, and every
+		// accepted key is paren-balanced.
 		rebuilt := "p(" + strings.Join(covers, ",") + ")"
 		if rebuilt != key {
 			t.Errorf("round trip: %q -> %v -> %q", key, covers, rebuilt)
+		}
+		if strings.Count(key, "(") != strings.Count(key, ")") {
+			t.Errorf("accepted unbalanced key %q", key)
 		}
 	})
 }

@@ -42,3 +42,35 @@ func BenchmarkPacketKey(b *testing.B) {
 		_ = p.Key()
 	}
 }
+
+// BenchmarkUnionParity unions parity-enhanced streams, the shape the
+// coordination hot path sees: before identity caching every comparison
+// re-joined the cover strings of both operands.
+func BenchmarkUnionParity(b *testing.B) {
+	mk := func(lo int64) Sequence {
+		var s Sequence
+		for k := lo; k < lo+2000; k += 2 {
+			d1, d2 := NewData(k), NewData(k+1)
+			s = append(s, d1, NewParity([]Packet{d1, d2}, MidPos(d1.Pos, d2.Pos)), d2)
+		}
+		return s
+	}
+	x, y := mk(1), mk(1001)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Union(x, y)
+	}
+}
+
+func BenchmarkEqual(b *testing.B) {
+	x := Range(1, 5000)
+	y := Range(1, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Equal(x, y) {
+			b.Fatal("sequences differ")
+		}
+	}
+}

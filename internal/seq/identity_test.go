@@ -1,0 +1,188 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSequence builds a canonical sequence of data packets (drawn from
+// 1..span) with parity packets nested up to two levels, mimicking the
+// §3.6 re-enhancement shapes.
+func randomSequence(rng *rand.Rand, span int64) Sequence {
+	var s Sequence
+	for k := int64(1); k <= span; k++ {
+		if rng.Intn(2) == 0 {
+			s = append(s, NewData(k))
+		}
+	}
+	// Sprinkle parity packets over random pairs, occasionally nesting.
+	var parities []Packet
+	for i := 0; i+1 < len(s); i += 2 {
+		if rng.Intn(3) == 0 {
+			p := NewParity([]Packet{s[i], s[i+1]}, MidPos(s[i].Pos, s[i+1].Pos))
+			if rng.Intn(4) == 0 && len(parities) > 0 {
+				q := parities[len(parities)-1]
+				p = NewParity([]Packet{s[i], q}, MidPos(s[i].Pos, s[i].Pos+1))
+			}
+			parities = append(parities, p)
+		}
+	}
+	s = append(s, parities...)
+	s.Sort()
+	return dedupe(s)
+}
+
+// canonical asserts the invariant every algebra result must satisfy:
+// sorted by (Pos, key) with no duplicate identities.
+func canonical(t *testing.T, label string, s Sequence) {
+	t.Helper()
+	if !s.Sorted() {
+		t.Fatalf("%s: not in canonical order: %v", label, s)
+	}
+	for i := 1; i < len(s); i++ {
+		if SameIdentity(s[i-1], s[i]) {
+			t.Fatalf("%s: duplicate identity %v at %d", label, s[i], i)
+		}
+	}
+}
+
+// The cached identity must always agree with the computed key, for both
+// constructors and for struct literals that bypass them.
+func TestCachedIdentityEqualsComputedKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		for _, p := range randomSequence(rng, 40) {
+			if p.Key() != computeKey(p) {
+				t.Fatalf("cached key %q != computed %q", p.Key(), computeKey(p))
+			}
+		}
+	}
+	lit := Packet{Kind: Data, Index: 12}
+	if lit.Key() != "t12" {
+		t.Errorf("literal data key = %q", lit.Key())
+	}
+	plit := Packet{Kind: Parity, Covers: []string{"t1", "p(t2,t3)"}}
+	if plit.Key() != "p(t1,p(t2,t3))" {
+		t.Errorf("literal parity key = %q", plit.Key())
+	}
+	if !SameIdentity(lit, NewData(12)) {
+		t.Error("literal and constructed t12 not identical")
+	}
+	if SameIdentity(lit, NewData(13)) || SameIdentity(lit, plit) {
+		t.Error("distinct packets reported identical")
+	}
+}
+
+// Union/Intersect invariants over arbitrary generated sequences
+// (including parity packets): canonical results, no duplicates,
+// inclusion-exclusion on sizes, intersection contained in both inputs.
+func TestSetAlgebraInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		a := randomSequence(rng, 30)
+		b := randomSequence(rng, 30)
+		u := Union(a, b)
+		x := Intersect(a, b)
+		canonical(t, "union", u)
+		canonical(t, "intersect", x)
+		if len(u)+len(x) != len(a)+len(b) {
+			t.Fatalf("|A∪B|+|A∩B| = %d+%d, want |A|+|B| = %d+%d",
+				len(u), len(x), len(a), len(b))
+		}
+		for _, p := range x {
+			if a.IndexOfKey(p.Key()) < 0 || b.IndexOfKey(p.Key()) < 0 {
+				t.Fatalf("intersection element %v missing from an input", p)
+			}
+		}
+		if !Equal(Intersect(a, b), Intersect(b, a)) {
+			t.Fatal("intersection not commutative")
+		}
+	}
+}
+
+// Sorted and unsorted inputs must agree on Intersect (the sorted path is
+// a merge, the unsorted path a membership map).
+func TestIntersectSortedUnsortedAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		a := randomSequence(rng, 25)
+		b := randomSequence(rng, 25)
+		want := Intersect(a, b)
+		shuffled := b.Clone()
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if got := Intersect(a, shuffled); !Equal(got, want) {
+			t.Fatalf("Intersect with shuffled b = %v, want %v", got, want)
+		}
+	}
+}
+
+// Divide invariants on arbitrary sequences: parts are pairwise disjoint,
+// round-robin sized, and concatenation order-preserving (their union is
+// the input).
+func TestDivideInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		s := randomSequence(rng, 40)
+		H := 1 + rng.Intn(6)
+		parts := Divide(s, H)
+		total := 0
+		u := Sequence(nil)
+		for i, p := range parts {
+			want := len(s) / H
+			if i < len(s)%H {
+				want++
+			}
+			if len(p) != want {
+				t.Fatalf("part %d has %d packets, want %d", i, len(p), want)
+			}
+			total += len(p)
+			for j := i + 1; j < len(parts); j++ {
+				if !Disjoint(p, parts[j]) {
+					t.Fatalf("parts %d and %d overlap", i, j)
+				}
+			}
+			u = Union(u, p)
+		}
+		if total != len(s) || !Equal(u, s) {
+			t.Fatalf("division loses packets: %d/%d", total, len(s))
+		}
+	}
+}
+
+// Repeated nested insertion: MidPos keeps producing strictly-between
+// positions until the interval narrows to a single ulp, instead of
+// collapsing onto lo as soon as the arithmetic midpoint rounds.
+func TestMidPosNestedInsertion(t *testing.T) {
+	lo, hi := 1.0, 2.0
+	distinct := 0
+	for i := 0; i < 200; i++ {
+		if math.Nextafter(lo, hi) >= hi {
+			// No representable position strictly between: the documented
+			// lo fallback is all that is left.
+			if m := MidPos(lo, hi); m != lo {
+				t.Fatalf("ulp-wide interval: MidPos(%v,%v) = %v, want lo", lo, hi, m)
+			}
+			break
+		}
+		m := MidPos(lo, hi)
+		if !(m > lo && m < hi) {
+			t.Fatalf("insertion %d: MidPos(%v, %v) = %v not strictly between", i, lo, hi, m)
+		}
+		hi = m
+		distinct++
+	}
+	// Halving from (1,2) admits 52 strictly-between positions before the
+	// interval narrows to one ulp of 1.0 — the representable maximum for
+	// this chain. Anything less means MidPos collapsed early.
+	if distinct < 52 {
+		t.Errorf("only %d distinct nested positions before collapse", distinct)
+	}
+	// On huge intervals lo + (hi-lo)/2 overflows to +Inf; the Nextafter
+	// fallback must still return a strictly-between position.
+	if m := MidPos(-math.MaxFloat64, math.MaxFloat64); !(m > -math.MaxFloat64 && m < math.MaxFloat64) {
+		t.Errorf("overflowing interval: MidPos = %v, want strictly between", m)
+	}
+}

@@ -18,6 +18,7 @@ package seq
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,11 +65,18 @@ type Packet struct {
 	// Payload is the packet body. Experiments that only count packets
 	// leave it nil; the content and live layers fill it in.
 	Payload []byte
+	// key caches the identity string so the §2 set algebra never
+	// re-derives it on the hot path. Unexported (and so absent from
+	// serialized packets); Key() falls back to computing it for packets
+	// decoded from the wire or built as struct literals.
+	key string
 }
 
 // NewData returns the content data packet t_index (1-based).
 func NewData(index int64) Packet {
-	return Packet{Kind: Data, Index: index, Pos: float64(index)}
+	p := Packet{Kind: Data, Index: index, Pos: float64(index)}
+	p.key = computeKey(p)
+	return p
 }
 
 // NewDataPayload returns t_index carrying the given payload.
@@ -85,17 +93,41 @@ func NewParity(covered []Packet, pos float64) Packet {
 	for i, c := range covered {
 		keys[i] = c.Key()
 	}
-	return Packet{Kind: Parity, Covers: keys, Pos: pos}
+	p := Packet{Kind: Parity, Covers: keys, Pos: pos}
+	p.key = computeKey(p)
+	return p
 }
 
 // Key returns the packet's identity: "t<k>" for data packet t_k and
 // "p(<keys>)" for a parity packet, matching the paper's t⟨…⟩ notation.
-// Two packets with equal keys carry the same bytes.
+// Two packets with equal keys carry the same bytes. Packets built with
+// NewData/NewParity return a cached string; others compute it.
 func (p Packet) Key() string {
+	if p.key != "" {
+		return p.key
+	}
+	return computeKey(p)
+}
+
+// computeKey derives the identity string from the packet's fields.
+func computeKey(p Packet) string {
 	if p.Kind == Data {
 		return "t" + strconv.FormatInt(p.Index, 10)
 	}
 	return "p(" + strings.Join(p.Covers, ",") + ")"
+}
+
+// SameIdentity reports whether a and b are the same packet (equal
+// identity keys) without building key strings: data packets compare by
+// index, parity packets by their cached keys.
+func SameIdentity(a, b Packet) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == Data {
+		return a.Index == b.Index
+	}
+	return a.Key() == b.Key()
 }
 
 // IsData reports whether p is a content data packet.
@@ -248,7 +280,7 @@ func Union(a, b Sequence) Sequence {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
-		case a[i].Key() == b[j].Key():
+		case SameIdentity(a[i], b[j]):
 			out = append(out, a[i])
 			i++
 			j++
@@ -266,8 +298,23 @@ func Union(a, b Sequence) Sequence {
 }
 
 // Intersect returns the sequence of packets present in both a and b
-// (paper: pkt_i ∩ pkt_j), in canonical order.
+// (paper: pkt_i ∩ pkt_j), in canonical order. Canonically ordered inputs
+// intersect by a linear merge with no allocation beyond the result;
+// unsorted inputs fall back to a membership map.
 func Intersect(a, b Sequence) Sequence {
+	if a.Sorted() && b.Sorted() {
+		var out Sequence
+		j := 0
+		for _, p := range a {
+			for j < len(b) && less(b[j], p) {
+				j++
+			}
+			if j < len(b) && SameIdentity(b[j], p) {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
 	inB := make(map[string]struct{}, len(b))
 	for _, p := range b {
 		inB[p.Key()] = struct{}{}
@@ -292,7 +339,7 @@ func dedupe(s Sequence) Sequence {
 	}
 	out := s[:1]
 	for _, p := range s[1:] {
-		if p.Key() != out[len(out)-1].Key() {
+		if !SameIdentity(p, out[len(out)-1]) {
 			out = append(out, p)
 		}
 	}
@@ -334,7 +381,7 @@ func Equal(a, b Sequence) bool {
 		return false
 	}
 	for i := range a {
-		if a[i].Key() != b[i].Key() {
+		if !SameIdentity(a[i], b[i]) {
 			return false
 		}
 	}
@@ -342,11 +389,19 @@ func Equal(a, b Sequence) bool {
 }
 
 // MidPos returns a position strictly between lo and hi suitable for an
-// inserted packet. When the interval is degenerate it falls back to lo.
+// inserted packet. When the arithmetic midpoint rounds onto an endpoint
+// it falls back to the smallest representable value above lo, so nested
+// insertions keep producing distinct positions until the interval is a
+// single ulp wide. Only when no representable position exists strictly
+// between lo and hi (adjacent, equal, or inverted endpoints) does it
+// return lo; ordering then falls through to the identity tie-break.
 func MidPos(lo, hi float64) float64 {
 	m := lo + (hi-lo)/2
-	if m <= lo || m >= hi {
-		return lo
+	if m > lo && m < hi {
+		return m
 	}
-	return m
+	if n := math.Nextafter(lo, hi); n > lo && n < hi {
+		return n
+	}
+	return lo
 }
