@@ -8,7 +8,8 @@
 //	mssim -fig 12              # leaf receipt rate vs H (DCoP and TCoP)
 //	mssim -fig baselines       # §3.1 baseline comparison at -h-fixed
 //	mssim -fig all             # everything
-//	mssim -fig 10 -csv         # machine-readable output
+//	mssim -fig 10 -csv         # machine-readable output (averaged points)
+//	mssim -fig 10 -json        # one JSON line per (H, seed) run, with metrics
 //	mssim -fig 10 -n 100 -seeds 5 -hs 2,10,60,100
 //	mssim -fig 10 -noshare     # leaf does not share its initial selection
 //	mssim -fig 12 -parallel 1  # serial sweep (output identical to parallel)
@@ -33,6 +34,7 @@ func main() {
 		hs       = flag.String("hs", "", "comma-separated H values (default paper sweep)")
 		hFixed   = flag.Int("h-fixed", 10, "fanout for the baseline comparison")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		jsonOut  = flag.Bool("json", false, "emit one JSON line per (H, seed) run — full result plus metrics snapshot")
 		noshare  = flag.Bool("noshare", false, "leaf request does not carry the selected set")
 		svgDir   = flag.String("svg", "", "also render figures as SVG into this directory")
 		parallel = flag.Int("parallel", runtime.NumCPU(),
@@ -57,6 +59,43 @@ func main() {
 	}
 
 	run := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if *jsonOut {
+		// JSONL mode: per-run records with metrics snapshots instead of
+		// averaged tables. Deterministic: instrumentation never perturbs
+		// the simulation and snapshots are sorted.
+		o.Instrument = true
+		emit := func(recs []p2pmss.RunRecord, err error) {
+			if err != nil {
+				fatal(err)
+			}
+			if err := p2pmss.WriteRunRecordsJSONL(os.Stdout, recs); err != nil {
+				fatal(err)
+			}
+		}
+		ran := false
+		if run("10") {
+			emit(p2pmss.SweepRecords(p2pmss.DCoP, o, false))
+			ran = true
+		}
+		if run("11") {
+			emit(p2pmss.SweepRecords(p2pmss.TCoP, o, false))
+			ran = true
+		}
+		if run("12") {
+			emit(p2pmss.SweepRecords(p2pmss.DCoP, o, true))
+			emit(p2pmss.SweepRecords(p2pmss.TCoP, o, true))
+			ran = true
+		}
+		if run("baselines") {
+			emit(p2pmss.BaselineRecords(o, *hFixed))
+			ran = true
+		}
+		if !ran {
+			fatal(fmt.Errorf("-json supports -fig 10, 11, 12, baselines, all (got %q)", *fig))
+		}
+		return
+	}
 
 	if run("10") {
 		s, err := p2pmss.Figure10(o)

@@ -4,15 +4,22 @@
 // coordination protocol, optionally crash-stops peers mid-stream, and
 // reports delivery statistics.
 //
+// With -listen the session also serves its observability endpoints over
+// HTTP: Prometheus-format /metrics, /healthz, expvar on /debug/vars and
+// net/http/pprof on /debug/pprof/.
+//
 // Usage:
 //
 //	mssplay -peers 8 -h 3 -size 65536 -kill 2
+//	mssplay -listen 127.0.0.1:9090   # then: curl localhost:9090/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -31,6 +38,7 @@ func main() {
 		proto    = flag.String("proto", p2pmss.LiveTCoP, "live coordination protocol: tcop or dcop")
 		timeout  = flag.Duration("timeout", 60*time.Second, "delivery deadline")
 		seed     = flag.Int64("seed", 1, "random seed")
+		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof/ on this address (off by default)")
 	)
 	flag.Parse()
 
@@ -40,88 +48,45 @@ func main() {
 	fmt.Printf("content %s: %d bytes, %d packets of %d bytes\n",
 		c.ID(), c.Size(), c.NumPackets(), c.PacketSize())
 
-	// Bind all peer listeners first so the roster is known.
-	type lateHandler struct {
-		ep p2pmss.TransportEndpoint
-		h  p2pmss.TransportHandler
-	}
-	var lates []*lateHandler
-	var roster []string
-	for i := 0; i < *nPeers; i++ {
-		lh := &lateHandler{}
-		ep, err := p2pmss.ListenTCP("127.0.0.1:0", func(m p2pmss.TransportMsg) {
-			if lh.h != nil {
-				lh.h(m)
-			}
-		})
+	// Metrics are registered only when they will be served.
+	var reg *p2pmss.MetricsRegistry
+	if *listen != "" {
+		reg = p2pmss.NewMetricsRegistry()
+		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			fatal(err)
 		}
-		lh.ep = ep
-		lates = append(lates, lh)
-		roster = append(roster, ep.Name())
+		fmt.Printf("observability on http://%s/metrics (also /healthz, /debug/vars, /debug/pprof/)\n", ln.Addr())
+		srv := &http.Server{Handler: p2pmss.MetricsDebugMux(reg)}
+		go srv.Serve(ln) //nolint:errcheck // shut down with the process
 	}
-
-	var peers []*p2pmss.LivePeer
-	for i, lh := range lates {
-		lh := lh
-		p, err := p2pmss.NewLivePeer(p2pmss.LivePeerConfig{
-			Content:  c,
-			Roster:   roster,
-			H:        *fanout,
-			Interval: *interval,
-			Delta:    10 * time.Millisecond,
-			Protocol: *proto,
-			Seed:     *seed + int64(i) + 1,
-		}, func(h p2pmss.TransportHandler) (p2pmss.TransportEndpoint, error) {
-			lh.h = h
-			return lh.ep, nil
-		})
-		if err != nil {
-			fatal(err)
-		}
-		peers = append(peers, p)
-		fmt.Printf("peer %2d listening on %s\n", i, p.Addr())
-	}
-
-	leafLate := &lateHandler{}
-	lep, err := p2pmss.ListenTCP("127.0.0.1:0", func(m p2pmss.TransportMsg) {
-		if leafLate.h != nil {
-			leafLate.h(m)
-		}
-	})
-	if err != nil {
-		fatal(err)
-	}
-	leafLate.ep = lep
-	leaf, err := p2pmss.NewLiveLeaf(p2pmss.LiveLeafConfig{
-		Roster:      roster,
-		H:           *fanout,
-		Interval:    *interval,
-		Rate:        *rate,
-		ContentSize: len(data),
-		PacketSize:  *pktSize,
-		RepairAfter: 500 * time.Millisecond,
-		Seed:        *seed + 999,
-	}, func(h p2pmss.TransportHandler) (p2pmss.TransportEndpoint, error) {
-		leafLate.h = h
-		return leafLate.ep, nil
-	})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("leaf listening on %s; requesting from %d of %d peers\n\n", leaf.Addr(), *fanout, *nPeers)
 
 	start := time.Now()
-	if err := leaf.Start(); err != nil {
+	cl, err := p2pmss.StartLiveCluster(p2pmss.LiveClusterConfig{
+		Content:  c,
+		Peers:    *nPeers,
+		H:        *fanout,
+		Interval: *interval,
+		Rate:     *rate,
+		Protocol: *proto,
+		UseTCP:   true,
+		Seed:     *seed,
+		Metrics:  reg,
+	})
+	if err != nil {
 		fatal(err)
 	}
+	for i, p := range cl.Peers {
+		fmt.Printf("peer %2d listening on %s\n", i, p.Addr())
+	}
+	fmt.Printf("leaf listening on %s; requesting from %d of %d peers\n\n",
+		cl.Leaf.Addr(), *fanout, *nPeers)
 
 	if *kill > 0 {
 		go func() {
 			time.Sleep(300 * time.Millisecond)
 			killed := 0
-			for _, p := range peers {
+			for _, p := range cl.Peers {
 				if killed >= *kill {
 					break
 				}
@@ -136,7 +101,7 @@ func main() {
 
 	// Progress ticker.
 	doneCh := make(chan error, 1)
-	go func() { doneCh <- leaf.Wait(*timeout) }()
+	go func() { doneCh <- cl.Wait(*timeout) }()
 	tick := time.NewTicker(500 * time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -145,8 +110,8 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			total, dup, recovered := leaf.Stats()
-			got, ok := leaf.Bytes()
+			total, dup, recovered := cl.Leaf.Stats()
+			got, ok := cl.Bytes()
 			fmt.Printf("\ncomplete in %v: %d arrivals, %d duplicates, %d parity-recovered\n",
 				time.Since(start).Round(time.Millisecond), total, dup, recovered)
 			if !ok || len(got) != len(data) {
@@ -158,13 +123,10 @@ func main() {
 				}
 			}
 			fmt.Println("content verified byte-for-byte ✓")
-			for _, p := range peers {
-				p.Close()
-			}
-			leaf.Close()
+			cl.Close()
 			return
 		case <-tick.C:
-			fmt.Printf("  %d/%d packets delivered\n", leaf.Progress(), c.NumPackets())
+			fmt.Printf("  %d/%d packets delivered\n", cl.Leaf.Progress(), c.NumPackets())
 		}
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	msstrace -proto dcop -n 20 -h 4
 //	msstrace -proto tcop -n 12 -h 3 -kinds activate,crash
+//	msstrace -proto dcop -json | jq .kind
 package main
 
 import (
@@ -20,14 +21,21 @@ import (
 
 func main() {
 	var (
-		proto  = flag.String("proto", p2pmss.DCoP, "protocol: dcop, tcop, broadcast, unicast, centralized, ams")
-		n      = flag.Int("n", 20, "contents peers")
-		fanout = flag.Int("h", 4, "fanout H")
-		seed   = flag.Int64("seed", 1, "random seed")
-		kinds  = flag.String("kinds", "", "comma-separated event kinds to show (default all)")
-		limit  = flag.Int("limit", 20000, "trace capacity")
+		proto   = flag.String("proto", p2pmss.DCoP, "protocol: dcop, tcop, broadcast, unicast, centralized, ams")
+		n       = flag.Int("n", 20, "contents peers")
+		fanout  = flag.Int("h", 4, "fanout H")
+		seed    = flag.Int64("seed", 1, "random seed")
+		kinds   = flag.String("kinds", "", "comma-separated event kinds to show (default all)")
+		limit   = flag.Int("limit", 20000, "trace capacity (must be positive)")
+		jsonOut = flag.Bool("json", false, "emit the timeline as JSON Lines (one event per line)")
 	)
 	flag.Parse()
+
+	if *limit <= 0 {
+		fmt.Fprintf(os.Stderr, "msstrace: -limit %d must be positive\n", *limit)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	tr := p2pmss.NewTracer(*limit)
 	cfg := p2pmss.DefaultSimConfig()
@@ -42,16 +50,36 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Resolve the events to print: the full timeline, or only the
+	// requested kinds (in their per-kind recording order, as before).
+	var events []p2pmss.TraceEvent
+	if *kinds == "" {
+		events = tr.Events()
+	} else {
+		for _, k := range strings.Split(*kinds, ",") {
+			events = append(events, tr.Filter(strings.TrimSpace(k))...)
+		}
+	}
+
+	if *jsonOut {
+		if err := p2pmss.WriteTraceJSONL(os.Stdout, events); err != nil {
+			fmt.Fprintln(os.Stderr, "msstrace:", err)
+			os.Exit(1)
+		}
+		// Keep stdout pure JSONL; the human summary goes to stderr.
+		fmt.Fprintf(os.Stderr, "%s: %d/%d peers active, %d rounds, %d control packets, sync at t=%.2f\n",
+			res.Protocol, res.ActivePeers, *n, res.Rounds, res.ControlPackets, res.SyncTime)
+		return
+	}
+
 	if *kinds == "" {
 		if err := tr.Dump(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "msstrace:", err)
 			os.Exit(1)
 		}
 	} else {
-		for _, k := range strings.Split(*kinds, ",") {
-			for _, e := range tr.Filter(strings.TrimSpace(k)) {
-				fmt.Println(e)
-			}
+		for _, e := range events {
+			fmt.Println(e)
 		}
 	}
 	fmt.Printf("\n%s: %d/%d peers active, %d rounds, %d control packets, sync at t=%.2f\n",

@@ -19,6 +19,7 @@ import (
 
 	"p2pmss/internal/des"
 	"p2pmss/internal/failure"
+	"p2pmss/internal/metrics"
 	"p2pmss/internal/overlay"
 	"p2pmss/internal/parity"
 	"p2pmss/internal/schedule"
@@ -132,6 +133,13 @@ type Config struct {
 	// Trace, when non-nil, records activations, control packets and
 	// hand-offs.
 	Trace *trace.Tracer
+	// Metrics, when non-nil, registers and updates the run's counters,
+	// gauges and histograms (control packets by type, activations,
+	// arrivals, network traffic) on the registry. Metrics never feed
+	// back into the simulation: an instrumented run is event-for-event
+	// identical to a bare one, and the snapshot of a seeded run is
+	// itself deterministic.
+	Metrics *metrics.Registry
 }
 
 // BurstParams parameterizes the per-channel Gilbert–Elliott loss model.
@@ -391,6 +399,7 @@ type runner struct {
 	content seq.Sequence
 
 	res          Result
+	met          coordMetrics
 	enhanced     seq.Sequence // memoized Enhance(content, Interval)
 	activeCount  int
 	measureEv    [2]*des.Event
@@ -439,7 +448,8 @@ func newRunner(cfg Config) (*runner, error) {
 	eng := des.New(cfg.Seed)
 	nw := simnet.New(eng)
 	nw.SetDefaultLink(simnet.LinkParams{Latency: cfg.Delta, Jitter: cfg.Jitter, LossProb: cfg.LossProb})
-	r := &runner{cfg: cfg, eng: eng, nw: nw}
+	nw.Instrument(cfg.Metrics)
+	r := &runner{cfg: cfg, eng: eng, nw: nw, met: newCoordMetrics(cfg.Metrics)}
 	r.res.Protocol = "?"
 	if cfg.DataPlane {
 		r.content = seq.Range(1, cfg.ContentLen)
@@ -480,8 +490,10 @@ func newRunner(cfg Config) (*runner, error) {
 // sendCtl transmits a coordination message and accounts for it.
 func (r *runner) sendCtl(from, to simnet.NodeID, m simnet.Message, round int) {
 	r.res.ControlPackets++
+	r.met.ctl[ctlTypeName(m)].Inc()
 	if round > r.res.Rounds {
 		r.res.Rounds = round
+		r.met.rounds.Set(float64(round))
 	}
 	r.trace(int(from), "control", "%T to %d (round %d)", m, to, round)
 	r.nw.Send(from, to, m)
@@ -506,9 +518,13 @@ func (p *peerNode) activate(round int, s seq.Sequence, rate float64) {
 		p.r.activeCount++
 		if round > p.r.res.SyncRounds {
 			p.r.res.SyncRounds = round
+			p.r.met.syncRounds.Set(float64(round))
 		}
 		p.r.res.SyncTime = p.r.eng.Now()
 		p.r.res.ActivePeers = p.r.activeCount
+		p.r.met.activations.Inc()
+		p.r.met.activePeers.Set(float64(p.r.activeCount))
+		p.r.met.activationRound.Observe(float64(round))
 		p.r.trace(int(p.id), "activate", "round %d, rate %.4f, %d packets", round, rate, len(s))
 		p.r.scheduleMeasurement()
 	}

@@ -136,6 +136,7 @@ func (tx *transmitter) sendNext() {
 	pkt := tx.s[tx.pos]
 	tx.pos++
 	tx.sentTotal++
+	tx.r.met.dataSent.Inc()
 	tx.r.nw.Send(tx.node, tx.r.leafID(), dataMsg{Pkt: pkt})
 }
 
@@ -212,19 +213,30 @@ func (l *leafNode) Receive(from simnet.NodeID, m simnet.Message) {
 		l.lastDrain = now
 		if l.bufLevel >= float64(l.r.cfg.LeafBuffer) {
 			l.overruns++
+			l.r.met.overruns.Inc()
 			return // buffer overrun: the packet is lost (§3.1)
 		}
 		l.bufLevel++
 	}
 	l.total++
 	if l.recov != nil {
+		before := l.recov.Recovered()
 		l.recov.Add(dm.Pkt)
+		if d := l.recov.Recovered() - before; d > 0 {
+			l.r.met.recovered.Add(int64(d))
+		}
+		l.r.met.delivered.Set(float64(l.recov.DataPresent()))
 	}
 	key := dm.Pkt.Key()
 	l.seen[key]++
 	isDup := l.seen[key] > 1
 	if isDup {
 		l.dup++
+		l.r.met.arrivalsDup.Inc()
+	} else if dm.Pkt.IsData() {
+		l.r.met.arrivalsData.Inc()
+	} else {
+		l.r.met.arrivalsParity.Inc()
 	}
 	if l.r.measureOpen {
 		l.winTotal++
@@ -255,6 +267,7 @@ func (l *leafNode) consume() {
 	}
 	if !l.recov.HasData(k) {
 		l.r.res.Underruns++
+		l.r.met.underruns.Inc()
 	}
 	l.nextConsume++
 	l.r.eng.After(1/l.r.cfg.Rate, l.consume)
@@ -317,6 +330,7 @@ func (l *leafNode) repairCheck() {
 	}
 	target := alive[r.eng.Rand().Intn(len(alive))]
 	r.res.RepairRequests++
+	r.met.repairRequests.Inc()
 	r.trace(-1, "repair", "%d missing, asking node %d", len(missing), target)
 	r.nw.Send(r.leafID(), target, repairMsg{Indices: missing})
 	r.eng.After(r.cfg.RepairInterval, l.repairCheck)

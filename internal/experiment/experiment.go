@@ -37,6 +37,11 @@ type Options struct {
 	// instance and results are collected by grid index, so tables,
 	// series and SVGs are byte-identical at any setting.
 	Parallel int
+	// Instrument attaches a fresh metrics registry to every run and
+	// includes its snapshot in the JSON records (SweepRecords,
+	// BaselineRecords). Instrumentation never perturbs results: series
+	// and tables are byte-identical with it on or off.
+	Instrument bool
 }
 
 // DefaultOptions returns the paper's setting: n = 100, H swept over
@@ -234,7 +239,7 @@ type BaselineRow struct {
 func Baselines(o Options, H int) ([]BaselineRow, error) {
 	o.normalize()
 	if H < 1 || H > o.N {
-		return nil, fmt.Errorf("experiment: baseline H=%d out of range 1..N=%d", H, o.N)
+		return nil, errOutOfRange(H, o.N)
 	}
 	jobs := make([]runJob, 0, len(coord.Protocols)*o.Seeds)
 	for _, proto := range coord.Protocols {
@@ -269,6 +274,10 @@ func Baselines(o Options, H int) ([]BaselineRow, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+func errOutOfRange(H, N int) error {
+	return fmt.Errorf("experiment: baseline H=%d out of range 1..N=%d", H, N)
 }
 
 // GossipCoveragePoint is one fanout's mean coverage.

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+
+	"p2pmss/internal/coord"
+	"p2pmss/internal/metrics"
+)
+
+// RunRecord is one (protocol, H, seed) grid point in machine-readable
+// form: the full simulation result plus, when Options.Instrument is set,
+// the run's metrics snapshot. One RunRecord is one JSON line.
+type RunRecord struct {
+	Protocol string            `json:"protocol"`
+	H        int               `json:"h"`
+	Seed     int64             `json:"seed"`
+	Result   coord.Result      `json:"result"`
+	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// runRecords executes the jobs (optionally with a fresh per-run registry
+// each) and pairs every result with its grid coordinates. Registries are
+// snapshotted only after runGrid returns — its pool join is the
+// happens-before edge making the per-run counters safe to read — and the
+// snapshot itself is sorted, so the byte output is deterministic at any
+// worker count.
+func runRecords(jobs []runJob, workers int, instrument bool) ([]RunRecord, error) {
+	regs := make([]*metrics.Registry, len(jobs))
+	if instrument {
+		for i := range jobs {
+			regs[i] = metrics.New()
+			jobs[i].cfg.Metrics = regs[i]
+		}
+	}
+	results, err := runGrid(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]RunRecord, len(jobs))
+	for i, j := range jobs {
+		recs[i] = RunRecord{
+			Protocol: j.protocol,
+			H:        j.cfg.H,
+			Seed:     j.cfg.Seed,
+			Result:   results[i],
+		}
+		if regs[i] != nil {
+			s := regs[i].Snapshot()
+			recs[i].Metrics = &s
+		}
+	}
+	return recs, nil
+}
+
+// SweepRecords runs the protocol's (H, seed) grid and returns every
+// per-run record, in grid order.
+func SweepRecords(protocol string, o Options, dataPlane bool) ([]RunRecord, error) {
+	o.normalize()
+	if err := o.checkHs(); err != nil {
+		return nil, err
+	}
+	return runRecords(sweepJobs(protocol, o, dataPlane), o.Parallel, o.Instrument)
+}
+
+// BaselineRecords runs every protocol at fixed H and returns the per-run
+// records, in protocol-then-seed order.
+func BaselineRecords(o Options, H int) ([]RunRecord, error) {
+	o.normalize()
+	if H < 1 || H > o.N {
+		return nil, errOutOfRange(H, o.N)
+	}
+	jobs := make([]runJob, 0, len(coord.Protocols)*o.Seeds)
+	for _, proto := range coord.Protocols {
+		for seed := 0; seed < o.Seeds; seed++ {
+			jobs = append(jobs, runJob{proto, o.pointConfig(H, seed, true)})
+		}
+	}
+	return runRecords(jobs, o.Parallel, o.Instrument)
+}
+
+// WriteRecordsJSONL writes the records to w as JSON Lines, one compact
+// object per run.
+func WriteRecordsJSONL(w io.Writer, recs []RunRecord) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -101,6 +101,64 @@ func TestParallelBaselinesByteIdentical(t *testing.T) {
 	}
 }
 
+// Instrumented JSON sweeps hold the same guarantee: per-run records —
+// results and metrics snapshots included — are byte-identical between
+// the serial path and any worker count, and identical result-wise to an
+// uninstrumented sweep.
+func TestParallelInstrumentedRecordsByteIdentical(t *testing.T) {
+	o := smallOpts()
+	o.Hs = []int{5, 10}
+	o.Seeds = 2
+	o.ContentLen = 2000
+	o.Window = 40
+	o.Instrument = true
+
+	serial := o
+	serial.Parallel = 1
+	par := o
+	par.Parallel = 8
+
+	render := func(o Options) string {
+		recs, err := SweepRecords(coord.DCoP, o, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := WriteRecordsJSONL(&b, recs); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	j1, j2 := render(serial), render(par)
+	if j1 != j2 {
+		t.Errorf("instrumented JSONL differs serial vs parallel:\n%s\n---\n%s", j1, j2)
+	}
+	if !strings.Contains(j1, `"metrics"`) || !strings.Contains(j1, "coord_control_packets_total") {
+		t.Errorf("records missing metrics snapshots:\n%.400s", j1)
+	}
+
+	// The instrumented runs' results equal the bare runs' results.
+	bare := serial
+	bare.Instrument = false
+	bareRecs, err := SweepRecords(coord.DCoP, bare, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrRecs, err := SweepRecords(coord.DCoP, serial, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bareRecs {
+		if !reflect.DeepEqual(bareRecs[i].Result, instrRecs[i].Result) {
+			t.Errorf("run %d: instrumented result differs from bare", i)
+		}
+		if instrRecs[i].Metrics == nil || bareRecs[i].Metrics != nil {
+			t.Errorf("run %d: metrics presence wrong (instr=%v bare=%v)",
+				i, instrRecs[i].Metrics != nil, bareRecs[i].Metrics != nil)
+		}
+	}
+}
+
 // An out-of-range sweep point is an error, not a silently shorter
 // series.
 func TestSweepRejectsOutOfRangeH(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/metrics"
 	"p2pmss/internal/transport"
 )
 
@@ -30,6 +31,10 @@ type ClusterConfig struct {
 	RepairAfter time.Duration
 	// Seed seeds all peers deterministically; 0 uses the clock.
 	Seed int64
+	// Metrics, when non-nil, instruments the whole session — every
+	// peer, the leaf, and the transport — on one shared registry,
+	// ready to serve via metrics.DebugMux.
+	Metrics *metrics.Registry
 }
 
 // Cluster is a running live session.
@@ -71,6 +76,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 				return nil, err
 			}
 			lb.ep = ep
+			ep.Instrument(cfg.Metrics)
 			lates[i] = lb
 			roster = append(roster, ep.Name())
 			attachers[i] = func(h transport.Handler) (transport.Endpoint, error) {
@@ -85,12 +91,14 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		leafLB.ep = lep
+		lep.Instrument(cfg.Metrics)
 		leafAttach = func(h transport.Handler) (transport.Endpoint, error) {
 			leafLB.h = h
 			return leafLB.ep, nil
 		}
 	} else {
 		c.fabric = transport.NewFabric()
+		c.fabric.Instrument(cfg.Metrics)
 		for i := 0; i < cfg.Peers; i++ {
 			name := fmt.Sprintf("cp%d", i)
 			roster = append(roster, name)
@@ -116,6 +124,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Delta:    cfg.Delta,
 			Protocol: cfg.Protocol,
 			Seed:     seed,
+			Metrics:  cfg.Metrics,
 		}, attachers[i])
 		if err != nil {
 			c.Close()
@@ -137,6 +146,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		PacketSize:  cfg.Content.PacketSize(),
 		RepairAfter: cfg.RepairAfter,
 		Seed:        leafSeed,
+		Metrics:     cfg.Metrics,
 	}, leafAttach)
 	if err != nil {
 		c.Close()

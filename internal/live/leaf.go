@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/metrics"
 	"p2pmss/internal/transport"
 )
 
@@ -31,6 +32,9 @@ type LeafConfig struct {
 	RepairAfter time.Duration
 	// Seed seeds peer selection; 0 uses the clock.
 	Seed int64
+	// Metrics, when non-nil, receives the leaf's counters (arrivals,
+	// duplicates, repair requests) and delivery-progress gauges.
+	Metrics *metrics.Registry
 }
 
 // Leaf is a live leaf peer LP_s: it requests a content from H contents
@@ -40,6 +44,7 @@ type Leaf struct {
 	cfg LeafConfig
 	ep  transport.Endpoint
 	rng *rand.Rand
+	met leafMetrics
 
 	mu       sync.Mutex
 	asm      *content.Assembler
@@ -80,6 +85,7 @@ func NewLeaf(cfg LeafConfig, attach func(transport.Handler) (transport.Endpoint,
 		return nil, err
 	}
 	l.ep = ep
+	l.met = newLeafMetrics(cfg.Metrics)
 	return l, nil
 }
 
@@ -127,9 +133,11 @@ func (l *Leaf) handle(m transport.Msg) {
 	}
 	l.mu.Lock()
 	l.total++
+	l.met.arrivals.Inc()
 	key := b.Pkt.Key()
 	if l.seen[key] {
 		l.dup++
+		l.met.dups.Inc()
 		l.mu.Unlock()
 		return
 	}
@@ -139,6 +147,8 @@ func (l *Leaf) handle(m transport.Msg) {
 	if l.asm.Have() > before {
 		l.lastGain = time.Now()
 	}
+	l.met.delivered.Set(float64(l.asm.Have()))
+	l.met.recovered.Set(float64(l.asm.Recovered()))
 	complete := l.asm.Complete()
 	l.mu.Unlock()
 	if complete {
@@ -179,6 +189,7 @@ func (l *Leaf) repairLoop() {
 			peer := l.cfg.Roster[l.rng.Intn(len(l.cfg.Roster))]
 			m, err := transport.Encode(typeRepair, l.Addr(), repairBody{ContentID: l.cfg.ContentID, Indices: missing[off:end], Leaf: l.Addr()})
 			if err == nil {
+				l.met.repairRequests.Inc()
 				l.ep.Send(peer, m) //nolint:errcheck // dead peers are retried on the next stall
 			}
 		}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/metrics"
 	"p2pmss/internal/seq"
 	"p2pmss/internal/transport"
 )
@@ -113,6 +114,10 @@ type PeerConfig struct {
 	Protocol string
 	// Seed seeds the peer's random selection; 0 uses the clock.
 	Seed int64
+	// Metrics, when non-nil, receives the peer's counters (data packets
+	// sent, hand-offs, activations, repair packets served). Several
+	// peers may share one registry.
+	Metrics *metrics.Registry
 }
 
 // Peer is a live contents peer: a TCoP state machine plus a streaming
@@ -121,6 +126,7 @@ type Peer struct {
 	cfg PeerConfig
 	ep  transport.Endpoint
 	rng *rand.Rand
+	met peerMetrics
 
 	mu        sync.Mutex
 	content   *content.Content // the content currently being served
@@ -184,6 +190,7 @@ func NewPeer(cfg PeerConfig, attach func(transport.Handler) (transport.Endpoint,
 		return nil, err
 	}
 	p.ep = ep
+	p.met = newPeerMetrics(cfg.Metrics, ep.Name())
 	go p.streamLoop()
 	return p, nil
 }
@@ -278,6 +285,7 @@ func (p *Peer) onRequest(b requestBody) {
 	p.rate = b.Rate * float64(b.Interval+1) / float64(b.Interval*b.H)
 	p.active = true
 	p.mu.Unlock()
+	p.met.activations.Inc()
 	p.kick()
 	p.selectChildren()
 }
@@ -434,6 +442,7 @@ func (p *Peer) commitShares() {
 	p.pendingStream = ownStream
 	p.pendingRate = rate
 	p.mu.Unlock()
+	p.met.handoffs.Add(int64(len(confirmed)))
 }
 
 // Under DCoP a commit may arrive at an already-active peer (redundant
@@ -467,6 +476,7 @@ func (p *Peer) onCommit(b commitBody) {
 		p.rate = b.Rate
 		p.active = true
 		p.mu.Unlock()
+		p.met.activations.Inc()
 		p.kick()
 		p.selectChildren()
 		return
@@ -482,6 +492,7 @@ func (p *Peer) onCommit(b commitBody) {
 	p.rate = b.Rate
 	p.active = true
 	p.mu.Unlock()
+	p.met.activations.Inc()
 	p.kick()
 	p.selectChildren()
 }
@@ -502,6 +513,8 @@ func (p *Peer) onRepair(b repairBody) {
 			p.mu.Lock()
 			p.sent++
 			p.mu.Unlock()
+			p.met.sent.Inc()
+			p.met.repairServed.Inc()
 		}
 	}
 }
@@ -560,6 +573,7 @@ func (p *Peer) sendOne() {
 	p.sent++
 	leaf := p.leaf
 	p.mu.Unlock()
+	p.met.sent.Inc()
 	m, err := transport.Encode(typeData, p.Addr(), dataBody{Pkt: pkt})
 	if err == nil {
 		p.ep.Send(leaf, m) //nolint:errcheck

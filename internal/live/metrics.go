@@ -1,0 +1,44 @@
+package live
+
+import "p2pmss/internal/metrics"
+
+// peerMetrics holds a contents peer's instrument handles, looked up once
+// at construction. The zero value (all nil) records nothing, which is
+// what a peer without PeerConfig.Metrics uses.
+type peerMetrics struct {
+	// sent is labeled by peer address so per-peer transmit load is
+	// visible on /metrics; the rest aggregate across the cluster.
+	sent         *metrics.Counter
+	handoffs     *metrics.Counter
+	activations  *metrics.Counter
+	repairServed *metrics.Counter
+}
+
+func newPeerMetrics(reg *metrics.Registry, addr string) peerMetrics {
+	return peerMetrics{
+		sent:         reg.Counter("live_data_packets_sent_total", "peer", addr),
+		handoffs:     reg.Counter("live_handoffs_total"),
+		activations:  reg.Counter("live_activations_total"),
+		repairServed: reg.Counter("live_repair_packets_served_total"),
+	}
+}
+
+// leafMetrics holds the leaf's instrument handles; same nil-is-disabled
+// convention as peerMetrics.
+type leafMetrics struct {
+	arrivals       *metrics.Counter
+	dups           *metrics.Counter
+	repairRequests *metrics.Counter
+	delivered      *metrics.Gauge
+	recovered      *metrics.Gauge
+}
+
+func newLeafMetrics(reg *metrics.Registry) leafMetrics {
+	return leafMetrics{
+		arrivals:       reg.Counter("live_leaf_arrivals_total"),
+		dups:           reg.Counter("live_leaf_duplicates_total"),
+		repairRequests: reg.Counter("live_repair_requests_total"),
+		delivered:      reg.Gauge("live_leaf_delivered_packets"),
+		recovered:      reg.Gauge("live_leaf_recovered_packets"),
+	}
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text exposition format. It works (serving an empty body)
+// on a nil registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // client went away
+	})
+}
+
+// DebugMux builds the live runtime's observability endpoint set:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/healthz       liveness probe ("ok")
+//	/debug/vars    expvar (cmdline, memstats, anything published)
+//	/debug/pprof/  the standard pprof index, profiles and traces
+//
+// The mux is self-contained (nothing is registered on
+// http.DefaultServeMux), so callers can serve it on a dedicated
+// listener without inheriting global handlers.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,279 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("value = %d, want 5", c.Value())
+	}
+	// Same identity returns the same instrument.
+	if r.Counter("reqs_total") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	// Different labels are a different instrument.
+	if r.Counter("reqs_total", "peer", "a") == c {
+		t.Error("labeled counter aliased the unlabeled one")
+	}
+	if r.Counter("reqs_total", "peer", "a") != r.Counter("reqs_total", "peer", "a") {
+		t.Error("same labeled identity returned different counters")
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1, 2})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil instruments")
+	}
+	// All no-ops, no panics.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported non-zero values")
+	}
+	if snap := r.Snapshot(); len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry exposition = %q, %v", b.String(), err)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("value = %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 16 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(snap.Histograms))
+	}
+	hv := snap.Histograms[0]
+	// Cumulative buckets: ≤1: 2 (0.5, 1), ≤2: 3, ≤5: 4, +Inf: 5.
+	wantCounts := []int64{2, 3, 4, 5}
+	if len(hv.Buckets) != 4 {
+		t.Fatalf("buckets = %d", len(hv.Buckets))
+	}
+	for i, b := range hv.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if !math.IsInf(hv.Buckets[3].UpperBound, 1) {
+		t.Error("final bucket bound is not +Inf")
+	}
+}
+
+func TestIdentityValidation(t *testing.T) {
+	r := New()
+	for name, fn := range map[string]func(){
+		"empty name": func() { r.Counter("") },
+		"odd labels": func() { r.Counter("x", "k") },
+		"bad bounds": func() { r.Histogram("h", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Label values are part of the identity, not just the key set.
+func TestLabelValueDistinguishesIdentity(t *testing.T) {
+	r := New()
+	a := r.Counter("c", "peer", "a")
+	b := r.Counter("c", "peer", "b")
+	if a == b {
+		t.Fatal("distinct label values aliased")
+	}
+	a.Inc()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 2 {
+		t.Fatalf("counters = %d", len(snap.Counters))
+	}
+	if snap.Counters[0].Labels[0].Value != "a" || snap.Counters[0].Value != 1 {
+		t.Errorf("snapshot[0] = %+v", snap.Counters[0])
+	}
+	if snap.Counters[1].Labels[0].Value != "b" || snap.Counters[1].Value != 0 {
+		t.Errorf("snapshot[1] = %+v", snap.Counters[1])
+	}
+}
+
+// Snapshots are deterministic: same operations, same snapshot — and
+// JSON round-trips including the +Inf bucket bound.
+func TestSnapshotDeterministicAndJSON(t *testing.T) {
+	build := func() Snapshot {
+		r := New()
+		r.Counter("b_total", "x", "1").Add(2)
+		r.Counter("a_total").Inc()
+		r.Gauge("g").Set(3.25)
+		h := r.Histogram("h", []float64{1, 10})
+		h.Observe(0.5)
+		h.Observe(100)
+		return r.Snapshot()
+	}
+	s1, s2 := build(), build()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", s1, s2)
+	}
+	// Sorted by name.
+	if s1.Counters[0].Name != "a_total" || s1.Counters[1].Name != "b_total" {
+		t.Errorf("counter order = %v, %v", s1.Counters[0].Name, s1.Counters[1].Name)
+	}
+	j1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	j2, _ := json.Marshal(s2)
+	if string(j1) != string(j2) {
+		t.Error("JSON renderings differ")
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(back, s1) {
+		t.Errorf("JSON round-trip changed the snapshot:\n%+v\n%+v", back, s1)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("msgs_total", "transport", "tcp").Add(7)
+	r.Counter("msgs_total", "transport", "mem").Add(3)
+	r.Gauge("depth").Set(2)
+	r.Histogram("lat_seconds", []float64{0.5}).Observe(0.25)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE msgs_total counter",
+		`msgs_total{transport="mem"} 3`,
+		`msgs_total{transport="tcp"} 7`,
+		"# TYPE depth gauge",
+		"depth 2",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.5"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_sum 0.25",
+		"lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with several label sets.
+	if strings.Count(out, "# TYPE msgs_total") != 1 {
+		t.Errorf("duplicated TYPE line:\n%s", out)
+	}
+}
+
+// Concurrent lookups and updates are safe (run under -race) and lose
+// no increments.
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("depth").Add(1)
+				r.Histogram("h", []float64{1, 2, 4}).Observe(float64(i % 5))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != goroutines*each {
+		t.Errorf("counter = %d, want %d", got, goroutines*each)
+	}
+	if got := r.Gauge("depth").Value(); got != goroutines*each {
+		t.Errorf("gauge = %v, want %d", got, goroutines*each)
+	}
+	if got := r.Histogram("h", nil).Count(); got != goroutines*each {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*each)
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("up_total").Inc()
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up_total 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d (memstats missing)", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"p2pmss/internal/des"
+	"p2pmss/internal/metrics"
 )
 
 // NodeID identifies a node in the simulated overlay. By convention the
@@ -70,6 +71,31 @@ type Network struct {
 	// LossProb; it enables correlated (bursty) loss models from the
 	// failure package.
 	BurstLoss func(from, to NodeID) bool
+	met       netMetrics
+}
+
+// netMetrics holds the network's instrument handles. The zero value
+// (all nil) is fully functional and free: every method no-ops.
+type netMetrics struct {
+	sent, delivered, dropped, toCrashed *metrics.Counter
+	inflight                            *metrics.Gauge
+	latency                             *metrics.Histogram
+}
+
+// Instrument registers the network's counters on reg (messages sent /
+// delivered / dropped / to-crashed, in-flight queue depth, delivery
+// latency). A nil registry leaves the network uninstrumented; metrics
+// never influence simulation behavior, so instrumented and bare runs
+// are event-for-event identical.
+func (n *Network) Instrument(reg *metrics.Registry) {
+	n.met = netMetrics{
+		sent:      reg.Counter("simnet_messages_sent_total"),
+		delivered: reg.Counter("simnet_messages_delivered_total"),
+		dropped:   reg.Counter("simnet_messages_dropped_total"),
+		toCrashed: reg.Counter("simnet_messages_to_crashed_total"),
+		inflight:  reg.Gauge("simnet_inflight_messages"),
+		latency:   reg.Histogram("simnet_delivery_latency", []float64{0.5, 1, 1.5, 2, 3, 5, 10}),
+	}
 }
 
 // New returns a network over the given engine with zero-latency,
@@ -132,13 +158,16 @@ func (n *Network) Send(from, to NodeID, m Message) {
 		return
 	}
 	n.stats.Sent++
+	n.met.sent.Inc()
 	p := n.Link(from, to)
 	if p.LossProb > 0 && n.eng.Rand().Float64() < p.LossProb {
 		n.stats.Dropped++
+		n.met.dropped.Inc()
 		return
 	}
 	if n.BurstLoss != nil && n.BurstLoss(from, to) {
 		n.stats.Dropped++
+		n.met.dropped.Inc()
 		return
 	}
 	d := p.Latency
@@ -157,9 +186,13 @@ func (n *Network) Send(from, to NodeID, m Message) {
 		n.busyUntil[key] = done
 		d += done - n.eng.Now()
 	}
+	n.met.latency.Observe(d)
+	n.met.inflight.Add(1)
 	n.eng.After(d, func() {
+		n.met.inflight.Add(-1)
 		if n.crashed[to] {
 			n.stats.ToCrashed++
+			n.met.toCrashed.Inc()
 			return
 		}
 		h, ok := n.nodes[to]
@@ -167,6 +200,7 @@ func (n *Network) Send(from, to NodeID, m Message) {
 			panic(fmt.Sprintf("simnet: message %T delivered to unattached node %d", m, to))
 		}
 		n.stats.Delivered++
+		n.met.delivered.Inc()
 		h.Receive(from, m)
 	})
 }

@@ -4,6 +4,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -13,13 +14,13 @@ import (
 // Event is one recorded occurrence.
 type Event struct {
 	// Time is the (virtual) time of the event.
-	Time float64
+	Time float64 `json:"t"`
 	// Node is the acting node (contents peer index, or -1 for the leaf).
-	Node int
+	Node int `json:"node"`
 	// Kind classifies the event ("activate", "control", "data", ...).
-	Kind string
+	Kind string `json:"kind"`
 	// Detail is a human-readable elaboration.
-	Detail string
+	Detail string `json:"detail"`
 }
 
 // String renders one event line.
@@ -154,4 +155,26 @@ func (t *Tracer) Dump(w io.Writer) error {
 	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// WriteJSONL writes events to w as JSON Lines: one compact JSON object
+// per event, in the given order. The format round-trips through
+// encoding/json, so downstream tools (jq, pandas) can stream it.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpJSONL writes the held timeline (sorted by time, stable) to w as
+// JSON Lines. It is the machine-readable counterpart of Dump; the
+// per-kind summary is omitted — consumers aggregate themselves.
+func (t *Tracer) DumpJSONL(w io.Writer) error {
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	return WriteJSONL(w, evs)
 }

@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -109,6 +112,96 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 	if tr.Dropped() != 600 {
 		t.Errorf("dropped = %d", tr.Dropped())
+	}
+}
+
+// TestParallelRecordAndRead races writers against Events/Dump/Counts
+// readers; run under -race this proves the tracer's locking covers every
+// public path, and afterwards no increment may have been lost.
+func TestParallelRecordAndRead(t *testing.T) {
+	tr := New(256)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Record(float64(i), g, "k", "g%d-%d", g, i)
+			}
+		}(g)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Events()
+				tr.Counts()
+				tr.Dump(io.Discard)      //nolint:errcheck
+				tr.DumpJSONL(io.Discard) //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := int64(tr.Len()) + tr.Dropped(); got != writers*perWriter {
+		t.Errorf("held+dropped = %d, want %d", got, writers*perWriter)
+	}
+	if tr.Len() != 256 {
+		t.Errorf("len = %d, want capacity 256", tr.Len())
+	}
+}
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	tr := New(10)
+	tr.Record(2.5, 1, "control", "to %d", 3)
+	tr.Record(1.25, -1, "repair", "asking node 0")
+	var b strings.Builder
+	if err := tr.DumpJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, e)
+	}
+	want := []Event{
+		{Time: 1.25, Node: -1, Kind: "repair", Detail: "asking node 0"},
+		{Time: 2.5, Node: 1, Kind: "control", Detail: "to 3"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteJSONLOrderPreserved(t *testing.T) {
+	events := []Event{{Time: 3, Kind: "c"}, {Time: 1, Kind: "a"}}
+	var b strings.Builder
+	if err := WriteJSONL(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	// WriteJSONL preserves the given order; sorting is DumpJSONL's job.
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], `"c"`) {
+		t.Errorf("lines = %q", lines)
 	}
 }
 

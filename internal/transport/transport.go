@@ -16,7 +16,28 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"p2pmss/internal/metrics"
 )
+
+// fabricMetrics holds a transport's instrument handles; the zero value
+// (all nil) records nothing at no cost. Counters are registered under
+// one identity per transport kind ("mem" or "tcp"), so several
+// endpoints sharing a registry aggregate into the same series.
+type fabricMetrics struct {
+	msgs, bytes, dropped, received *metrics.Counter
+	inflight                       *metrics.Gauge
+}
+
+func newTransportMetrics(reg *metrics.Registry, kind string) fabricMetrics {
+	return fabricMetrics{
+		msgs:     reg.Counter("transport_messages_sent_total", "transport", kind),
+		bytes:    reg.Counter("transport_bytes_sent_total", "transport", kind),
+		dropped:  reg.Counter("transport_messages_dropped_total", "transport", kind),
+		received: reg.Counter("transport_messages_received_total", "transport", kind),
+		inflight: reg.Gauge("transport_inflight_messages", "transport", kind),
+	}
+}
 
 // Msg is one framed wire message.
 type Msg struct {
@@ -75,6 +96,16 @@ type Fabric struct {
 	// safe for concurrent use.
 	Drop func(from, to string) bool
 	wg   sync.WaitGroup
+	met  fabricMetrics
+}
+
+// Instrument registers the fabric's traffic counters (messages/bytes
+// sent, drops, deliveries, in-flight queue depth) on reg. Call before
+// traffic starts; a nil registry leaves the fabric uninstrumented.
+func (f *Fabric) Instrument(reg *metrics.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.met = newTransportMetrics(reg, "mem")
 }
 
 // NewFabric returns an empty in-memory fabric.
@@ -108,25 +139,34 @@ func (e *memEndpoint) Send(to string, m Msg) error {
 	closed := f.closed[to]
 	drop := f.Drop
 	lat := f.Latency
+	met := f.met
 	f.mu.Unlock()
 	if !ok || closed {
 		return fmt.Errorf("transport: no endpoint %q", to)
 	}
+	met.msgs.Inc()
+	met.bytes.Add(int64(len(m.Payload)))
 	if drop != nil && drop(e.name, to) {
+		met.dropped.Inc()
 		return nil // silently lost, like the network would
 	}
 	f.wg.Add(1)
+	met.inflight.Add(1)
 	go func() {
 		defer f.wg.Done()
+		defer met.inflight.Add(-1)
 		if lat > 0 {
 			time.Sleep(lat)
 		}
 		f.mu.Lock()
 		stillClosed := f.closed[to]
 		f.mu.Unlock()
-		if !stillClosed {
-			h(m)
+		if stillClosed {
+			met.dropped.Inc()
+			return
 		}
+		met.received.Inc()
+		h(m)
 	}()
 	return nil
 }
@@ -153,6 +193,16 @@ type TCPEndpoint struct {
 	accepted map[net.Conn]bool   // inbound, closed on shutdown
 	closed   bool
 	wg       sync.WaitGroup
+	met      fabricMetrics
+}
+
+// Instrument registers the endpoint's traffic counters on reg. All TCP
+// endpoints instrumented on the same registry aggregate into shared
+// transport_*{transport="tcp"} series. Call before traffic starts.
+func (e *TCPEndpoint) Instrument(reg *metrics.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.met = newTransportMetrics(reg, "tcp")
 }
 
 // MaxFrame bounds a frame's size (16 MiB) to fail fast on corrupt input.
@@ -216,10 +266,12 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 		}
 		e.mu.Lock()
 		closed := e.closed
+		met := e.met
 		e.mu.Unlock()
 		if closed {
 			return
 		}
+		met.received.Inc()
 		e.h(m)
 	}
 }
@@ -233,6 +285,7 @@ func (e *TCPEndpoint) Send(to string, m Msg) error {
 		return errors.New("transport: endpoint closed")
 	}
 	c, ok := e.conns[to]
+	met := e.met
 	e.mu.Unlock()
 	if !ok {
 		nc, err := net.DialTimeout("tcp", to, 2*time.Second)
@@ -249,8 +302,10 @@ func (e *TCPEndpoint) Send(to string, m Msg) error {
 		}
 		e.mu.Unlock()
 	}
-	if err := writeFrame(c, m); err != nil {
+	n, err := writeFrame(c, m)
+	if err != nil {
 		// Connection went bad: drop it so the next send redials.
+		met.dropped.Inc()
 		e.mu.Lock()
 		if e.conns[to] == c {
 			delete(e.conns, to)
@@ -259,6 +314,8 @@ func (e *TCPEndpoint) Send(to string, m Msg) error {
 		c.Close()
 		return err
 	}
+	met.msgs.Inc()
+	met.bytes.Add(int64(n))
 	return nil
 }
 
@@ -288,18 +345,21 @@ func (e *TCPEndpoint) Close() error {
 	return err
 }
 
-func writeFrame(w io.Writer, m Msg) error {
+// writeFrame writes one frame and reports the bytes put on the wire.
+func writeFrame(w io.Writer, m Msg) (int, error) {
 	b, err := json.Marshal(m)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err = w.Write(b)
-	return err
+	if _, err := w.Write(b); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(b), nil
 }
 
 func readFrame(r io.Reader) (Msg, error) {

@@ -36,11 +36,13 @@ package p2pmss
 
 import (
 	"io"
+	"net/http"
 
 	"p2pmss/internal/content"
 	"p2pmss/internal/coord"
 	"p2pmss/internal/experiment"
 	"p2pmss/internal/live"
+	"p2pmss/internal/metrics"
 	"p2pmss/internal/overlay"
 	"p2pmss/internal/schedule"
 	"p2pmss/internal/trace"
@@ -89,8 +91,36 @@ type BurstParams = coord.BurstParams
 // hand-offs, crashes) for timeline analysis; see cmd/msstrace.
 type Tracer = trace.Tracer
 
+// TraceEvent is one recorded trace occurrence.
+type TraceEvent = trace.Event
+
 // NewTracer returns a tracer holding up to capacity events.
 func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// WriteTraceJSONL writes trace events to w as JSON Lines, one compact
+// object per event, in the given order.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
+	return trace.WriteJSONL(w, events)
+}
+
+// ---- metrics --------------------------------------------------------------
+
+// MetricsRegistry is a concurrency-safe registry of named counters,
+// gauges and histograms. A nil registry disables all instrumentation at
+// near-zero cost, so SimConfig.Metrics / LiveClusterConfig.Metrics can be
+// left unset in the common case.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a deterministic point-in-time copy of a registry.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// MetricsDebugMux returns an http.Handler serving the registry's
+// Prometheus text on /metrics plus /healthz, expvar on /debug/vars and
+// net/http/pprof on /debug/pprof/.
+func MetricsDebugMux(r *MetricsRegistry) http.Handler { return metrics.DebugMux(r) }
 
 // DefaultSimConfig returns the paper's evaluation setting (n = 100
 // contents peers, reliable links, δ = 1).
@@ -144,6 +174,29 @@ func PrintBaselines(w io.Writer, title string, rows []BaselineRow) {
 
 // SeriesCSV renders a sweep as CSV.
 func SeriesCSV(s Series) string { return experiment.SeriesCSV(s) }
+
+// RunRecord is one (protocol, H, seed) sweep run in machine-readable
+// form, including the metrics snapshot when ExperimentOptions.Instrument
+// is set.
+type RunRecord = experiment.RunRecord
+
+// SweepRecords runs the protocol's (H, seed) grid and returns every
+// per-run record in grid order; dataPlane enables the streaming plane
+// (as Figure 12 does).
+func SweepRecords(protocol string, o ExperimentOptions, dataPlane bool) ([]RunRecord, error) {
+	return experiment.SweepRecords(protocol, o, dataPlane)
+}
+
+// BaselineRecords runs every protocol at fixed H and returns the per-run
+// records.
+func BaselineRecords(o ExperimentOptions, H int) ([]RunRecord, error) {
+	return experiment.BaselineRecords(o, H)
+}
+
+// WriteRunRecordsJSONL writes run records to w as JSON Lines.
+func WriteRunRecordsJSONL(w io.Writer, recs []RunRecord) error {
+	return experiment.WriteRecordsJSONL(w, recs)
+}
 
 // GossipCoveragePoint is one fanout's mean dissemination coverage.
 type GossipCoveragePoint = experiment.GossipCoveragePoint
