@@ -8,9 +8,15 @@
 // HTTP: Prometheus-format /metrics, /healthz, expvar on /debug/vars and
 // net/http/pprof on /debug/pprof/.
 //
+// With -sessions N the demo switches to the session-oriented node API:
+// a node population shares a catalog of N contents and N leaf sessions
+// stream concurrently over one set of sockets, surviving -kill node
+// crashes via the churn-tolerant hand-off.
+//
 // Usage:
 //
 //	mssplay -peers 8 -h 3 -size 65536 -kill 2
+//	mssplay -peers 10 -sessions 4 -kill 1
 //	mssplay -listen 127.0.0.1:9090   # then: curl localhost:9090/metrics
 package main
 
@@ -21,6 +27,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"p2pmss"
@@ -38,15 +45,10 @@ func main() {
 		proto    = flag.String("proto", p2pmss.LiveTCoP, "live coordination protocol: tcop or dcop")
 		timeout  = flag.Duration("timeout", 60*time.Second, "delivery deadline")
 		seed     = flag.Int64("seed", 1, "random seed")
+		sessions = flag.Int("sessions", 1, "stream this many concurrent sessions over one node population")
 		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof/ on this address (off by default)")
 	)
 	flag.Parse()
-
-	data := make([]byte, *size)
-	rand.New(rand.NewSource(*seed)).Read(data)
-	c := p2pmss.NewContent("demo", data, *pktSize)
-	fmt.Printf("content %s: %d bytes, %d packets of %d bytes\n",
-		c.ID(), c.Size(), c.NumPackets(), c.PacketSize())
 
 	// Metrics are registered only when they will be served.
 	var reg *p2pmss.MetricsRegistry
@@ -60,6 +62,18 @@ func main() {
 		srv := &http.Server{Handler: p2pmss.MetricsDebugMux(reg)}
 		go srv.Serve(ln) //nolint:errcheck // shut down with the process
 	}
+
+	if *sessions > 1 {
+		runSessions(*nPeers, *sessions, *fanout, *interval, *size, *pktSize, *rate,
+			*kill, *proto, *timeout, *seed, reg)
+		return
+	}
+
+	data := make([]byte, *size)
+	rand.New(rand.NewSource(*seed)).Read(data)
+	c := p2pmss.NewContent("demo", data, *pktSize)
+	fmt.Printf("content %s: %d bytes, %d packets of %d bytes\n",
+		c.ID(), c.Size(), c.NumPackets(), c.PacketSize())
 
 	start := time.Now()
 	cl, err := p2pmss.StartLiveCluster(p2pmss.LiveClusterConfig{
@@ -129,6 +143,112 @@ func main() {
 			fmt.Printf("  %d/%d packets delivered\n", cl.Leaf.Progress(), c.NumPackets())
 		}
 	}
+}
+
+// runSessions streams `sessions` distinct contents concurrently over one
+// node population on TCP loopback, optionally crash-stopping serving
+// nodes mid-stream.
+func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate float64,
+	kill int, proto string, timeout time.Duration, seed int64, reg *p2pmss.MetricsRegistry) {
+	if sessions > nodes {
+		fatal(fmt.Errorf("-sessions %d needs at least as many -peers (have %d)", sessions, nodes))
+	}
+	store := p2pmss.NewContentStore()
+	contents := make(map[string][]byte, sessions)
+	for i := 0; i < sessions; i++ {
+		data := make([]byte, size)
+		rand.New(rand.NewSource(seed + int64(i))).Read(data)
+		id := fmt.Sprintf("demo%d", i)
+		store.Put(p2pmss.NewContent(id, data, pktSize))
+		contents[id] = data
+	}
+	nc, err := p2pmss.StartLiveNodes(p2pmss.LiveNodesConfig{
+		Nodes:    nodes,
+		Store:    store,
+		H:        fanout,
+		Interval: interval,
+		Protocol: proto,
+		UseTCP:   true,
+		Seed:     seed,
+		Metrics:  reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer nc.Close()
+	for i, nd := range nc.Nodes {
+		fmt.Printf("node %2d listening on %s\n", i, nd.Addr())
+	}
+
+	start := time.Now()
+	leaves := make([]*p2pmss.LiveLeafSession, sessions)
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("demo%d", i)
+		ls, err := nc.Open(i, p2pmss.LiveSessionConfig{
+			ContentID:   id,
+			ContentSize: size,
+			PacketSize:  pktSize,
+			Rate:        rate,
+			RepairAfter: 400 * time.Millisecond,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		leaves[i] = ls
+		fmt.Printf("session %q opened on node %d\n", ls.ID, i)
+	}
+
+	if kill > 0 {
+		go func() {
+			time.Sleep(300 * time.Millisecond)
+			killed := nc.CrashServing(kill)
+			fmt.Printf("!! crash-stopped %d serving node(s)\n", killed)
+		}()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i, ls := range leaves {
+		wg.Add(1)
+		go func(i int, ls *p2pmss.LiveLeafSession) {
+			defer wg.Done()
+			errs[i] = ls.Wait(timeout)
+		}(i, ls)
+	}
+	wg.Wait()
+	failed := 0
+	for i, ls := range leaves {
+		if errs[i] != nil {
+			fmt.Printf("session %q FAILED: %v\n", ls.ID, errs[i])
+			failed++
+			continue
+		}
+		got, ok := ls.Bytes()
+		want := contents[fmt.Sprintf("demo%d", i)]
+		if !ok || len(got) != len(want) {
+			fmt.Printf("session %q reassembly failed\n", ls.ID)
+			failed++
+			continue
+		}
+		verified := true
+		for k := range got {
+			if got[k] != want[k] {
+				fmt.Printf("session %q corrupted at byte %d\n", ls.ID, k)
+				failed++
+				verified = false
+				break
+			}
+		}
+		if verified {
+			total, dup, recovered := ls.Stats()
+			fmt.Printf("session %q complete ✓ (%d arrivals, %d duplicates, %d parity-recovered)\n",
+				ls.ID, total, dup, recovered)
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d/%d sessions failed", failed, sessions))
+	}
+	fmt.Printf("all %d sessions verified byte-for-byte in %v\n", sessions, time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

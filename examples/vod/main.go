@@ -27,24 +27,21 @@ func main() {
 	roster := []string{"cp1", "cp2", "cp3", "cp4", "cp5", "cp6", "cp7", "cp8"}
 	var peers []*p2pmss.LivePeer
 	for i, name := range roster {
-		name := name
-		p, err := p2pmss.NewLivePeer(p2pmss.LivePeerConfig{
+		p, err := p2pmss.StartLivePeer(p2pmss.LivePeerConfig{
 			Content:  c,
 			Roster:   roster,
 			H:        4,
 			Interval: 2, // one parity packet per two data packets
 			Delta:    5 * time.Millisecond,
 			Seed:     int64(i) + 1,
-		}, func(h p2pmss.TransportHandler) (p2pmss.TransportEndpoint, error) {
-			return fabric.Endpoint(name, h), nil
-		})
+		}, p2pmss.WithFabric(fabric, name))
 		if err != nil {
 			log.Fatal(err)
 		}
 		peers = append(peers, p)
 	}
 
-	leaf, err := p2pmss.NewLiveLeaf(p2pmss.LiveLeafConfig{
+	leaf, err := p2pmss.StartLiveLeaf(p2pmss.LiveLeafConfig{
 		Roster:      roster,
 		H:           4,
 		Interval:    2,
@@ -53,9 +50,7 @@ func main() {
 		PacketSize:  512,
 		RepairAfter: 400 * time.Millisecond,
 		Seed:        7,
-	}, func(h p2pmss.TransportHandler) (p2pmss.TransportEndpoint, error) {
-		return fabric.Endpoint("leaf", h), nil
-	})
+	}, p2pmss.WithFabric(fabric, "leaf"))
 	if err != nil {
 		log.Fatal(err)
 	}

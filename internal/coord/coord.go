@@ -22,27 +22,32 @@ import (
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/overlay"
 	"p2pmss/internal/parity"
+	"p2pmss/internal/protocol"
 	"p2pmss/internal/schedule"
 	"p2pmss/internal/seq"
 	"p2pmss/internal/simnet"
 	"p2pmss/internal/trace"
 )
 
-// Protocol names accepted by Run.
+// Protocol identifies a coordination protocol; the names are shared with
+// the live layer via internal/protocol.
+type Protocol = protocol.Protocol
+
+// Protocol names accepted by Run, aliased from the shared registry.
 const (
-	DCoP        = "dcop"
-	TCoP        = "tcop"
-	Broadcast   = "broadcast"
-	Unicast     = "unicast"
-	Centralized = "centralized"
+	DCoP        = protocol.DCoP
+	TCoP        = protocol.TCoP
+	Broadcast   = protocol.Broadcast
+	Unicast     = protocol.Unicast
+	Centralized = protocol.Centralized
 	// AMS is the asynchronous multi-source streaming precursor of [3–5]:
 	// asynchronous start plus periodic all-to-all state exchange via
 	// causal group communication.
-	AMS = "ams"
+	AMS = protocol.AMS
 )
 
 // Protocols lists all implemented coordination protocols.
-var Protocols = []string{DCoP, TCoP, Broadcast, Unicast, Centralized, AMS}
+var Protocols = protocol.All
 
 // Config parameterizes one coordination run.
 type Config struct {
@@ -101,6 +106,10 @@ type Config struct {
 	// CrashAt, when >0 with CrashPeers set, delays the crashes to that
 	// virtual time instead (peers participate, then fail).
 	CrashAt float64
+	// Churn, when non-nil, installs a deterministic crash/rejoin
+	// schedule on top of (or instead of) CrashPeers — the sim-side
+	// counterpart of the live layer's churn injection.
+	Churn *failure.ChurnSchedule
 	// Burst enables Gilbert–Elliott bursty loss on every directed
 	// channel (§3.2's "lost … in a bursty manner").
 	Burst *BurstParams
@@ -484,6 +493,18 @@ func newRunner(cfg Config) (*runner, error) {
 			nw.Crash(simnet.NodeID(cp))
 		}
 	}
+	if cfg.Churn != nil {
+		err := cfg.Churn.Install(nw, func(e failure.ChurnEvent) {
+			what := "crash-stop"
+			if e.Join {
+				what = "rejoin"
+			}
+			r.trace(int(e.Peer), "churn", what)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -614,12 +635,12 @@ func (r *runner) run() Result {
 }
 
 // Run executes the named protocol under cfg and returns its metrics.
-func Run(protocol string, cfg Config) (Result, error) {
+func Run(proto Protocol, cfg Config) (Result, error) {
 	r, err := newRunner(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	switch protocol {
+	switch proto {
 	case DCoP:
 		r.impl = &dcop{r: r}
 	case TCoP:
@@ -633,9 +654,9 @@ func Run(protocol string, cfg Config) (Result, error) {
 	case AMS:
 		r.impl = &ams{r: r}
 	default:
-		return Result{}, fmt.Errorf("coord: unknown protocol %q", protocol)
+		return Result{}, fmt.Errorf("coord: unknown protocol %q", proto)
 	}
-	r.res.Protocol = protocol
+	r.res.Protocol = proto
 	return r.run(), nil
 }
 

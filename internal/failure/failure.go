@@ -148,6 +148,71 @@ func (p CrashPlan) Install(nw *simnet.Network) error {
 	return nil
 }
 
+// ChurnEvent is one membership change in a churn schedule: peer Peer
+// crashes (Join=false) or recovers/joins (Join=true) at time At.
+type ChurnEvent struct {
+	At   float64
+	Peer simnet.NodeID
+	Join bool
+}
+
+// ChurnSchedule is a deterministic sequence of crash and join events —
+// the sim-side counterpart of the live layer's churn injection, so the
+// coordination protocols can be measured under the same membership
+// dynamics the live tests exercise.
+type ChurnSchedule struct {
+	Events []ChurnEvent
+}
+
+// Validate checks the schedule's shape.
+func (s ChurnSchedule) Validate() error {
+	for i, e := range s.Events {
+		if e.At < 0 {
+			return fmt.Errorf("failure: negative churn time %v at event %d", e.At, i)
+		}
+	}
+	return nil
+}
+
+// Install schedules the events on the network's engine: crashes call
+// nw.Crash, joins call nw.Recover. The optional observe callback fires
+// as each event executes (for tracing).
+func (s ChurnSchedule) Install(nw *simnet.Network, observe func(ChurnEvent)) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, e := range s.Events {
+		e := e
+		nw.Engine().At(e.At, func() {
+			if e.Join {
+				nw.Recover(e.Peer)
+			} else {
+				nw.Crash(e.Peer)
+			}
+			if observe != nil {
+				observe(e)
+			}
+		})
+	}
+	return nil
+}
+
+// PeriodicChurn builds a schedule that crashes peers [first, first+count)
+// one every period starting at start, each rejoining downAfter later
+// (downAfter <= 0 means crashed peers stay down).
+func PeriodicChurn(first simnet.NodeID, count int, start, period, downAfter float64) ChurnSchedule {
+	var s ChurnSchedule
+	for i := 0; i < count; i++ {
+		at := start + float64(i)*period
+		id := first + simnet.NodeID(i)
+		s.Events = append(s.Events, ChurnEvent{At: at, Peer: id})
+		if downAfter > 0 {
+			s.Events = append(s.Events, ChurnEvent{At: at + downAfter, Peer: id, Join: true})
+		}
+	}
+	return s
+}
+
 // Degradation models a peer whose effective transmission rate decays by
 // Factor at time At — the paper's "degraded in performance" failure. The
 // coordination layer consults Multiplier when scheduling sends.

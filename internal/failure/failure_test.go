@@ -162,3 +162,59 @@ func BenchmarkGilbertElliott(b *testing.B) {
 		g.Step()
 	}
 }
+
+func TestChurnScheduleValidateAndInstall(t *testing.T) {
+	bad := ChurnSchedule{Events: []ChurnEvent{{At: -1, Peer: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative churn time validated")
+	}
+
+	eng := des.New(1)
+	nw := simnet.New(eng)
+	nw.AttachFunc(2, func(simnet.NodeID, simnet.Message) {})
+	var seen []ChurnEvent
+	s := ChurnSchedule{Events: []ChurnEvent{
+		{At: 5, Peer: 2},
+		{At: 9, Peer: 2, Join: true},
+	}}
+	if err := s.Install(nw, func(e ChurnEvent) { seen = append(seen, e) }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(6)
+	if !nw.Crashed(2) {
+		t.Error("peer did not crash on schedule")
+	}
+	eng.RunUntil(10)
+	if nw.Crashed(2) {
+		t.Error("peer did not rejoin on schedule")
+	}
+	if len(seen) != 2 || seen[0].Join || !seen[1].Join {
+		t.Errorf("observe saw %+v", seen)
+	}
+}
+
+func TestPeriodicChurn(t *testing.T) {
+	s := PeriodicChurn(3, 2, 10, 4, 6)
+	want := []ChurnEvent{
+		{At: 10, Peer: 3},
+		{At: 16, Peer: 3, Join: true},
+		{At: 14, Peer: 4},
+		{At: 20, Peer: 4, Join: true},
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(s.Events), len(want))
+	}
+	for i, e := range s.Events {
+		if e != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	stayDown := PeriodicChurn(0, 2, 1, 1, 0)
+	if len(stayDown.Events) != 2 {
+		t.Errorf("downAfter<=0 should emit crashes only, got %d events", len(stayDown.Events))
+	}
+}

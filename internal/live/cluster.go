@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"p2pmss/internal/content"
@@ -20,8 +21,8 @@ type ClusterConfig struct {
 	H, Interval int
 	// Rate is the content rate in packets per second.
 	Rate float64
-	// Protocol selects ProtocolTCoP (default) or ProtocolDCoP.
-	Protocol string
+	// Protocol selects TCoP (default) or DCoP.
+	Protocol Protocol
 	// UseTCP runs every peer on its own TCP loopback socket instead of
 	// the in-memory fabric.
 	UseTCP bool
@@ -42,6 +43,8 @@ type Cluster struct {
 	Peers  []*Peer
 	Leaf   *Leaf
 	fabric *transport.Fabric
+
+	closeOnce sync.Once
 }
 
 // StartCluster builds and starts a live session: it wires the peers,
@@ -62,13 +65,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	c := &Cluster{}
 	var roster []string
-	attachers := make([]func(transport.Handler) (transport.Endpoint, error), cfg.Peers)
-	var leafAttach func(transport.Handler) (transport.Endpoint, error)
+	transports := make([]Transport, cfg.Peers)
+	var leafTransport Transport
 
 	if cfg.UseTCP {
 		// Bind listeners first so the roster is known before peers start.
-		lates := make([]*lateBinder, cfg.Peers)
-		for i := range lates {
+		for i := range transports {
 			lb := &lateBinder{}
 			ep, err := transport.ListenTCP("127.0.0.1:0", lb.dispatch)
 			if err != nil {
@@ -77,12 +79,11 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 			lb.ep = ep
 			ep.Instrument(cfg.Metrics)
-			lates[i] = lb
 			roster = append(roster, ep.Name())
-			attachers[i] = func(h transport.Handler) (transport.Endpoint, error) {
-				lb.h = h
+			transports[i] = WithAttach(func(h transport.Handler) (transport.Endpoint, error) {
+				lb.bind(h)
 				return lb.ep, nil
-			}
+			})
 		}
 		leafLB := &lateBinder{}
 		lep, err := transport.ListenTCP("127.0.0.1:0", leafLB.dispatch)
@@ -92,23 +93,19 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		leafLB.ep = lep
 		lep.Instrument(cfg.Metrics)
-		leafAttach = func(h transport.Handler) (transport.Endpoint, error) {
-			leafLB.h = h
+		leafTransport = WithAttach(func(h transport.Handler) (transport.Endpoint, error) {
+			leafLB.bind(h)
 			return leafLB.ep, nil
-		}
+		})
 	} else {
 		c.fabric = transport.NewFabric()
 		c.fabric.Instrument(cfg.Metrics)
 		for i := 0; i < cfg.Peers; i++ {
 			name := fmt.Sprintf("cp%d", i)
 			roster = append(roster, name)
-			attachers[i] = func(h transport.Handler) (transport.Endpoint, error) {
-				return c.fabric.Endpoint(name, h), nil
-			}
+			transports[i] = WithFabric(c.fabric, name)
 		}
-		leafAttach = func(h transport.Handler) (transport.Endpoint, error) {
-			return c.fabric.Endpoint("leaf", h), nil
-		}
+		leafTransport = WithFabric(c.fabric, "leaf")
 	}
 
 	for i := 0; i < cfg.Peers; i++ {
@@ -125,7 +122,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Protocol: cfg.Protocol,
 			Seed:     seed,
 			Metrics:  cfg.Metrics,
-		}, attachers[i])
+		}, transports[i])
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -147,7 +144,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		RepairAfter: cfg.RepairAfter,
 		Seed:        leafSeed,
 		Metrics:     cfg.Metrics,
-	}, leafAttach)
+	}, leafTransport)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -183,24 +180,41 @@ func (c *Cluster) Wait(timeout time.Duration) error { return c.Leaf.Wait(timeout
 // Bytes returns the reassembled content once complete.
 func (c *Cluster) Bytes() ([]byte, bool) { return c.Leaf.Bytes() }
 
-// Close stops every peer and the leaf.
+// Close stops every peer and the leaf. It is idempotent and safe after
+// CrashActive already stopped some peers (closing a closed peer is a
+// no-op).
 func (c *Cluster) Close() {
-	for _, p := range c.Peers {
-		p.Close()
-	}
-	if c.Leaf != nil {
-		c.Leaf.Close()
-	}
+	c.closeOnce.Do(func() {
+		for _, p := range c.Peers {
+			p.Close()
+		}
+		if c.Leaf != nil {
+			c.Leaf.Close()
+		}
+	})
 }
 
-// lateBinder lets a TCP listener start before its peer exists.
+// lateBinder lets a TCP listener start before its peer exists: frames
+// arriving before bind are dropped, as a real socket would drop traffic
+// for a process still booting.
 type lateBinder struct {
 	ep *transport.TCPEndpoint
+
+	mu sync.Mutex
 	h  transport.Handler
 }
 
+func (l *lateBinder) bind(h transport.Handler) {
+	l.mu.Lock()
+	l.h = h
+	l.mu.Unlock()
+}
+
 func (l *lateBinder) dispatch(m transport.Msg) {
-	if l.h != nil {
-		l.h(m)
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h != nil {
+		h(m)
 	}
 }

@@ -86,7 +86,6 @@ func TestStoreBackedPeers(t *testing.T) {
 	roster := []string{"s0", "s1", "s2", "s3", "s4"}
 	var peers []*Peer
 	for i, name := range roster {
-		name := name
 		p, err := NewPeer(PeerConfig{
 			Store:    store,
 			Roster:   roster,
@@ -94,9 +93,7 @@ func TestStoreBackedPeers(t *testing.T) {
 			Interval: 2,
 			Delta:    5 * time.Millisecond,
 			Seed:     int64(i) + 1,
-		}, func(h transportHandler) (transportEndpoint, error) {
-			return f.Endpoint(name, h), nil
-		})
+		}, WithFabric(f, name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,9 +111,7 @@ func TestStoreBackedPeers(t *testing.T) {
 		PacketSize:  64,
 		RepairAfter: 300 * time.Millisecond,
 		Seed:        9,
-	}, func(h transportHandler) (transportEndpoint, error) {
-		return f.Endpoint("leaf", h), nil
-	})
+	}, WithFabric(f, "leaf"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,13 +137,10 @@ func TestUnknownContentIgnored(t *testing.T) {
 	roster := []string{"u0", "u1"}
 	var peers []*Peer
 	for i, name := range roster {
-		name := name
 		p, err := NewPeer(PeerConfig{
 			Store: store, Roster: roster, H: 2, Interval: 2,
 			Delta: 5 * time.Millisecond, Seed: int64(i) + 1,
-		}, func(h transportHandler) (transportEndpoint, error) {
-			return f.Endpoint(name, h), nil
-		})
+		}, WithFabric(f, name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,9 +150,7 @@ func TestUnknownContentIgnored(t *testing.T) {
 	leaf, err := NewLeaf(LeafConfig{
 		Roster: roster, H: 2, Interval: 2, Rate: 100,
 		ContentID: "missing", ContentSize: 500, PacketSize: 64, Seed: 3,
-	}, func(h transportHandler) (transportEndpoint, error) {
-		return f.Endpoint("leaf", h), nil
-	})
+	}, WithFabric(f, "leaf"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,10 +165,6 @@ func TestUnknownContentIgnored(t *testing.T) {
 		t.Errorf("progress = %d for unknown content", leaf.Progress())
 	}
 }
-
-// helpers keeping the added tests terse.
-type transportHandler = transport.Handler
-type transportEndpoint = transport.Endpoint
 
 func newFabricFor(t *testing.T) *transport.Fabric {
 	t.Helper()

@@ -3,6 +3,8 @@ package live
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,40 +29,58 @@ type LeafConfig struct {
 	// ContentSize and PacketSize describe the expected content.
 	ContentSize, PacketSize int
 	// RepairAfter is how long the leaf waits without progress before
-	// asking a random peer to retransmit missing packets. Zero disables
-	// repair.
+	// asking surviving peers to retransmit missing packets. Zero
+	// disables repair.
 	RepairAfter time.Duration
+	// Session scopes the leaf to one streaming session (see
+	// PeerConfig.Session).
+	Session SessionID
 	// Seed seeds peer selection; 0 uses the clock.
 	Seed int64
 	// Metrics, when non-nil, receives the leaf's counters (arrivals,
-	// duplicates, repair requests) and delivery-progress gauges.
+	// duplicates, repair requests, retries, failovers) and
+	// delivery-progress gauges.
 	Metrics *metrics.Registry
 }
 
 // Leaf is a live leaf peer LP_s: it requests a content from H contents
-// peers, reassembles arrivals (with parity recovery), and optionally
-// issues repair requests for stragglers.
+// peers, reassembles arrivals (with parity recovery), and issues repair
+// requests for stalled subsequences to the session members it most
+// recently heard from (the likeliest survivors after churn).
 type Leaf struct {
 	cfg LeafConfig
 	ep  transport.Endpoint
-	rng *rand.Rand
 	met leafMetrics
 
 	mu       sync.Mutex
+	rng      *rand.Rand
 	asm      *content.Assembler
 	total    int64
 	dup      int64
 	seen     map[string]bool
 	lastGain time.Time
-	done     chan struct{}
-	doneOnce sync.Once
+	// lastHeard and maxIdx record, per sender, when the leaf last
+	// received a data packet and the highest data index it carried —
+	// the basis for survivor-aware repair targeting and for naming the
+	// presumed-crashed peers in Wait's timeout error.
+	lastHeard map[string]time.Time
+	maxIdx    map[string]int64
+	// repairFirst is the leading missing index of the previous repair
+	// round; seeing it again means the round went unanswered (a retry).
+	repairFirst int64
+	done        chan struct{}
+	doneOnce    sync.Once
 
 	stopCh  chan struct{}
 	stopped sync.Once
 }
 
-// NewLeaf creates a leaf attached via the given transport constructor.
-func NewLeaf(cfg LeafConfig, attach func(transport.Handler) (transport.Endpoint, error)) (*Leaf, error) {
+// NewLeaf creates a leaf on the given transport (WithFabric, WithTCP, or
+// WithAttach for pre-bound endpoints).
+func NewLeaf(cfg LeafConfig, tr Transport) (*Leaf, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("live: leaf needs a transport")
+	}
 	if cfg.H <= 0 || cfg.H > len(cfg.Roster) {
 		return nil, fmt.Errorf("live: H=%d must be in 1..len(roster)=%d", cfg.H, len(cfg.Roster))
 	}
@@ -72,48 +92,76 @@ func NewLeaf(cfg LeafConfig, attach func(transport.Handler) (transport.Endpoint,
 		seed = time.Now().UnixNano()
 	}
 	l := &Leaf{
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(seed)),
-		asm:      content.NewAssembler(cfg.ContentSize, cfg.PacketSize),
-		seen:     make(map[string]bool),
-		lastGain: time.Now(),
-		done:     make(chan struct{}),
-		stopCh:   make(chan struct{}),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		asm:       content.NewAssembler(cfg.ContentSize, cfg.PacketSize),
+		seen:      make(map[string]bool),
+		lastHeard: make(map[string]time.Time),
+		maxIdx:    make(map[string]int64),
+		lastGain:  time.Now(),
+		done:      make(chan struct{}),
+		stopCh:    make(chan struct{}),
 	}
-	ep, err := attach(l.handle)
+	ep, err := tr.open(l.handle)
 	if err != nil {
 		return nil, err
 	}
 	l.ep = ep
-	l.met = newLeafMetrics(cfg.Metrics)
+	l.met = newLeafMetrics(cfg.Metrics, cfg.Session)
 	return l, nil
 }
 
 // Addr returns the leaf's transport address.
 func (l *Leaf) Addr() string { return l.ep.Name() }
 
-// Start sends the content request to H randomly selected contents peers
-// (DCoP/TCoP step 1) and begins the repair monitor.
+// Session returns the session this leaf consumes (empty when standalone).
+func (l *Leaf) Session() SessionID { return l.cfg.Session }
+
+// send encodes v, stamps the leaf's session, and transmits.
+func (l *Leaf) send(to, typ string, v any) error {
+	m, err := transport.Encode(typ, l.Addr(), v)
+	if err != nil {
+		return err
+	}
+	m.Session = string(l.cfg.Session)
+	return l.ep.Send(to, m)
+}
+
+// Start sends the content request to H selected contents peers (DCoP/TCoP
+// step 1) and begins the repair monitor. A peer whose request cannot be
+// delivered (already crashed) is failed over to an alternate from the
+// roster; Start errors only when the roster is exhausted before H peers
+// accept delivery.
 func (l *Leaf) Start() error {
+	l.mu.Lock()
 	roster := append([]string{}, l.cfg.Roster...)
 	l.rng.Shuffle(len(roster), func(i, j int) { roster[i], roster[j] = roster[j], roster[i] })
-	sel := roster[:l.cfg.H]
-	for idx, addr := range sel {
-		body := requestBody{
-			ContentID: l.cfg.ContentID,
-			Rate:      l.cfg.Rate,
-			H:         l.cfg.H,
-			Interval:  l.cfg.Interval,
-			Index:     idx,
-			Selected:  sel,
-			Leaf:      l.Addr(),
-		}
-		m, err := transport.Encode(typeRequest, l.Addr(), body)
-		if err != nil {
-			return err
-		}
-		if err := l.ep.Send(addr, m); err != nil {
-			return fmt.Errorf("live: request to %s: %w", addr, err)
+	l.mu.Unlock()
+	sel := append([]string{}, roster[:l.cfg.H]...)
+	spare := roster[l.cfg.H:]
+	var lastErr error
+	for idx := 0; idx < len(sel); idx++ {
+		for {
+			body := requestBody{
+				ContentID: l.cfg.ContentID,
+				Rate:      l.cfg.Rate,
+				H:         l.cfg.H,
+				Interval:  l.cfg.Interval,
+				Index:     idx,
+				Selected:  sel,
+				Leaf:      l.Addr(),
+			}
+			err := l.send(sel[idx], typeRequest, body)
+			if err == nil {
+				break
+			}
+			lastErr = err
+			l.met.failovers.Inc()
+			if len(spare) == 0 {
+				return fmt.Errorf("live: request slot %d: roster exhausted: %w", idx, lastErr)
+			}
+			sel[idx] = spare[0]
+			spare = spare[1:]
 		}
 	}
 	if l.cfg.RepairAfter > 0 {
@@ -134,6 +182,10 @@ func (l *Leaf) handle(m transport.Msg) {
 	l.mu.Lock()
 	l.total++
 	l.met.arrivals.Inc()
+	l.lastHeard[m.From] = time.Now()
+	if b.Pkt.IsData() && b.Pkt.Index > l.maxIdx[m.From] {
+		l.maxIdx[m.From] = b.Pkt.Index
+	}
 	key := b.Pkt.Key()
 	if l.seen[key] {
 		l.dup++
@@ -156,8 +208,21 @@ func (l *Leaf) handle(m transport.Msg) {
 	}
 }
 
+// repairTargets orders the roster by how recently each member was heard
+// from, most recent first — after churn, the peers still streaming are
+// the ones worth asking. Never-heard members sort last in random order.
+func (l *Leaf) repairTargets() []string {
+	targets := append([]string{}, l.cfg.Roster...)
+	l.rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+	sort.SliceStable(targets, func(i, j int) bool {
+		return l.lastHeard[targets[i]].After(l.lastHeard[targets[j]])
+	})
+	return targets
+}
+
 // repairLoop watches for stalled progress and requests retransmission of
-// missing data packets from randomly chosen peers.
+// missing data packets from surviving session members, rotating to an
+// alternate when a target is unreachable.
 func (l *Leaf) repairLoop() {
 	tick := time.NewTicker(l.cfg.RepairAfter / 2)
 	defer tick.Stop()
@@ -172,31 +237,80 @@ func (l *Leaf) repairLoop() {
 		l.mu.Lock()
 		stalled := time.Since(l.lastGain) >= l.cfg.RepairAfter
 		var missing []int64
+		var targets []string
 		if stalled {
 			missing = l.asm.Missing()
 			l.lastGain = time.Now() // back off until the next stall
+			if len(missing) > 0 {
+				if missing[0] == l.repairFirst {
+					// The previous round's leading gap is still open:
+					// this is a retry of an unanswered request.
+					l.met.retries.Inc()
+				}
+				l.repairFirst = missing[0]
+				targets = l.repairTargets()
+			}
 		}
 		l.mu.Unlock()
 		if len(missing) == 0 {
 			continue
 		}
 		const batch = 64
+		t := 0
 		for off := 0; off < len(missing); off += batch {
 			end := off + batch
 			if end > len(missing) {
 				end = len(missing)
 			}
-			peer := l.cfg.Roster[l.rng.Intn(len(l.cfg.Roster))]
-			m, err := transport.Encode(typeRepair, l.Addr(), repairBody{ContentID: l.cfg.ContentID, Indices: missing[off:end], Leaf: l.Addr()})
-			if err == nil {
+			body := repairBody{ContentID: l.cfg.ContentID, Indices: missing[off:end], Leaf: l.Addr()}
+			// Try targets in survivor order until one accepts delivery.
+			for tries := 0; tries < len(targets); tries++ {
+				peer := targets[t%len(targets)]
+				t++
 				l.met.repairRequests.Inc()
-				l.ep.Send(peer, m) //nolint:errcheck // dead peers are retried on the next stall
+				if err := l.send(peer, typeRepair, body); err == nil {
+					break
+				}
+				l.met.failovers.Inc()
 			}
 		}
 	}
 }
 
-// Wait blocks until the content is complete or the timeout elapses.
+// formatRanges compresses sorted packet indices into "a-b" spans,
+// capping the output at a few spans.
+func formatRanges(idx []int64, maxSpans int) string {
+	if len(idx) == 0 {
+		return "none"
+	}
+	var spans []string
+	start, prev := idx[0], idx[0]
+	flush := func() {
+		if start == prev {
+			spans = append(spans, fmt.Sprintf("%d", start))
+		} else {
+			spans = append(spans, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, k := range idx[1:] {
+		if k == prev+1 {
+			prev = k
+			continue
+		}
+		flush()
+		start, prev = k, k
+	}
+	flush()
+	if len(spans) > maxSpans {
+		spans = append(spans[:maxSpans], fmt.Sprintf("+%d more spans", len(spans)-maxSpans))
+	}
+	return strings.Join(spans, ",")
+}
+
+// Wait blocks until the content is complete or the timeout elapses. The
+// timeout error names the missing subsequences and the session members
+// last seen serving them (with how long ago they went silent), so a test
+// or operator can tell churn from congestion.
 func (l *Leaf) Wait(timeout time.Duration) error {
 	select {
 	case <-l.done:
@@ -204,8 +318,33 @@ func (l *Leaf) Wait(timeout time.Duration) error {
 	case <-time.After(timeout):
 		l.mu.Lock()
 		defer l.mu.Unlock()
-		return fmt.Errorf("live: timeout with %d/%d packets (%d arrivals, %d dup)",
-			l.asm.Have(), (int64(l.cfg.ContentSize)+int64(l.cfg.PacketSize)-1)/int64(l.cfg.PacketSize), l.total, l.dup)
+		want := (int64(l.cfg.ContentSize) + int64(l.cfg.PacketSize) - 1) / int64(l.cfg.PacketSize)
+		missing := l.asm.Missing()
+		// Peers that served packets but have been silent longest are the
+		// presumed-crashed sources of the gaps.
+		type src struct {
+			addr  string
+			ago   time.Duration
+			maxIx int64
+		}
+		var silent []src
+		for a, ts := range l.lastHeard {
+			silent = append(silent, src{a, time.Since(ts).Round(time.Millisecond), l.maxIdx[a]})
+		}
+		sort.Slice(silent, func(i, j int) bool { return silent[i].ago > silent[j].ago })
+		if len(silent) > 4 {
+			silent = silent[:4]
+		}
+		var who []string
+		for _, s := range silent {
+			who = append(who, fmt.Sprintf("%s (last heard %s ago, served up to #%d)", s.addr, s.ago, s.maxIx))
+		}
+		served := "no data packets received"
+		if len(who) > 0 {
+			served = strings.Join(who, "; ")
+		}
+		return fmt.Errorf("live: timeout with %d/%d packets (%d arrivals, %d dup); missing %s; sources: %s",
+			l.asm.Have(), want, l.total, l.dup, formatRanges(missing, 6), served)
 	}
 }
 

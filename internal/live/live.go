@@ -11,16 +11,28 @@
 // declines, so the peers' subsequences partition the enhanced content
 // and delivery is complete without relying on duplicates. DCoP trades
 // duplicates (deduplicated at the leaf) for one-round coordination.
+//
+// Coordination is churn-tolerant: every handshake round has an explicit
+// deadline, a child that refuses, cannot be reached, or stays silent is
+// replaced by an alternate peer under a bounded retry budget, a hand-off
+// whose commit cannot be delivered is re-absorbed by the parent, and a
+// peer may join an in-flight stream (Node.Join) and be handed a slice.
+//
+// A Node hosts a content.Store on one endpoint and multiplexes many
+// concurrent sessions — serving some as a contents peer and consuming
+// others as a leaf — keyed by the SessionID carried in transport.Msg.
 package live
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"p2pmss/internal/content"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/protocol"
 	"p2pmss/internal/seq"
 	"p2pmss/internal/transport"
 )
@@ -33,6 +45,7 @@ const (
 	typeCommit  = "commit"
 	typeData    = "data"
 	typeRepair  = "repair"
+	typeJoin    = "join"
 )
 
 // requestBody is the leaf's content request.
@@ -80,15 +93,31 @@ type repairBody struct {
 	Leaf      string  `json:"leaf"`
 }
 
+// joinBody volunteers a peer for an in-flight session: an active member
+// receiving it hands the joiner a slice of its remaining stream.
+type joinBody struct {
+	ContentID string `json:"content_id"`
+	Joiner    string `json:"joiner"`
+}
+
+// Protocol identifies a live coordination protocol; the names are shared
+// with the simulation layer via internal/protocol.
+type Protocol = protocol.Protocol
+
 // Live protocol names.
 const (
 	// ProtocolTCoP coordinates with the three-round handshake (§3.5) —
 	// hand-offs are exact, so delivery never depends on repair.
-	ProtocolTCoP = "tcop"
+	//
+	// Deprecated: use the shared protocol.TCoP (p2pmss.TCoP); the sim and
+	// live layers accept the same Protocol values.
+	ProtocolTCoP = protocol.TCoP
 	// ProtocolDCoP coordinates with single-round redundant flooding
 	// (§3.4): children may be assigned by several parents and merge
 	// (union) their streams; duplicates are deduplicated at the leaf.
-	ProtocolDCoP = "dcop"
+	//
+	// Deprecated: use the shared protocol.DCoP (p2pmss.DCoP).
+	ProtocolDCoP = protocol.DCoP
 )
 
 // PeerConfig configures a live contents peer.
@@ -109,14 +138,26 @@ type PeerConfig struct {
 	Interval int
 	// Delta is the assumed one-way latency used for marking.
 	Delta time.Duration
-	// Protocol selects the coordination protocol: ProtocolTCoP
-	// (default) or ProtocolDCoP.
-	Protocol string
+	// Protocol selects the coordination protocol: TCoP (default) or
+	// DCoP.
+	Protocol Protocol
+	// Session scopes the peer to one streaming session: outgoing
+	// messages are stamped with it and per-session metrics are labeled
+	// by it. Empty for standalone single-session peers.
+	Session SessionID
+	// HandshakeTimeout bounds each TCoP confirmation round; children
+	// silent past the deadline are presumed crashed and replaced.
+	// Zero means 4·Delta + 50 ms.
+	HandshakeTimeout time.Duration
+	// Retries bounds how many alternate peers this peer contacts when a
+	// selected child refuses, is unreachable, or times out. Zero means
+	// H; negative disables retries.
+	Retries int
 	// Seed seeds the peer's random selection; 0 uses the clock.
 	Seed int64
 	// Metrics, when non-nil, receives the peer's counters (data packets
-	// sent, hand-offs, activations, repair packets served). Several
-	// peers may share one registry.
+	// sent, hand-offs, activations, repair packets served, per-session
+	// retries and failovers). Several peers may share one registry.
 	Metrics *metrics.Registry
 }
 
@@ -128,23 +169,37 @@ type Peer struct {
 	rng *rand.Rand
 	met peerMetrics
 
-	mu        sync.Mutex
-	content   *content.Content // the content currently being served
-	view      map[string]bool
-	active    bool
-	parent    string
-	deriv     []content.DivStep
-	stream    seq.Sequence
-	pos       int
-	rate      float64
-	leaf      string
-	await     int
-	confirmed []string
-	ctlSent   bool
-	final     bool
+	mu      sync.Mutex
+	content *content.Content // the content currently being served
+	view    map[string]bool
+	active  bool
+	parent  string
+	deriv   []content.DivStep
+	// derivOK records whether deriv still describes stream exactly;
+	// DCoP merges (stream unions) invalidate it, after which the peer
+	// cannot hand out derivation-based slices (joins are declined).
+	derivOK bool
+	stream  seq.Sequence
+	pos     int
+	rate    float64
+	leaf    string
+	ctlSent bool
+	final   bool
+
+	// TCoP confirmation-round state: how many children we want, the
+	// controls still unanswered, the alternates not yet contacted, the
+	// remaining retry budget, and a generation counter that invalidates
+	// stale round timers.
+	wanted      int
+	outstanding map[string]bool
+	candQueue   []string
+	retryLeft   int
+	ctlGen      int
+	confirmed   []string
 
 	// A planned hand-off: applied when pos reaches pendingMark.
 	pendingStream seq.Sequence
+	pendingDeriv  []content.DivStep
 	pendingMark   int
 	pendingRate   float64
 
@@ -156,11 +211,12 @@ type Peer struct {
 	sent int64
 }
 
-// NewPeer creates a live peer attached to the fabric-or-TCP endpoint
-// produced by attach. The attach function receives the peer's message
-// handler and returns its endpoint (this inversion lets the caller pick
-// the transport and address).
-func NewPeer(cfg PeerConfig, attach func(transport.Handler) (transport.Endpoint, error)) (*Peer, error) {
+// NewPeer creates a live peer on the given transport (WithFabric,
+// WithTCP, or WithAttach for pre-bound endpoints).
+func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("live: peer needs a transport")
+	}
 	if cfg.Content == nil && cfg.Store == nil {
 		return nil, fmt.Errorf("live: peer needs a content or a store")
 	}
@@ -169,8 +225,8 @@ func NewPeer(cfg PeerConfig, attach func(transport.Handler) (transport.Endpoint,
 	}
 	switch cfg.Protocol {
 	case "":
-		cfg.Protocol = ProtocolTCoP
-	case ProtocolTCoP, ProtocolDCoP:
+		cfg.Protocol = protocol.TCoP
+	case protocol.TCoP, protocol.DCoP:
 	default:
 		return nil, fmt.Errorf("live: unknown protocol %q", cfg.Protocol)
 	}
@@ -185,18 +241,22 @@ func NewPeer(cfg PeerConfig, attach func(transport.Handler) (transport.Endpoint,
 		stopCh: make(chan struct{}),
 		wake:   make(chan struct{}, 1),
 	}
-	ep, err := attach(p.handle)
+	ep, err := tr.open(p.handle)
 	if err != nil {
 		return nil, err
 	}
 	p.ep = ep
-	p.met = newPeerMetrics(cfg.Metrics, ep.Name())
+	p.met = newPeerMetrics(cfg.Metrics, ep.Name(), cfg.Session)
 	go p.streamLoop()
 	return p, nil
 }
 
 // Addr returns the peer's transport address.
 func (p *Peer) Addr() string { return p.ep.Name() }
+
+// Session returns the session this peer serves (empty for standalone
+// single-session peers).
+func (p *Peer) Session() SessionID { return p.cfg.Session }
 
 // Sent returns the number of data packets transmitted so far.
 func (p *Peer) Sent() int64 {
@@ -216,6 +276,36 @@ func (p *Peer) Active() bool {
 func (p *Peer) Close() error {
 	p.stopped.Do(func() { close(p.stopCh) })
 	return p.ep.Close()
+}
+
+// send encodes v, stamps the peer's session, and transmits. The error is
+// surfaced so callers can fail over to an alternate peer.
+func (p *Peer) send(to, typ string, v any) error {
+	m, err := transport.Encode(typ, p.Addr(), v)
+	if err != nil {
+		return err
+	}
+	m.Session = string(p.cfg.Session)
+	return p.ep.Send(to, m)
+}
+
+// handshakeTimeout returns the confirmation-round deadline.
+func (p *Peer) handshakeTimeout() time.Duration {
+	if p.cfg.HandshakeTimeout > 0 {
+		return p.cfg.HandshakeTimeout
+	}
+	return 4*p.cfg.Delta + 50*time.Millisecond
+}
+
+// retryBudget returns how many alternate peers may be contacted in total.
+func (p *Peer) retryBudget() int {
+	if p.cfg.Retries < 0 {
+		return 0
+	}
+	if p.cfg.Retries > 0 {
+		return p.cfg.Retries
+	}
+	return p.cfg.H
 }
 
 // handle dispatches inbound messages. It runs on transport goroutines.
@@ -245,6 +335,11 @@ func (p *Peer) handle(m transport.Msg) {
 		var b repairBody
 		if m.Decode(&b) == nil {
 			p.onRepair(b)
+		}
+	case typeJoin:
+		var b joinBody
+		if m.Decode(&b) == nil {
+			p.onJoin(b)
 		}
 	}
 }
@@ -280,6 +375,7 @@ func (p *Peer) onRequest(b requestBody) {
 	}
 	p.parent = "leaf"
 	p.deriv = []content.DivStep{{Mark: 0, Interval: b.Interval, Parts: b.H, Index: b.Index}}
+	p.derivOK = true
 	p.stream = content.Materialize(c.Sequence(), p.deriv)
 	p.pos = 0
 	p.rate = b.Rate * float64(b.Interval+1) / float64(b.Interval*b.H)
@@ -290,8 +386,20 @@ func (p *Peer) onRequest(b requestBody) {
 	p.selectChildren()
 }
 
-// selectChildren starts child selection: TCoP's three-round handshake,
-// or DCoP's single-round redundant assignment.
+// viewSnapshotLocked lists the peer's current view in sorted order (for
+// deterministic control packets). Callers hold p.mu.
+func (p *Peer) viewSnapshotLocked() []string {
+	vm := make([]string, 0, len(p.view))
+	for a := range p.view {
+		vm = append(vm, a)
+	}
+	sort.Strings(vm)
+	return vm
+}
+
+// selectChildren starts child selection: TCoP's three-round handshake
+// with per-round deadlines and alternate-peer retries, or DCoP's
+// single-round redundant assignment.
 func (p *Peer) selectChildren() {
 	p.mu.Lock()
 	if p.ctlSent {
@@ -305,15 +413,15 @@ func (p *Peer) selectChildren() {
 		}
 	}
 	p.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-	if len(cands) > p.cfg.H {
-		cands = cands[:p.cfg.H]
-	}
 	if len(cands) == 0 {
 		p.mu.Unlock()
 		return
 	}
-	if p.cfg.Protocol == ProtocolDCoP {
+	if p.cfg.Protocol == protocol.DCoP {
 		// DCoP: assign directly, no handshake; children merge.
+		if len(cands) > p.cfg.H {
+			cands = cands[:p.cfg.H]
+		}
 		p.ctlSent = true
 		for _, c := range cands {
 			p.view[c] = true
@@ -325,29 +433,101 @@ func (p *Peer) selectChildren() {
 		return
 	}
 	p.ctlSent = true
-	p.await = len(cands)
-	for _, c := range cands {
+	p.wanted = p.cfg.H
+	if p.wanted > len(cands) {
+		p.wanted = len(cands)
+	}
+	wave := append([]string{}, cands[:p.wanted]...)
+	p.candQueue = append([]string{}, cands[p.wanted:]...)
+	p.retryLeft = p.retryBudget()
+	p.outstanding = make(map[string]bool, len(wave))
+	for _, c := range wave {
+		p.outstanding[c] = true
 		p.view[c] = true
 	}
-	vm := []string{p.Addr()}
-	vm = append(vm, cands...)
-	leaf := p.leaf
+	gen := p.ctlGen
+	d := p.handshakeTimeout()
 	p.mu.Unlock()
 
-	for _, c := range cands {
-		m, err := transport.Encode(typeControl, p.Addr(), controlBody{Parent: p.Addr(), View: vm, Leaf: leaf})
-		if err == nil {
-			p.ep.Send(c, m) //nolint:errcheck // unreachable peers count as refusals via timeout
+	p.sendControls(wave)
+	go p.confirmTimer(d, gen)
+}
+
+// sendControls delivers c1 to each target. A send error (crashed or
+// unreachable peer) counts as an immediate refusal: the target is
+// replaced by an alternate while the retry budget lasts.
+func (p *Peer) sendControls(wave []string) {
+	for len(wave) > 0 {
+		c := wave[0]
+		wave = wave[1:]
+		p.mu.Lock()
+		body := controlBody{Parent: p.Addr(), View: p.viewSnapshotLocked(), Leaf: p.leaf}
+		p.mu.Unlock()
+		if err := p.send(c, typeControl, body); err != nil {
+			if repl, ok := p.replaceChild(c); ok {
+				wave = append(wave, repl)
+			}
 		}
 	}
-	// Timeout: finalize with whatever confirmed.
-	go func() {
-		select {
-		case <-time.After(4*p.cfg.Delta + 50*time.Millisecond):
-			p.finalize()
-		case <-p.stopCh:
-		}
-	}()
+	p.maybeFinalize()
+}
+
+// replaceChild drops a failed or refusing child from the outstanding set
+// and, budget permitting, returns an alternate to contact in its place.
+func (p *Peer) replaceChild(c string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.outstanding, c)
+	if p.final || p.retryLeft <= 0 || len(p.candQueue) == 0 {
+		return "", false
+	}
+	repl := p.candQueue[0]
+	p.candQueue = p.candQueue[1:]
+	p.retryLeft--
+	p.outstanding[repl] = true
+	p.view[repl] = true
+	p.met.retries.Inc()
+	return repl, true
+}
+
+// confirmTimer enforces one confirmation round's deadline: children
+// still silent are presumed crashed, and a fresh wave of alternates is
+// contacted (with doubled deadline) while the budget lasts.
+func (p *Peer) confirmTimer(d time.Duration, gen int) {
+	select {
+	case <-time.After(d):
+	case <-p.stopCh:
+		return
+	}
+	p.mu.Lock()
+	if p.final || gen != p.ctlGen {
+		p.mu.Unlock()
+		return
+	}
+	need := p.wanted - len(p.confirmed)
+	var wave []string
+	for need > len(wave) && p.retryLeft > 0 && len(p.candQueue) > 0 {
+		c := p.candQueue[0]
+		p.candQueue = p.candQueue[1:]
+		p.retryLeft--
+		p.view[c] = true
+		wave = append(wave, c)
+		p.met.retries.Inc()
+	}
+	p.outstanding = make(map[string]bool, len(wave))
+	for _, c := range wave {
+		p.outstanding[c] = true
+	}
+	if len(wave) == 0 {
+		p.mu.Unlock()
+		p.finalize()
+		return
+	}
+	p.ctlGen++
+	gen = p.ctlGen
+	p.mu.Unlock()
+	p.sendControls(wave)
+	go p.confirmTimer(2*d, gen)
 }
 
 func (p *Peer) onControl(b controlBody) {
@@ -362,23 +542,44 @@ func (p *Peer) onControl(b controlBody) {
 		p.view[v] = true
 	}
 	p.mu.Unlock()
-	m, err := transport.Encode(typeConfirm, p.Addr(), confirmBody{Child: p.Addr(), Accept: accept})
-	if err == nil {
-		p.ep.Send(b.Parent, m) //nolint:errcheck
-	}
+	p.send(b.Parent, typeConfirm, confirmBody{Child: p.Addr(), Accept: accept}) //nolint:errcheck // an unreachable parent needs no answer
 }
 
 func (p *Peer) onConfirm(b confirmBody) {
 	p.mu.Lock()
-	if p.final || p.await == 0 {
+	if p.final {
 		p.mu.Unlock()
 		return
 	}
-	p.await--
+	delete(p.outstanding, b.Child)
 	if b.Accept {
+		for _, c := range p.confirmed {
+			if c == b.Child { // duplicate confirmation
+				p.mu.Unlock()
+				p.maybeFinalize()
+				return
+			}
+		}
 		p.confirmed = append(p.confirmed, b.Child)
+		p.mu.Unlock()
+		p.maybeFinalize()
+		return
 	}
-	done := p.await == 0
+	p.mu.Unlock()
+	if repl, ok := p.replaceChild(b.Child); ok {
+		p.sendControls([]string{repl})
+		return
+	}
+	p.maybeFinalize()
+}
+
+// maybeFinalize closes the confirmation phase once every contacted child
+// has answered (or been given up on) and no further alternates can be
+// tried.
+func (p *Peer) maybeFinalize() {
+	p.mu.Lock()
+	done := p.ctlSent && !p.final && len(p.outstanding) == 0 &&
+		(len(p.confirmed) >= p.wanted || len(p.candQueue) == 0 || p.retryLeft <= 0)
 	p.mu.Unlock()
 	if done {
 		p.finalize()
@@ -400,7 +601,9 @@ func (p *Peer) finalize() {
 // commitShares splits the stream among this peer and its (confirmed or,
 // under DCoP, directly assigned) children exactly at the mark: the
 // parent's own switch applies when the transmit position reaches the
-// mark, so hand-offs are gap- and duplicate-free.
+// mark, so hand-offs are gap- and duplicate-free. A child whose commit
+// cannot be delivered (crashed between confirm and commit) is failed
+// over: the parent re-absorbs that share into its own stream.
 func (p *Peer) commitShares() {
 	p.mu.Lock()
 	confirmed := p.confirmed
@@ -423,26 +626,40 @@ func (p *Peer) commitShares() {
 		return
 	}
 
+	var absorbed seq.Sequence
+	failed := 0
 	for u, c := range confirmed {
 		d := append([]content.DivStep{}, parentDeriv...)
 		d[len(d)-1].Index = u + 1
-		m, err := transport.Encode(typeCommit, p.Addr(), commitBody{
+		err := p.send(c, typeCommit, commitBody{
 			Parent: p.Addr(), ContentID: served.ID(), Deriv: d, Rate: rate, Leaf: leaf,
 		})
-		if err == nil {
-			p.ep.Send(c, m) //nolint:errcheck
+		if err != nil {
+			// Hand-off failover: the unreachable child's share is
+			// re-absorbed so delivery does not depend on repair.
+			absorbed = seq.Union(absorbed, content.Materialize(served.Sequence(), d))
+			failed++
+			p.met.failovers.Inc()
 		}
 	}
 	// The parent's own share: applied when pos reaches the mark.
 	own := append([]content.DivStep{}, parentDeriv...)
 	own[len(own)-1].Index = 0
 	ownStream := content.Materialize(served.Sequence(), own)
+	ownDeriv := own
+	ownRate := rate
+	if failed > 0 {
+		ownStream = seq.Union(ownStream, absorbed)
+		ownDeriv = nil // the union is no longer a pure derivation
+		ownRate = rate * float64(1+failed)
+	}
 	p.mu.Lock()
 	p.pendingMark = mark
 	p.pendingStream = ownStream
-	p.pendingRate = rate
+	p.pendingDeriv = ownDeriv
+	p.pendingRate = ownRate
 	p.mu.Unlock()
-	p.met.handoffs.Add(int64(len(confirmed)))
+	p.met.handoffs.Add(int64(len(confirmed) - failed))
 }
 
 // Under DCoP a commit may arrive at an already-active peer (redundant
@@ -455,7 +672,7 @@ func (p *Peer) onCommit(b commitBody) {
 	}
 	p.mu.Lock()
 	p.content = c
-	if p.cfg.Protocol == ProtocolDCoP {
+	if p.cfg.Protocol == protocol.DCoP {
 		assigned := content.Materialize(c.Sequence(), b.Deriv)
 		if p.active {
 			var remaining seq.Sequence
@@ -463,6 +680,7 @@ func (p *Peer) onCommit(b commitBody) {
 				remaining = p.stream[p.pos:].Clone()
 			}
 			p.stream = seq.Union(remaining, assigned)
+			p.derivOK = false
 			p.pos = 0
 			p.rate += b.Rate
 			p.mu.Unlock()
@@ -471,6 +689,7 @@ func (p *Peer) onCommit(b commitBody) {
 		}
 		p.leaf = b.Leaf
 		p.deriv = b.Deriv
+		p.derivOK = true
 		p.stream = assigned
 		p.pos = 0
 		p.rate = b.Rate
@@ -481,12 +700,18 @@ func (p *Peer) onCommit(b commitBody) {
 		p.selectChildren()
 		return
 	}
-	if p.active || p.parent != b.Parent {
+	// TCoP: accept from the parent we confirmed, or — when we never saw
+	// a control packet (mid-stream join grant, or the control was lost
+	// to churn) — adopt the committing peer as parent.
+	if p.active || (p.parent != "" && p.parent != b.Parent) {
 		p.mu.Unlock()
 		return
 	}
+	p.parent = b.Parent
+	p.view[b.Parent] = true
 	p.leaf = b.Leaf
 	p.deriv = b.Deriv
+	p.derivOK = true
 	p.stream = content.Materialize(c.Sequence(), b.Deriv)
 	p.pos = 0
 	p.rate = b.Rate
@@ -507,9 +732,7 @@ func (p *Peer) onRepair(b repairBody) {
 		if k < 1 || k > c.NumPackets() {
 			continue
 		}
-		m, err := transport.Encode(typeData, p.Addr(), dataBody{Pkt: c.Packet(k)})
-		if err == nil {
-			p.ep.Send(b.Leaf, m) //nolint:errcheck
+		if err := p.send(b.Leaf, typeData, dataBody{Pkt: c.Packet(k)}); err == nil {
 			p.mu.Lock()
 			p.sent++
 			p.mu.Unlock()
@@ -517,6 +740,58 @@ func (p *Peer) onRepair(b repairBody) {
 			p.met.repairServed.Inc()
 		}
 	}
+}
+
+// onJoin hands a mid-stream joiner a slice: the remaining stream is
+// divided in two at a mark, the joiner is committed the second half, and
+// this peer keeps the first. Declined when inactive, when a hand-off is
+// already pending, or when the stream can no longer be expressed as a
+// derivation (DCoP merges).
+func (p *Peer) onJoin(b joinBody) {
+	p.mu.Lock()
+	ok := p.active && p.content != nil && p.derivOK && p.pendingStream == nil &&
+		b.Joiner != "" && b.Joiner != p.Addr() &&
+		(b.ContentID == "" || b.ContentID == p.content.ID())
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	ahead := int(p.rate*p.cfg.Delta.Seconds()*2) + 1
+	mark := p.pos + ahead
+	if mark >= len(p.stream)-1 {
+		p.mu.Unlock()
+		return // too little left to be worth sharing
+	}
+	step := content.DivStep{Mark: mark, Interval: 0, Parts: 2}
+	deriv := append(append([]content.DivStep{}, p.deriv...), step)
+	rate := p.rate / 2
+	leaf := p.leaf
+	served := p.content
+	p.view[b.Joiner] = true
+	p.mu.Unlock()
+
+	child := append([]content.DivStep{}, deriv...)
+	child[len(child)-1].Index = 1
+	err := p.send(b.Joiner, typeCommit, commitBody{
+		Parent: p.Addr(), ContentID: served.ID(), Deriv: child, Rate: rate, Leaf: leaf,
+	})
+	if err != nil {
+		p.met.failovers.Inc()
+		return // joiner unreachable; keep the whole stream
+	}
+	own := append([]content.DivStep{}, deriv...)
+	own[len(own)-1].Index = 0
+	ownStream := content.Materialize(served.Sequence(), own)
+	p.mu.Lock()
+	// Re-check: another hand-off may have been planned meanwhile.
+	if p.active && p.pendingStream == nil {
+		p.pendingMark = mark
+		p.pendingStream = ownStream
+		p.pendingDeriv = own
+		p.pendingRate = rate
+	}
+	p.mu.Unlock()
+	p.met.handoffs.Inc()
 }
 
 // kick wakes the streaming loop after an assignment change.
@@ -560,9 +835,12 @@ func (p *Peer) sendOne() {
 	// Apply a pending hand-off exactly at its mark.
 	if p.pendingStream != nil && p.pos >= p.pendingMark {
 		p.stream = p.pendingStream
+		p.deriv = p.pendingDeriv
+		p.derivOK = p.pendingDeriv != nil
 		p.pos = 0
 		p.rate = p.pendingRate
 		p.pendingStream = nil
+		p.pendingDeriv = nil
 	}
 	if p.pos >= len(p.stream) {
 		p.mu.Unlock()
@@ -574,8 +852,5 @@ func (p *Peer) sendOne() {
 	leaf := p.leaf
 	p.mu.Unlock()
 	p.met.sent.Inc()
-	m, err := transport.Encode(typeData, p.Addr(), dataBody{Pkt: pkt})
-	if err == nil {
-		p.ep.Send(leaf, m) //nolint:errcheck
-	}
+	p.send(leaf, typeData, dataBody{Pkt: pkt}) //nolint:errcheck // a vanished leaf ends the session; repair handles the rest
 }

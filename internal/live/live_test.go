@@ -31,10 +31,7 @@ func buildFabricSession(t *testing.T, n, H, interval int, data []byte, packetSiz
 			Delta:    5 * time.Millisecond,
 			Seed:     seed + int64(i) + 1,
 		}
-		name := name
-		p, err := NewPeer(cfg, func(h transport.Handler) (transport.Endpoint, error) {
-			return f.Endpoint(name, h), nil
-		})
+		p, err := NewPeer(cfg, WithFabric(f, name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,9 +46,7 @@ func buildFabricSession(t *testing.T, n, H, interval int, data []byte, packetSiz
 		PacketSize:  packetSize,
 		RepairAfter: 300 * time.Millisecond,
 		Seed:        seed + 1000,
-	}, func(h transport.Handler) (transport.Endpoint, error) {
-		return f.Endpoint("leaf", h), nil
-	})
+	}, WithFabric(f, "leaf"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,10 +151,6 @@ func TestLiveOverTCP(t *testing.T) {
 	const n, H, interval = 5, 3, 2
 
 	// First bind all peer listeners to learn their addresses.
-	type pending struct {
-		ep *transport.TCPEndpoint
-		h  transport.Handler
-	}
 	var eps []*tcpLate
 	var roster []string
 	for i := 0; i < n; i++ {
@@ -172,7 +163,6 @@ func TestLiveOverTCP(t *testing.T) {
 		eps = append(eps, late)
 		roster = append(roster, ep.Name())
 	}
-	_ = pending{}
 	var peers []*Peer
 	for i, late := range eps {
 		p, err := NewPeer(PeerConfig{
@@ -182,10 +172,10 @@ func TestLiveOverTCP(t *testing.T) {
 			Interval: interval,
 			Delta:    10 * time.Millisecond,
 			Seed:     int64(i) + 1,
-		}, func(h transport.Handler) (transport.Endpoint, error) {
+		}, WithAttach(func(h transport.Handler) (transport.Endpoint, error) {
 			late.set(h)
 			return late.ep, nil
-		})
+		}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,10 +198,10 @@ func TestLiveOverTCP(t *testing.T) {
 		PacketSize:  128,
 		RepairAfter: 400 * time.Millisecond,
 		Seed:        77,
-	}, func(h transport.Handler) (transport.Endpoint, error) {
+	}, WithAttach(func(h transport.Handler) (transport.Endpoint, error) {
 		leafLate.set(h)
 		return leafLate.ep, nil
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,9 +235,7 @@ func (l *tcpLate) dispatch(m transport.Msg) {
 }
 
 func TestLeafConfigValidation(t *testing.T) {
-	attach := func(h transport.Handler) (transport.Endpoint, error) {
-		return transport.NewFabric().Endpoint("x", h), nil
-	}
+	attach := WithFabric(transport.NewFabric(), "x")
 	if _, err := NewLeaf(LeafConfig{Roster: []string{"a"}, H: 2, Interval: 1, Rate: 1}, attach); err == nil {
 		t.Error("H > roster accepted")
 	}
@@ -257,9 +245,7 @@ func TestLeafConfigValidation(t *testing.T) {
 }
 
 func TestPeerConfigValidation(t *testing.T) {
-	attach := func(h transport.Handler) (transport.Endpoint, error) {
-		return transport.NewFabric().Endpoint("x", h), nil
-	}
+	attach := WithFabric(transport.NewFabric(), "x")
 	if _, err := NewPeer(PeerConfig{H: 1, Interval: 1}, attach); err == nil {
 		t.Error("nil content accepted")
 	}
@@ -284,7 +270,6 @@ func TestLiveDCoPStreamingComplete(t *testing.T) {
 	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
 	var peers []*Peer
 	for i, name := range names {
-		name := name
 		p, err := NewPeer(PeerConfig{
 			Content:  c,
 			Roster:   names,
@@ -293,9 +278,7 @@ func TestLiveDCoPStreamingComplete(t *testing.T) {
 			Delta:    5 * time.Millisecond,
 			Protocol: ProtocolDCoP,
 			Seed:     int64(i) + 1,
-		}, func(h transport.Handler) (transport.Endpoint, error) {
-			return f.Endpoint(name, h), nil
-		})
+		}, WithFabric(f, name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -311,9 +294,7 @@ func TestLiveDCoPStreamingComplete(t *testing.T) {
 		PacketSize:  64,
 		RepairAfter: 300 * time.Millisecond,
 		Seed:        123,
-	}, func(h transport.Handler) (transport.Endpoint, error) {
-		return f.Endpoint("leaf", h), nil
-	})
+	}, WithFabric(f, "leaf"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,9 +312,7 @@ func TestLiveDCoPStreamingComplete(t *testing.T) {
 }
 
 func TestLivePeerProtocolValidation(t *testing.T) {
-	attach := func(h transport.Handler) (transport.Endpoint, error) {
-		return transport.NewFabric().Endpoint("x", h), nil
-	}
+	attach := WithFabric(transport.NewFabric(), "x")
 	c := content.New("x", []byte("data"), 2)
 	if _, err := NewPeer(PeerConfig{Content: c, H: 1, Interval: 1, Protocol: "bogus"}, attach); err == nil {
 		t.Error("bogus protocol accepted")

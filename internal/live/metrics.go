@@ -2,24 +2,43 @@ package live
 
 import "p2pmss/internal/metrics"
 
+// withSession appends the session label when the participant is bound to
+// one. Standalone (single-session) peers and leaves keep the historical
+// unlabeled series, so pre-session dashboards and tests are unaffected.
+func withSession(sid SessionID, labels ...string) []string {
+	if sid == "" {
+		return labels
+	}
+	return append(labels, "session", string(sid))
+}
+
 // peerMetrics holds a contents peer's instrument handles, looked up once
 // at construction. The zero value (all nil) records nothing, which is
 // what a peer without PeerConfig.Metrics uses.
 type peerMetrics struct {
 	// sent is labeled by peer address so per-peer transmit load is
-	// visible on /metrics; the rest aggregate across the cluster.
+	// visible on /metrics; the rest aggregate across the cluster (and,
+	// for session-bound peers, per session).
 	sent         *metrics.Counter
 	handoffs     *metrics.Counter
 	activations  *metrics.Counter
 	repairServed *metrics.Counter
+	// retries counts alternate children contacted after a refusal,
+	// unreachable peer, or confirmation-round timeout; failovers counts
+	// hand-offs re-absorbed (or join grants abandoned) because the
+	// counterpart could not be reached.
+	retries   *metrics.Counter
+	failovers *metrics.Counter
 }
 
-func newPeerMetrics(reg *metrics.Registry, addr string) peerMetrics {
+func newPeerMetrics(reg *metrics.Registry, addr string, sid SessionID) peerMetrics {
 	return peerMetrics{
-		sent:         reg.Counter("live_data_packets_sent_total", "peer", addr),
-		handoffs:     reg.Counter("live_handoffs_total"),
-		activations:  reg.Counter("live_activations_total"),
-		repairServed: reg.Counter("live_repair_packets_served_total"),
+		sent:         reg.Counter("live_data_packets_sent_total", withSession(sid, "peer", addr)...),
+		handoffs:     reg.Counter("live_handoffs_total", withSession(sid)...),
+		activations:  reg.Counter("live_activations_total", withSession(sid)...),
+		repairServed: reg.Counter("live_repair_packets_served_total", withSession(sid)...),
+		retries:      reg.Counter("live_session_retries_total", withSession(sid, "role", "peer")...),
+		failovers:    reg.Counter("live_session_failovers_total", withSession(sid, "role", "peer")...),
 	}
 }
 
@@ -31,14 +50,34 @@ type leafMetrics struct {
 	repairRequests *metrics.Counter
 	delivered      *metrics.Gauge
 	recovered      *metrics.Gauge
+	// retries counts stall rounds that re-requested an already-requested
+	// leading gap; failovers counts requests redirected to an alternate
+	// peer after a send error (crashed or unknown endpoint).
+	retries   *metrics.Counter
+	failovers *metrics.Counter
 }
 
-func newLeafMetrics(reg *metrics.Registry) leafMetrics {
+func newLeafMetrics(reg *metrics.Registry, sid SessionID) leafMetrics {
 	return leafMetrics{
-		arrivals:       reg.Counter("live_leaf_arrivals_total"),
-		dups:           reg.Counter("live_leaf_duplicates_total"),
-		repairRequests: reg.Counter("live_repair_requests_total"),
-		delivered:      reg.Gauge("live_leaf_delivered_packets"),
-		recovered:      reg.Gauge("live_leaf_recovered_packets"),
+		arrivals:       reg.Counter("live_leaf_arrivals_total", withSession(sid)...),
+		dups:           reg.Counter("live_leaf_duplicates_total", withSession(sid)...),
+		repairRequests: reg.Counter("live_repair_requests_total", withSession(sid)...),
+		delivered:      reg.Gauge("live_leaf_delivered_packets", withSession(sid)...),
+		recovered:      reg.Gauge("live_leaf_recovered_packets", withSession(sid)...),
+		retries:        reg.Counter("live_session_retries_total", withSession(sid, "role", "leaf")...),
+		failovers:      reg.Counter("live_session_failovers_total", withSession(sid, "role", "leaf")...),
+	}
+}
+
+// nodeMetrics instruments a Node's session multiplexing.
+type nodeMetrics struct {
+	servingSessions *metrics.Gauge
+	leafSessions    *metrics.Gauge
+}
+
+func newNodeMetrics(reg *metrics.Registry, addr string) nodeMetrics {
+	return nodeMetrics{
+		servingSessions: reg.Gauge("live_node_sessions_active", "node", addr, "role", "peer"),
+		leafSessions:    reg.Gauge("live_node_sessions_active", "node", addr, "role", "leaf"),
 	}
 }

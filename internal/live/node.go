@@ -1,0 +1,544 @@
+package live
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/metrics"
+	"p2pmss/internal/protocol"
+	"p2pmss/internal/transport"
+)
+
+// NodeConfig configures a session-multiplexing live node.
+type NodeConfig struct {
+	// Store is the node's content catalog: it serves any session
+	// requesting a content it holds.
+	Store *content.Store
+	// Roster lists every node's address (including this one).
+	Roster []string
+	// H is the selection fanout; Interval the parity interval h.
+	H, Interval int
+	// Delta is the assumed one-way latency for marking (default 10 ms).
+	Delta time.Duration
+	// Protocol selects TCoP (default) or DCoP for sessions this node
+	// serves.
+	Protocol Protocol
+	// HandshakeTimeout and Retries tune the churn tolerance of serving
+	// peers (see PeerConfig).
+	HandshakeTimeout time.Duration
+	Retries          int
+	// Seed seeds per-session randomness deterministically; 0 uses the
+	// clock.
+	Seed int64
+	// Metrics, when non-nil, instruments the node and all its sessions.
+	Metrics *metrics.Registry
+}
+
+// Node hosts a content store on one transport endpoint and participates
+// in many concurrent streaming sessions — serving some as a contents
+// peer and consuming others as a leaf. Inbound traffic is demultiplexed
+// by the SessionID carried in every message; a request, control, or
+// commit for an unknown session lazily creates the serving-peer state
+// for it.
+type Node struct {
+	cfg NodeConfig
+	ep  transport.Endpoint
+	met nodeMetrics
+
+	mu      sync.Mutex
+	serving map[SessionID]*Peer
+	leaves  map[SessionID]*Leaf
+	nextID  int
+	closed  bool
+
+	closeOnce sync.Once
+}
+
+// NewNode creates a node on the given transport.
+func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("live: node needs a transport")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("live: node needs a store")
+	}
+	if cfg.H <= 0 || cfg.Interval <= 0 {
+		return nil, fmt.Errorf("live: H=%d and Interval=%d must be positive", cfg.H, cfg.Interval)
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 10 * time.Millisecond
+	}
+	switch cfg.Protocol {
+	case "":
+		cfg.Protocol = protocol.TCoP
+	case protocol.TCoP, protocol.DCoP:
+	default:
+		return nil, fmt.Errorf("live: unknown protocol %q", cfg.Protocol)
+	}
+	n := &Node{
+		cfg:     cfg,
+		serving: make(map[SessionID]*Peer),
+		leaves:  make(map[SessionID]*Leaf),
+	}
+	ep, err := tr.open(n.handle)
+	if err != nil {
+		return nil, err
+	}
+	n.ep = ep
+	n.met = newNodeMetrics(cfg.Metrics, ep.Name())
+	return n, nil
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.ep.Name() }
+
+// handle demultiplexes inbound traffic by session: data goes to the
+// session's leaf; coordination goes to the session's serving peer,
+// lazily created when a request, control, or commit opens a session this
+// node has not seen.
+func (n *Node) handle(m transport.Msg) {
+	sid := SessionID(m.Session)
+	if sid == "" {
+		return // node traffic is always session-scoped
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	if m.Type == typeData {
+		l := n.leaves[sid]
+		n.mu.Unlock()
+		if l != nil {
+			l.handle(m)
+		}
+		return
+	}
+	p := n.serving[sid]
+	if p == nil {
+		switch m.Type {
+		case typeRequest, typeControl, typeCommit:
+			p = n.newServingPeerLocked(sid)
+		}
+		// Confirm, repair, and join only make sense for sessions the
+		// node already participates in.
+	}
+	n.mu.Unlock()
+	if p != nil {
+		p.handle(m)
+	}
+}
+
+// sessionSeed derives a deterministic per-session seed.
+func (n *Node) sessionSeed(sid SessionID) int64 {
+	if n.cfg.Seed == 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(n.ep.Name()))
+	h.Write([]byte(sid))
+	return n.cfg.Seed + int64(h.Sum64()&0x7fffffff)
+}
+
+// newServingPeerLocked creates per-session serving state. Callers hold
+// n.mu. The config was validated at NewNode, so construction cannot
+// fail.
+func (n *Node) newServingPeerLocked(sid SessionID) *Peer {
+	se := &sessionEndpoint{n: n, sid: sid}
+	p, err := NewPeer(PeerConfig{
+		Store:            n.cfg.Store,
+		Roster:           n.cfg.Roster,
+		H:                n.cfg.H,
+		Interval:         n.cfg.Interval,
+		Delta:            n.cfg.Delta,
+		Protocol:         n.cfg.Protocol,
+		Session:          sid,
+		HandshakeTimeout: n.cfg.HandshakeTimeout,
+		Retries:          n.cfg.Retries,
+		Seed:             n.sessionSeed(sid),
+		Metrics:          n.cfg.Metrics,
+	}, WithAttach(func(transport.Handler) (transport.Endpoint, error) { return se, nil }))
+	if err != nil {
+		return nil
+	}
+	n.serving[sid] = p
+	n.met.servingSessions.Add(1)
+	return p
+}
+
+// SessionConfig describes one leaf session a node opens.
+type SessionConfig struct {
+	// ID names the session; empty generates a unique one.
+	ID SessionID
+	// ContentID names the content to stream.
+	ContentID string
+	// ContentSize and PacketSize describe the expected content.
+	ContentSize, PacketSize int
+	// Rate is the content rate in packets per second.
+	Rate float64
+	// H and Interval override the node defaults when positive.
+	H, Interval int
+	// RepairAfter is the leaf's stall-detection period; zero disables
+	// repair.
+	RepairAfter time.Duration
+	// Seed overrides the node-derived per-session seed when non-zero.
+	Seed int64
+}
+
+// LeafSession is a leaf session hosted on a node.
+type LeafSession struct {
+	ID SessionID
+	*Leaf
+}
+
+// Open starts a leaf session on the node: the content is requested from
+// the other nodes and reassembled here. Many sessions may be open
+// concurrently on one node.
+func (n *Node) Open(sc SessionConfig) (*LeafSession, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("live: node closed")
+	}
+	sid := sc.ID
+	if sid == "" {
+		n.nextID++
+		sid = makeSessionID(n.ep.Name(), sc.ContentID, n.nextID)
+	}
+	if _, dup := n.leaves[sid]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("live: session %q already open", sid)
+	}
+	n.mu.Unlock()
+
+	h := sc.H
+	if h <= 0 {
+		h = n.cfg.H
+	}
+	interval := sc.Interval
+	if interval <= 0 {
+		interval = n.cfg.Interval
+	}
+	var roster []string
+	for _, a := range n.cfg.Roster {
+		if a != n.Addr() {
+			roster = append(roster, a)
+		}
+	}
+	seed := sc.Seed
+	if seed == 0 {
+		seed = n.sessionSeed(sid)
+	}
+	se := &sessionEndpoint{n: n, sid: sid, leaf: true}
+	l, err := NewLeaf(LeafConfig{
+		Roster:      roster,
+		H:           h,
+		Interval:    interval,
+		Rate:        sc.Rate,
+		ContentID:   sc.ContentID,
+		ContentSize: sc.ContentSize,
+		PacketSize:  sc.PacketSize,
+		RepairAfter: sc.RepairAfter,
+		Session:     sid,
+		Seed:        seed,
+		Metrics:     n.cfg.Metrics,
+	}, WithAttach(func(transport.Handler) (transport.Endpoint, error) { return se, nil }))
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		l.Close()
+		return nil, fmt.Errorf("live: node closed")
+	}
+	n.leaves[sid] = l
+	n.met.leafSessions.Add(1)
+	n.mu.Unlock()
+	if err := l.Start(); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return &LeafSession{ID: sid, Leaf: l}, nil
+}
+
+// Join volunteers this node for an in-flight session: it asks the other
+// nodes, round-robin, to hand over a slice of their remaining stream,
+// and returns the node's serving peer once a member commits one. It
+// errors when no member hands a slice before the timeout (e.g. the
+// session already ended, or every member's stream is merged beyond
+// slicing).
+func (n *Node) Join(sid SessionID, contentID string, timeout time.Duration) (*Peer, error) {
+	if sid == "" {
+		return nil, fmt.Errorf("live: join needs a session id")
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("live: node closed")
+	}
+	p := n.serving[sid]
+	if p == nil {
+		p = n.newServingPeerLocked(sid)
+	}
+	n.mu.Unlock()
+	if p == nil {
+		return nil, fmt.Errorf("live: node closed")
+	}
+	poll := n.cfg.Delta / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for i := 0; ; i++ {
+		if p.Active() {
+			return p, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("live: join %q: no member handed a slice within %s", sid, timeout)
+		}
+		target := n.cfg.Roster[i%len(n.cfg.Roster)]
+		if target == n.Addr() {
+			continue
+		}
+		p.send(target, typeJoin, joinBody{ContentID: contentID, Joiner: n.Addr()}) //nolint:errcheck // crashed members are skipped; the next roster entry is tried
+		// Give the member a handshake period to commit a slice.
+		round := time.Now().Add(4*n.cfg.Delta + 20*time.Millisecond)
+		for time.Now().Before(round) {
+			if p.Active() {
+				return p, nil
+			}
+			time.Sleep(poll)
+		}
+	}
+}
+
+// Serving returns a snapshot of the sessions this node serves as a
+// contents peer.
+func (n *Node) Serving() map[SessionID]*Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[SessionID]*Peer, len(n.serving))
+	for sid, p := range n.serving {
+		out[sid] = p
+	}
+	return out
+}
+
+// Leaf returns the leaf for a session this node hosts, if any.
+func (n *Node) Leaf(sid SessionID) (*Leaf, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.leaves[sid]
+	return l, ok
+}
+
+// LeafCount returns how many leaf sessions the node hosts.
+func (n *Node) LeafCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.leaves)
+}
+
+// Close stops every session and the node's endpoint. It is idempotent
+// and safe to call concurrently or after individual sessions closed.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		n.mu.Lock()
+		n.closed = true
+		peers := make([]*Peer, 0, len(n.serving))
+		for _, p := range n.serving {
+			peers = append(peers, p)
+		}
+		leaves := make([]*Leaf, 0, len(n.leaves))
+		for _, l := range n.leaves {
+			leaves = append(leaves, l)
+		}
+		n.mu.Unlock()
+		for _, p := range peers {
+			p.Close()
+		}
+		for _, l := range leaves {
+			l.Close()
+		}
+		n.ep.Close()
+	})
+	return nil
+}
+
+// sessionEndpoint is the per-session view of a node's endpoint: sends
+// delegate to the node (messages are already session-stamped by the
+// participant), and Close detaches only this session, never the node.
+type sessionEndpoint struct {
+	n    *Node
+	sid  SessionID
+	leaf bool
+}
+
+func (e *sessionEndpoint) Name() string                          { return e.n.ep.Name() }
+func (e *sessionEndpoint) Send(to string, m transport.Msg) error { return e.n.ep.Send(to, m) }
+
+func (e *sessionEndpoint) Close() error {
+	n := e.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e.leaf {
+		if _, ok := n.leaves[e.sid]; ok {
+			delete(n.leaves, e.sid)
+			n.met.leafSessions.Add(-1)
+		}
+	} else {
+		if _, ok := n.serving[e.sid]; ok {
+			delete(n.serving, e.sid)
+			n.met.servingSessions.Add(-1)
+		}
+	}
+	return nil
+}
+
+// ---- node cluster ---------------------------------------------------------
+
+// NodesConfig wires a population of nodes sharing a catalog, over the
+// in-memory fabric or TCP loopback.
+type NodesConfig struct {
+	// Nodes is the population size.
+	Nodes int
+	// Store is the catalog every node holds (per the MSS model, every
+	// contents peer has the content).
+	Store *content.Store
+	// H, Interval, Protocol, Delta, HandshakeTimeout, Retries: see
+	// NodeConfig.
+	H, Interval      int
+	Protocol         Protocol
+	Delta            time.Duration
+	HandshakeTimeout time.Duration
+	Retries          int
+	// UseTCP runs every node on its own TCP loopback socket.
+	UseTCP bool
+	// Seed seeds all nodes deterministically; 0 uses the clock.
+	Seed int64
+	// Metrics instruments all nodes and the transport when non-nil.
+	Metrics *metrics.Registry
+}
+
+// NodeCluster is a running node population.
+type NodeCluster struct {
+	Nodes  []*Node
+	fabric *transport.Fabric
+
+	closeOnce sync.Once
+}
+
+// StartNodes builds a node population ready to open sessions.
+func StartNodes(cfg NodesConfig) (*NodeCluster, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("live: nodes need a store")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("live: need at least one node")
+	}
+	nc := &NodeCluster{}
+	var roster []string
+	trs := make([]Transport, cfg.Nodes)
+	if cfg.UseTCP {
+		for i := range trs {
+			lb := &lateBinder{}
+			ep, err := transport.ListenTCP("127.0.0.1:0", lb.dispatch)
+			if err != nil {
+				nc.Close()
+				return nil, err
+			}
+			lb.ep = ep
+			ep.Instrument(cfg.Metrics)
+			roster = append(roster, ep.Name())
+			trs[i] = WithAttach(func(h transport.Handler) (transport.Endpoint, error) {
+				lb.bind(h)
+				return lb.ep, nil
+			})
+		}
+	} else {
+		nc.fabric = transport.NewFabric()
+		nc.fabric.Instrument(cfg.Metrics)
+		for i := range trs {
+			name := fmt.Sprintf("node%d", i)
+			roster = append(roster, name)
+			trs[i] = WithFabric(nc.fabric, name)
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		seed := cfg.Seed
+		if seed != 0 {
+			seed += int64(i) + 1
+		}
+		nd, err := NewNode(NodeConfig{
+			Store:            cfg.Store,
+			Roster:           roster,
+			H:                cfg.H,
+			Interval:         cfg.Interval,
+			Delta:            cfg.Delta,
+			Protocol:         cfg.Protocol,
+			HandshakeTimeout: cfg.HandshakeTimeout,
+			Retries:          cfg.Retries,
+			Seed:             seed,
+			Metrics:          cfg.Metrics,
+		}, trs[i])
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		nc.Nodes = append(nc.Nodes, nd)
+	}
+	return nc, nil
+}
+
+// Fabric exposes the in-memory fabric (nil under TCP) for fault
+// injection in tests.
+func (nc *NodeCluster) Fabric() *transport.Fabric { return nc.fabric }
+
+// Open starts a leaf session on node i.
+func (nc *NodeCluster) Open(i int, sc SessionConfig) (*LeafSession, error) {
+	if i < 0 || i >= len(nc.Nodes) {
+		return nil, fmt.Errorf("live: node %d out of range", i)
+	}
+	return nc.Nodes[i].Open(sc)
+}
+
+// CrashServing crash-stops up to k nodes that are actively serving at
+// least one session as a contents peer while hosting no leaf session
+// (so the injected churn hits servers, not consumers), and returns how
+// many were stopped.
+func (nc *NodeCluster) CrashServing(k int) int {
+	killed := 0
+	for _, nd := range nc.Nodes {
+		if killed >= k {
+			break
+		}
+		if nd.LeafCount() > 0 {
+			continue
+		}
+		active := false
+		for _, p := range nd.Serving() {
+			if p.Active() {
+				active = true
+				break
+			}
+		}
+		if active {
+			nd.Close()
+			killed++
+		}
+	}
+	return killed
+}
+
+// Close stops every node. Idempotent.
+func (nc *NodeCluster) Close() {
+	nc.closeOnce.Do(func() {
+		for _, nd := range nc.Nodes {
+			nd.Close()
+		}
+	})
+}

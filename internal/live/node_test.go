@@ -1,0 +1,419 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/metrics"
+	"p2pmss/internal/transport"
+)
+
+// chaosStore builds a catalog of n distinct contents.
+func chaosStore(n, size, pktSize int, seed int64) (*content.Store, map[string][]byte) {
+	store := content.NewStore()
+	data := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("c%d", i)
+		b := randomData(size, seed+int64(i))
+		store.Put(content.New(id, b, pktSize))
+		data[id] = b
+	}
+	return store, data
+}
+
+// TestNodeSessionsChaos is the issue's acceptance test: one node
+// population serves 8 concurrent leaf sessions over a single fabric;
+// two serving-only nodes crash mid-stream; every session still delivers
+// byte-for-byte — via retry/failover, not luck — and the shared registry
+// reports per-session retry/failover series.
+func TestNodeSessionsChaos(t *testing.T) {
+	const sessions = 8
+	store, data := chaosStore(sessions, 24<<10, 128, 900)
+	reg := metrics.New()
+	nc, err := StartNodes(NodesConfig{
+		Nodes:            12,
+		Store:            store,
+		H:                3,
+		Interval:         2,
+		Delta:            5 * time.Millisecond,
+		HandshakeTimeout: 80 * time.Millisecond,
+		Seed:             901,
+		Metrics:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	leaves := make([]*LeafSession, sessions)
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("c%d", i)
+		ls, err := nc.Open(i, SessionConfig{
+			ContentID:   id,
+			ContentSize: len(data[id]),
+			PacketSize:  128,
+			Rate:        600,
+			RepairAfter: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("open session %d: %v", i, err)
+		}
+		leaves[i] = ls
+	}
+
+	// Crash two nodes that serve sessions but host no leaf, while the
+	// streams are in flight.
+	time.Sleep(250 * time.Millisecond)
+	killed := nc.CrashServing(2)
+	if killed == 0 {
+		t.Fatal("no serving-only node was active to crash")
+	}
+	t.Logf("crashed %d serving nodes mid-stream", killed)
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i, ls := range leaves {
+		wg.Add(1)
+		go func(i int, ls *LeafSession) {
+			defer wg.Done()
+			errs[i] = ls.Wait(60 * time.Second)
+		}(i, ls)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		got, ok := leaves[i].Bytes()
+		if !ok || !bytes.Equal(got, data[fmt.Sprintf("c%d", i)]) {
+			t.Fatalf("session %d delivered wrong bytes", i)
+		}
+	}
+
+	// The registry shows per-session series, and the injected churn left
+	// retry/failover evidence.
+	snap := reg.Snapshot()
+	label := func(labels []metrics.Label, key string) string {
+		for _, l := range labels {
+			if l.Key == key {
+				return l.Value
+			}
+		}
+		return ""
+	}
+	sessionSeries := map[string]bool{}
+	var churnHandled int64
+	for _, c := range snap.Counters {
+		if sid := label(c.Labels, "session"); sid != "" {
+			sessionSeries[sid] = true
+			switch c.Name {
+			case "live_session_retries_total", "live_session_failovers_total":
+				churnHandled += c.Value
+			}
+		}
+	}
+	if len(sessionSeries) < sessions {
+		t.Errorf("metrics cover %d sessions, want >= %d", len(sessionSeries), sessions)
+	}
+	if churnHandled == 0 {
+		t.Error("no per-session retries/failovers recorded despite injected crashes")
+	}
+	// The node gauges saw the sessions.
+	var leafGauge float64
+	for _, g := range snap.Gauges {
+		if g.Name == "live_node_sessions_active" && label(g.Labels, "role") == "leaf" {
+			leafGauge += g.Value
+		}
+	}
+	if leafGauge != sessions {
+		t.Errorf("live_node_sessions_active{role=leaf} sums to %v, want %d", leafGauge, sessions)
+	}
+}
+
+// TestNodeJoinMidStream: a node volunteers into an in-flight session and
+// is handed a slice of the stream; the session still completes.
+func TestNodeJoinMidStream(t *testing.T) {
+	store, data := chaosStore(1, 48<<10, 128, 950)
+	nc, err := StartNodes(NodesConfig{
+		Nodes:    6,
+		Store:    store,
+		H:        2,
+		Interval: 2,
+		Delta:    5 * time.Millisecond,
+		Seed:     951,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	ls, err := nc.Open(0, SessionConfig{
+		ContentID:   "c0",
+		ContentSize: len(data["c0"]),
+		PacketSize:  128,
+		Rate:        800,
+		RepairAfter: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// The last node is (very likely) not yet serving this session; even
+	// if it is, Join returns its active peer.
+	joiner := nc.Nodes[5]
+	p, err := joiner.Join(ls.ID, "c0", 5*time.Second)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if !p.Active() {
+		t.Fatal("joined peer is not active")
+	}
+	if err := ls.Wait(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ls.Bytes()
+	if !ok || !bytes.Equal(got, data["c0"]) {
+		t.Fatal("joined session delivered wrong bytes")
+	}
+}
+
+// TestMidHandshakeDisconnect closes two candidate children right as the
+// TCoP handshake starts: parents must fail over to alternates (or absorb
+// the share) and the stream still completes.
+func TestMidHandshakeDisconnect(t *testing.T) {
+	data := randomData(8000, 5)
+	reg := metrics.New()
+	f := transport.NewFabric()
+	c := content.New("movie", data, 64)
+	names := []string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7", "h8", "h9"}
+	var peers []*Peer
+	for i, name := range names {
+		p, err := NewPeer(PeerConfig{
+			Content:          c,
+			Roster:           names,
+			H:                3,
+			Interval:         2,
+			Delta:            5 * time.Millisecond,
+			HandshakeTimeout: 60 * time.Millisecond,
+			Seed:             int64(i) + 1,
+			Metrics:          reg,
+		}, WithFabric(f, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	defer closeAll(peers)
+	leaf, err := NewLeaf(LeafConfig{
+		Roster:      names,
+		H:           3,
+		Interval:    2,
+		Rate:        400,
+		ContentSize: len(data),
+		PacketSize:  64,
+		RepairAfter: 200 * time.Millisecond,
+		Seed:        52,
+		Metrics:     reg,
+	}, WithFabric(f, "leaf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	if err := leaf.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately disconnect two peers that have not activated: they are
+	// handshake candidates, so controls or commits addressed to them
+	// fail mid-round.
+	closed := 0
+	for _, p := range peers {
+		if closed >= 2 {
+			break
+		}
+		if !p.Active() {
+			p.Close()
+			closed++
+		}
+	}
+	if closed != 2 {
+		t.Fatalf("closed %d peers, want 2", closed)
+	}
+	if err := leaf.Wait(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := leaf.Bytes()
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("reassembly differs after mid-handshake disconnects")
+	}
+	snap := reg.Snapshot()
+	var handled int64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "live_session_retries_total", "live_session_failovers_total":
+			handled += c.Value
+		}
+	}
+	if handled == 0 {
+		t.Error("no retries/failovers recorded despite mid-handshake disconnects")
+	}
+}
+
+// TestWaitTimeoutNamesMissing: when delivery stalls for good, the timeout
+// error names the missing subsequences and the peers last seen serving
+// them.
+func TestWaitTimeoutNamesMissing(t *testing.T) {
+	data := randomData(16<<10, 6)
+	f := transport.NewFabric()
+	c := content.New("movie", data, 64)
+	names := []string{"w0", "w1", "w2", "w3"}
+	var peers []*Peer
+	for i, name := range names {
+		p, err := NewPeer(PeerConfig{
+			Content: c, Roster: names, H: 2, Interval: 2,
+			Delta: 5 * time.Millisecond, Seed: int64(i) + 1,
+		}, WithFabric(f, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	defer closeAll(peers)
+	leaf, err := NewLeaf(LeafConfig{
+		Roster: names, H: 2, Interval: 2, Rate: 400,
+		ContentSize: len(data), PacketSize: 64,
+		// Repair disabled: a mid-stream wipeout must surface in Wait.
+		Seed: 61,
+	}, WithFabric(f, "leaf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	if err := leaf.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for leaf.Progress() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no progress before crash injection")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, p := range peers {
+		p.Close()
+	}
+	err = leaf.Wait(400 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Wait succeeded with every peer crashed")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "missing") {
+		t.Errorf("timeout error lacks missing subsequences: %q", msg)
+	}
+	if !strings.Contains(msg, "last heard") {
+		t.Errorf("timeout error lacks per-peer last-heard info: %q", msg)
+	}
+	named := false
+	for _, name := range names {
+		if strings.Contains(msg, name) {
+			named = true
+			break
+		}
+	}
+	if !named {
+		t.Errorf("timeout error names no peer: %q", msg)
+	}
+}
+
+// TestClusterCloseIdempotent: Close is safe to call repeatedly,
+// concurrently with itself, and after CrashActive already stopped peers.
+func TestClusterCloseIdempotent(t *testing.T) {
+	data := randomData(4000, 7)
+	c, err := StartCluster(ClusterConfig{
+		Content:  content.New("m", data, 64),
+		Peers:    5,
+		H:        2,
+		Interval: 2,
+		Rate:     400,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	c.CrashActive(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Close()
+		}()
+	}
+	wg.Wait()
+	c.Close() // and once more after everything stopped
+}
+
+// TestNodeCloseIdempotent: Node and NodeCluster Close are idempotent.
+func TestNodeCloseIdempotent(t *testing.T) {
+	store, _ := chaosStore(1, 1<<10, 64, 970)
+	nc, err := StartNodes(NodesConfig{Nodes: 3, Store: store, H: 2, Interval: 2, Seed: 971})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Nodes[0].Close()
+	nc.Close()
+	nc.Close()
+	if _, err := nc.Nodes[1].Open(SessionConfig{ContentID: "c0", ContentSize: 1 << 10, PacketSize: 64, Rate: 10}); err == nil {
+		t.Error("Open succeeded on a closed node")
+	}
+}
+
+// TestTCPSendToCrashedEndpointErrors: a send to a crashed (closed) TCP
+// endpoint surfaces an error to the caller — the signal the live layer's
+// failover logic relies on.
+func TestTCPSendToCrashedEndpointErrors(t *testing.T) {
+	var mu sync.Mutex
+	var got []transport.Msg
+	a, err := transport.ListenTCP("127.0.0.1:0", func(m transport.Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := transport.ListenTCP("127.0.0.1:0", func(m transport.Msg) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := transport.Encode("ping", a.Name(), map[string]int{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Name(), m); err != nil {
+		t.Fatalf("send to live endpoint: %v", err)
+	}
+	addr := b.Name()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crashed endpoint must be reported, not silently swallowed —
+	// whether the cached connection fails on write or the redial is
+	// refused.
+	var sendErr error
+	for i := 0; i < 10; i++ {
+		if sendErr = a.Send(addr, m); sendErr != nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sendErr == nil {
+		t.Fatal("sends to a crashed TCP endpoint kept succeeding")
+	}
+}

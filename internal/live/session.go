@@ -1,0 +1,15 @@
+package live
+
+import "fmt"
+
+// SessionID identifies one streaming session on a Node. Every message a
+// session participant sends carries the ID (transport.Msg.Session) so a
+// node endpoint hosting many concurrent sessions can demultiplex, and
+// per-session metrics series are labeled by it.
+type SessionID string
+
+// makeSessionID derives a deterministic session ID from a node address,
+// content ID and a per-node counter.
+func makeSessionID(node, contentID string, n int) SessionID {
+	return SessionID(fmt.Sprintf("%s/%s#%d", node, contentID, n))
+}

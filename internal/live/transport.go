@@ -1,0 +1,55 @@
+package live
+
+import (
+	"fmt"
+
+	"p2pmss/internal/transport"
+)
+
+// Transport selects how a live peer, leaf or node attaches to the
+// network. Construct one with WithFabric, WithTCP or WithAttach and pass
+// it to NewPeer, NewLeaf or NewNode; the option hides the
+// handler-inversion plumbing the old attach-callback API exposed.
+type Transport interface {
+	// open registers the participant's inbound handler and returns its
+	// endpoint. The method is unexported so the option set stays closed.
+	open(h transport.Handler) (transport.Endpoint, error)
+}
+
+// transportFunc adapts a plain attach function to the Transport option.
+type transportFunc func(transport.Handler) (transport.Endpoint, error)
+
+func (f transportFunc) open(h transport.Handler) (transport.Endpoint, error) { return f(h) }
+
+// WithFabric attaches the participant to the in-memory fabric under the
+// given endpoint name.
+func WithFabric(f *transport.Fabric, name string) Transport {
+	return transportFunc(func(h transport.Handler) (transport.Endpoint, error) {
+		if f == nil {
+			return nil, fmt.Errorf("live: WithFabric(nil)")
+		}
+		return f.Endpoint(name, h), nil
+	})
+}
+
+// WithTCP attaches the participant to its own TCP listener on addr
+// (e.g. "127.0.0.1:0"); the endpoint's name is the bound address.
+func WithTCP(addr string) Transport {
+	return transportFunc(func(h transport.Handler) (transport.Endpoint, error) {
+		return transport.ListenTCP(addr, h)
+	})
+}
+
+// WithAttach adapts the legacy attach-callback form (the function
+// receives the participant's handler and returns its endpoint). It
+// exists so pre-Transport callers and endpoints bound before their
+// participant (e.g. TCP listeners whose address the roster needs) keep
+// working.
+func WithAttach(attach func(transport.Handler) (transport.Endpoint, error)) Transport {
+	if attach == nil {
+		return transportFunc(func(transport.Handler) (transport.Endpoint, error) {
+			return nil, fmt.Errorf("live: WithAttach(nil)")
+		})
+	}
+	return transportFunc(attach)
+}

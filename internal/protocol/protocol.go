@@ -1,0 +1,58 @@
+// Package protocol names the coordination protocols once, for every
+// layer. The simulator (internal/coord) and the live runtime
+// (internal/live) implement the same paper protocols but historically
+// declared their own string constants; this package is the single source
+// both alias so a Protocol value flows unchanged from a config file to
+// either layer.
+//
+// Protocol is a string alias (not a defined type) so existing callers
+// holding plain strings keep compiling.
+package protocol
+
+// Protocol identifies a coordination protocol.
+type Protocol = string
+
+const (
+	// DCoP is the paper's redundant distributed coordination protocol
+	// (§3.4): flooding where a peer may be selected by multiple parents.
+	DCoP Protocol = "dcop"
+	// TCoP is the non-redundant tree-based coordination protocol (§3.5):
+	// a three-round handshake gives every peer at most one parent.
+	TCoP Protocol = "tcop"
+	// Broadcast is the §3.1 baseline where the leaf contacts all n peers
+	// and peers exchange state in a group communication.
+	Broadcast Protocol = "broadcast"
+	// Unicast is the §3.1 chain baseline: one peer informs the next.
+	Unicast Protocol = "unicast"
+	// Centralized is the 2PC-style controller protocol of reference [5].
+	Centralized Protocol = "centralized"
+	// AMS is the asynchronous multi-source streaming precursor of the
+	// paper's references [3–5].
+	AMS Protocol = "ams"
+)
+
+// All lists every protocol the simulator implements.
+var All = []Protocol{DCoP, TCoP, Broadcast, Unicast, Centralized, AMS}
+
+// Live lists the protocols the live runtime implements.
+var Live = []Protocol{TCoP, DCoP}
+
+// Valid reports whether p names a simulated protocol.
+func Valid(p Protocol) bool {
+	for _, q := range All {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidLive reports whether p names a live-runtime protocol.
+func ValidLive(p Protocol) bool {
+	for _, q := range Live {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}

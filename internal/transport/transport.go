@@ -45,6 +45,10 @@ type Msg struct {
 	Type string `json:"type"`
 	// From names the sending endpoint.
 	From string `json:"from"`
+	// Session scopes the message to one streaming session when an
+	// endpoint participates in several concurrently (live.Node); empty
+	// on single-session traffic.
+	Session string `json:"session,omitempty"`
 	// Payload is the JSON-encoded body.
 	Payload json.RawMessage `json:"payload"`
 }

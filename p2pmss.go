@@ -44,12 +44,19 @@ import (
 	"p2pmss/internal/live"
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/overlay"
+	"p2pmss/internal/protocol"
 	"p2pmss/internal/schedule"
 	"p2pmss/internal/trace"
 	"p2pmss/internal/transport"
 )
 
-// Coordination protocol names accepted by Simulate.
+// Protocol identifies a coordination protocol by name. One shared set of
+// values is accepted by every layer: Simulate (all six) and the live
+// runtime (DCoP, TCoP).
+type Protocol = protocol.Protocol
+
+// Coordination protocol names accepted by Simulate; DCoP and TCoP are
+// also the live runtime's protocols.
 const (
 	// DCoP is the paper's redundant distributed coordination protocol
 	// (§3.4): flooding where a peer may be selected by multiple parents.
@@ -128,8 +135,8 @@ func DefaultSimConfig() SimConfig { return coord.DefaultConfig() }
 
 // Simulate runs the named protocol under cfg on the discrete-event
 // simulator and returns its metrics.
-func Simulate(protocol string, cfg SimConfig) (SimResult, error) {
-	return coord.Run(protocol, cfg)
+func Simulate(proto Protocol, cfg SimConfig) (SimResult, error) {
+	return coord.Run(proto, cfg)
 }
 
 // ---- experiments ---------------------------------------------------------
@@ -183,8 +190,8 @@ type RunRecord = experiment.RunRecord
 // SweepRecords runs the protocol's (H, seed) grid and returns every
 // per-run record in grid order; dataPlane enables the streaming plane
 // (as Figure 12 does).
-func SweepRecords(protocol string, o ExperimentOptions, dataPlane bool) ([]RunRecord, error) {
-	return experiment.SweepRecords(protocol, o, dataPlane)
+func SweepRecords(proto Protocol, o ExperimentOptions, dataPlane bool) ([]RunRecord, error) {
+	return experiment.SweepRecords(proto, o, dataPlane)
 }
 
 // BaselineRecords runs every protocol at fixed H and returns the per-run
@@ -286,15 +293,47 @@ func ListenTCP(addr string, h TransportHandler) (TransportEndpoint, error) {
 	return transport.ListenTCP(addr, h)
 }
 
+// LiveTransport selects how a live participant attaches to the network;
+// construct one with WithFabric, WithTCP or WithAttach.
+type LiveTransport = live.Transport
+
+// WithFabric attaches a live participant to the in-memory fabric under
+// the given endpoint name.
+func WithFabric(f *Fabric, name string) LiveTransport { return live.WithFabric(f, name) }
+
+// WithTCP attaches a live participant to its own TCP listener on addr
+// (e.g. "127.0.0.1:0").
+func WithTCP(addr string) LiveTransport { return live.WithTCP(addr) }
+
+// WithAttach adapts a legacy attach callback (the function receives the
+// participant's handler and returns its endpoint) to a LiveTransport.
+func WithAttach(attach func(TransportHandler) (TransportEndpoint, error)) LiveTransport {
+	return live.WithAttach(attach)
+}
+
+// StartLivePeer starts a live contents peer on the given transport.
+func StartLivePeer(cfg LivePeerConfig, tr LiveTransport) (*LivePeer, error) {
+	return live.NewPeer(cfg, tr)
+}
+
+// StartLiveLeaf starts a live leaf peer on the given transport.
+func StartLiveLeaf(cfg LiveLeafConfig, tr LiveTransport) (*LiveLeaf, error) {
+	return live.NewLeaf(cfg, tr)
+}
+
 // NewLivePeer starts a live contents peer; attach receives the peer's
 // message handler and must return its transport endpoint.
+//
+// Deprecated: use StartLivePeer with WithFabric, WithTCP, or WithAttach.
 func NewLivePeer(cfg LivePeerConfig, attach func(TransportHandler) (TransportEndpoint, error)) (*LivePeer, error) {
-	return live.NewPeer(cfg, attach)
+	return live.NewPeer(cfg, live.WithAttach(attach))
 }
 
 // NewLiveLeaf starts a live leaf peer.
+//
+// Deprecated: use StartLiveLeaf with WithFabric, WithTCP, or WithAttach.
 func NewLiveLeaf(cfg LiveLeafConfig, attach func(TransportHandler) (TransportEndpoint, error)) (*LiveLeaf, error) {
-	return live.NewLeaf(cfg, attach)
+	return live.NewLeaf(cfg, live.WithAttach(attach))
 }
 
 // WriteRoundsSVG renders a Figure 10/11-style chart (rounds + control
@@ -318,9 +357,12 @@ type LiveClusterConfig = live.ClusterConfig
 
 // Live protocol names for LivePeerConfig.Protocol and
 // LiveClusterConfig.Protocol.
+//
+// Deprecated: the live layer accepts the shared TCoP / DCoP constants;
+// these aliases remain for pre-unification callers.
 const (
-	LiveTCoP = live.ProtocolTCoP
-	LiveDCoP = live.ProtocolDCoP
+	LiveTCoP = TCoP
+	LiveDCoP = DCoP
 )
 
 // StartLiveCluster builds and starts a live session: n contents peers
@@ -335,3 +377,38 @@ type ContentStore = content.Store
 
 // NewContentStore returns an empty content catalog.
 func NewContentStore() *ContentStore { return content.NewStore() }
+
+// ---- session-oriented live nodes ------------------------------------------
+
+// SessionID identifies one streaming session on a live node.
+type SessionID = live.SessionID
+
+// LiveNode hosts a content store on one endpoint and participates in
+// many concurrent streaming sessions, serving some as a contents peer
+// and consuming others as a leaf.
+type LiveNode = live.Node
+
+// LiveNodeConfig configures a session-multiplexing live node.
+type LiveNodeConfig = live.NodeConfig
+
+// LiveSessionConfig describes one leaf session a node opens.
+type LiveSessionConfig = live.SessionConfig
+
+// LiveLeafSession is a leaf session hosted on a node.
+type LiveLeafSession = live.LeafSession
+
+// NewLiveNode creates a session-multiplexing node on the given transport.
+func NewLiveNode(cfg LiveNodeConfig, tr LiveTransport) (*LiveNode, error) {
+	return live.NewNode(cfg, tr)
+}
+
+// LiveNodeCluster is a running node population created by StartLiveNodes.
+type LiveNodeCluster = live.NodeCluster
+
+// LiveNodesConfig wires a node population in one call.
+type LiveNodesConfig = live.NodesConfig
+
+// StartLiveNodes builds a node population ready to open sessions.
+func StartLiveNodes(cfg LiveNodesConfig) (*LiveNodeCluster, error) {
+	return live.StartNodes(cfg)
+}
