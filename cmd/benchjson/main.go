@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout (or -o file), so CI can archive benchmark
+// results as a machine-readable artifact (BENCH_engine.json).
+//
+//	go test -run='^$' -bench=. -benchmem ./internal/engine | benchjson -o BENCH_engine.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Package    string      `json:"package,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse consumes `go test -bench` output. Lines look like:
+//
+//	BenchmarkEngineTCoP-8   228   5171434 ns/op   2138152 B/op   21523 allocs/op
+func parse(lines []string) Report {
+	var rep Report
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		b := Benchmark{Name: f[0]}
+		b.Iterations, _ = strconv.ParseInt(f[1], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(f[2], 64)
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		lines = append(lines, line)
+		fmt.Fprintln(os.Stderr, line) // echo so CI logs keep the raw output
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := parse(lines)
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+}

@@ -39,6 +39,10 @@ func main() {
 		svgDir   = flag.String("svg", "", "also render figures as SVG into this directory")
 		parallel = flag.Int("parallel", runtime.NumCPU(),
 			"worker goroutines for sweep points (1 = serial; output is byte-identical at any setting)")
+		retries = flag.Int("retries", 0,
+			"alternate-peer retries per failed child slot (0 = coordination default)")
+		hsTimeout = flag.Float64("handshake-timeout", 0,
+			"control/confirm handshake deadline in virtual seconds (0 = coordination default)")
 	)
 	flag.Parse()
 
@@ -47,6 +51,8 @@ func main() {
 	o.Seeds = *seeds
 	o.LeafShares = !*noshare
 	o.Parallel = *parallel
+	o.Retries = *retries
+	o.HandshakeTimeout = *hsTimeout
 	if *hs != "" {
 		o.Hs = nil
 		for _, part := range strings.Split(*hs, ",") {

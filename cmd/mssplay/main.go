@@ -46,6 +46,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "delivery deadline")
 		seed     = flag.Int64("seed", 1, "random seed")
 		sessions = flag.Int("sessions", 1, "stream this many concurrent sessions over one node population")
+		retries  = flag.Int("retries", 0, "alternate-peer retries per failed child slot (0 = per-peer default H)")
+		hsTime   = flag.Duration("handshake-timeout", 0, "control/confirm handshake deadline (0 = per-peer default)")
 		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof/ on this address (off by default)")
 	)
 	flag.Parse()
@@ -65,7 +67,7 @@ func main() {
 
 	if *sessions > 1 {
 		runSessions(*nPeers, *sessions, *fanout, *interval, *size, *pktSize, *rate,
-			*kill, *proto, *timeout, *seed, reg)
+			*kill, *proto, *timeout, *seed, *retries, *hsTime, reg)
 		return
 	}
 
@@ -77,15 +79,17 @@ func main() {
 
 	start := time.Now()
 	cl, err := p2pmss.StartLiveCluster(p2pmss.LiveClusterConfig{
-		Content:  c,
-		Peers:    *nPeers,
-		H:        *fanout,
-		Interval: *interval,
-		Rate:     *rate,
-		Protocol: *proto,
-		UseTCP:   true,
-		Seed:     *seed,
-		Metrics:  reg,
+		Content:          c,
+		Peers:            *nPeers,
+		H:                *fanout,
+		Interval:         *interval,
+		Rate:             *rate,
+		Protocol:         *proto,
+		UseTCP:           true,
+		HandshakeTimeout: *hsTime,
+		Retries:          *retries,
+		Seed:             *seed,
+		Metrics:          reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -149,7 +153,8 @@ func main() {
 // node population on TCP loopback, optionally crash-stopping serving
 // nodes mid-stream.
 func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate float64,
-	kill int, proto string, timeout time.Duration, seed int64, reg *p2pmss.MetricsRegistry) {
+	kill int, proto string, timeout time.Duration, seed int64,
+	retries int, hsTimeout time.Duration, reg *p2pmss.MetricsRegistry) {
 	if sessions > nodes {
 		fatal(fmt.Errorf("-sessions %d needs at least as many -peers (have %d)", sessions, nodes))
 	}
@@ -163,14 +168,16 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 		contents[id] = data
 	}
 	nc, err := p2pmss.StartLiveNodes(p2pmss.LiveNodesConfig{
-		Nodes:    nodes,
-		Store:    store,
-		H:        fanout,
-		Interval: interval,
-		Protocol: proto,
-		UseTCP:   true,
-		Seed:     seed,
-		Metrics:  reg,
+		Nodes:            nodes,
+		Store:            store,
+		H:                fanout,
+		Interval:         interval,
+		Protocol:         proto,
+		UseTCP:           true,
+		HandshakeTimeout: hsTimeout,
+		Retries:          retries,
+		Seed:             seed,
+		Metrics:          reg,
 	})
 	if err != nil {
 		fatal(err)

@@ -15,9 +15,9 @@ package coord
 
 import (
 	"fmt"
-	"math"
 
 	"p2pmss/internal/des"
+	"p2pmss/internal/engine"
 	"p2pmss/internal/failure"
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/overlay"
@@ -99,6 +99,19 @@ type Config struct {
 	// (directly or via parity recovery). Use with Loop=false and a small
 	// ContentLen; the run then executes to quiescence.
 	TrackDelivery bool
+	// Retries bounds how many alternate peers a TCoP parent contacts
+	// when a selected child refuses, is unreachable, or stays silent —
+	// the simulated counterpart of the live layer's churn-tolerant
+	// failover. Zero (the default) disables retry waves, matching the
+	// paper's base protocol.
+	Retries int
+	// HandshakeTimeout bounds each TCoP confirmation round; it doubles
+	// on every retry wave. Zero means 2(δ+jitter)+ε, just past the
+	// worst-case control+confirm round trip.
+	HandshakeTimeout float64
+	// CommitRelease is how long an adopted child waits for the commit
+	// before releasing the adoption. Zero means 4(δ+jitter)+ε.
+	CommitRelease float64
 	// Seed seeds all randomness of the run.
 	Seed int64
 	// CrashPeers crash-stops the listed peers before the run starts.
@@ -219,6 +232,21 @@ func (c *Config) normalize() error {
 			return fmt.Errorf("coord: heterogeneous bandwidths require LeafShares")
 		}
 	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 2*(c.Delta+c.Jitter) + 0.001
+	}
+	if c.HandshakeTimeout < 0 {
+		return fmt.Errorf("coord: HandshakeTimeout %v must be positive", c.HandshakeTimeout)
+	}
+	if c.CommitRelease == 0 {
+		c.CommitRelease = 4*(c.Delta+c.Jitter) + 0.001
+	}
+	if c.CommitRelease < 0 {
+		return fmt.Errorf("coord: CommitRelease %v must be positive", c.CommitRelease)
+	}
 	if c.StatePeriod == 0 {
 		c.StatePeriod = 2 * c.Delta
 		if c.StatePeriod <= 0 {
@@ -306,6 +334,10 @@ type Result struct {
 	PeerSent []int64
 	// PlaybackStart is when playout began (Playback only).
 	PlaybackStart float64
+	// Outcomes is the per-peer coordination outcome from the shared
+	// engine — tree shape, assignment unions, retry/absorb counters —
+	// for DCoP and TCoP runs (nil for the baselines). Indexed by peer.
+	Outcomes []engine.Outcome
 	// NetStats is the raw network counterset.
 	NetStats simnet.Stats
 }
@@ -320,41 +352,15 @@ type reqMsg struct {
 	Round    int
 }
 
-// ctlMsg is a control packet c1 from a parent contents peer. The paper's
-// c carries the parent's view, SEQ, rate and child count; the child then
-// derives its subsequence from the parent's schedule. Because parent and
-// child compute the same deterministic division from the same (known) δ,
-// the simulator precomputes the division at the parent and carries the
-// child's share in AssignedSeq (nil when the data plane is off).
-type ctlMsg struct {
-	Parent      overlay.PeerID
-	View        []overlay.PeerID // c.VW
-	SeqOffset   int              // offset in the parent's stream of the most recently sent packet (c.SEQ)
-	Rate        float64          // c.τ, the parent's transmission rate
-	ChildRate   float64          // the derived per-child rate τ_j(h+1)/(h(H_j+1))
-	Children    int              // H_j, number of children selected
-	ChildIdx    int              // which division (1..H_j) this child takes
-	AssignedSeq seq.Sequence     // the child's division pkt_ji (data plane only)
-	Round       int
-}
-
-// confirmMsg is TCoP's (positive or negative) confirmation cc1.
-type confirmMsg struct {
-	Child  overlay.PeerID
-	Accept bool
-	Round  int
-}
-
-// commitMsg is TCoP's second control packet c2.
-type commitMsg struct {
-	Parent      overlay.PeerID
-	Streams     int // c2.n = confirmed children + 1
-	SeqOffset   int
-	Rate        float64 // the per-stream rate
-	ChildIdx    int     // 1..Streams-1
-	AssignedSeq seq.Sequence
-	Round       int
-}
+// ctlMsg, confirmMsg and commitMsg are the engine's wire vocabulary:
+// the control packet c1, TCoP's confirmation cc1 and the commit c2 are
+// defined once in internal/engine and aliased here so the simulator's
+// codec-free messages are the engine's structs themselves.
+type (
+	ctlMsg     = engine.MsgControl
+	confirmMsg = engine.MsgConfirm
+	commitMsg  = engine.MsgCommit
+)
 
 // stateMsg is the broadcast baseline's group-communication state exchange.
 type stateMsg struct {
@@ -420,7 +426,11 @@ type runner struct {
 // leafID returns the simnet node ID of the leaf peer.
 func (r *runner) leafID() simnet.NodeID { return simnet.NodeID(r.cfg.N) }
 
-// peerNode is the per-contents-peer state shared by all protocols.
+// peerNode is the per-contents-peer state shared by all protocols. The
+// DCoP/TCoP transition state lives in core (the shared engine); the
+// node keeps only driver state — the transmitter, the view-independent
+// bookkeeping the baselines use, and mirrors of the engine's outcome
+// filled in after the run for the tests.
 type peerNode struct {
 	r      *runner
 	id     overlay.PeerID
@@ -429,25 +439,24 @@ type peerNode struct {
 	depth  int // activation round
 	tx     *transmitter
 
-	// DCoP: children taken so far (capped at H, §3.3).
-	childrenTaken int
+	// core is the peer's coordination state machine (DCoP/TCoP runs).
+	core *engine.Peer
 
-	// TCoP state.
-	tcopParent    int // -1 = none
+	// tcopCommitted/tcopConfirmed mirror the engine's outcome after the
+	// run (tree well-formedness assertions in tests).
 	tcopCommitted bool
-	tcopAwait     int // confirmations still expected
 	tcopConfirmed []overlay.PeerID
-	tcopCtlRound  int
-	tcopFinal     bool
-	tcopGen       int
+
+	// tcopFinal/tcopGen are a generic finalize-once/generation pair the
+	// centralized baseline reuses for its commit-timeout guard.
+	tcopFinal bool
+	tcopGen   int
 
 	// Centralized baseline state.
 	prepIdx int
 
 	// Broadcast baseline state.
 	statesSeen int
-
-	// Unicast chain state (none extra).
 }
 
 func newRunner(cfg Config) (*runner, error) {
@@ -469,7 +478,7 @@ func newRunner(cfg Config) (*runner, error) {
 		nw.BurstLoss = cs.Hook
 	}
 	for i := 0; i < cfg.N; i++ {
-		p := &peerNode{r: r, id: overlay.PeerID(i), view: overlay.NewView(cfg.N), tcopParent: -1}
+		p := &peerNode{r: r, id: overlay.PeerID(i), view: overlay.NewView(cfg.N)}
 		p.tx = newTransmitter(r, simnet.NodeID(i))
 		r.peers = append(r.peers, p)
 		nw.AttachFunc(simnet.NodeID(i), func(from simnet.NodeID, m simnet.Message) {
@@ -585,9 +594,20 @@ func (r *runner) scheduleMeasurement() {
 	})
 }
 
-// onRepair retransmits the requested content packets to the leaf.
+// onRepair retransmits the requested content packets to the leaf. For
+// engine-backed runs (DCoP/TCoP) the decision routes through the state
+// machine; the baselines serve directly.
 func (r *runner) onRepair(p *peerNode, m repairMsg) {
-	for _, k := range m.Indices {
+	if p.core != nil {
+		r.dispatch(p, engine.Repair{Indices: m.Indices})
+		return
+	}
+	r.serveRepair(p, m.Indices)
+}
+
+// serveRepair retransmits the listed content packets to the leaf.
+func (r *runner) serveRepair(p *peerNode, indices []int64) {
+	for _, k := range indices {
 		if k >= 1 && k <= r.cfg.ContentLen {
 			r.nw.Send(simnet.NodeID(p.id), r.leafID(), dataMsg{Pkt: seq.NewData(k)})
 		}
@@ -611,6 +631,7 @@ func (r *runner) run() Result {
 		}
 	}
 	r.res.NetStats = r.nw.Stats()
+	r.mirrorOutcomes()
 	if r.cfg.DataPlane {
 		r.res.PeerSent = make([]int64, r.cfg.N)
 		for i, p := range r.peers {
@@ -717,49 +738,15 @@ func (r *runner) perPeerRateAll() float64 {
 	return parity.PerPeerRate(r.cfg.Rate, r.cfg.Interval, r.cfg.N)
 }
 
-// shareOut computes the division of parent stream ps (from mark offset)
-// into k parts using parity interval p: Esq then round-robin Div. It
-// returns the k parts (part 0 is the parent's own share) and the
-// per-stream rate that preserves aggregate content throughput,
-// parentRate·(p+1)/(p·k). (The TCoP pseudocode sets τ_i := τ_j/c2.n,
-// which silently loses the parity overhead's throughput; we keep the
-// content flowing at the parent's pace — see DESIGN.md §2.)
-//
-// p ≤ 0 requests plain division with no added parity (the unicast
-// baseline's minimum-redundancy handover), with rate parentRate/k.
+// shareOut and markOffset are the §3.3 hand-off algebra, now owned by
+// the shared engine; the wrappers remain for the baselines (unicast's
+// chain handover) and the algebra tests.
 func shareOut(ps seq.Sequence, mark int, parentRate float64, p, k int) ([]seq.Sequence, float64) {
-	var rate float64
-	if p > 0 {
-		rate = parentRate * float64(p+1) / float64(p*k)
-	} else {
-		rate = parentRate / float64(k)
-	}
-	if ps == nil {
-		return nil, rate
-	}
-	if mark > len(ps) {
-		mark = len(ps)
-	}
-	tail := ps[mark:]
-	if len(tail) == 0 {
-		return make([]seq.Sequence, k), rate
-	}
-	if p > 0 {
-		tail = parity.Enhance(tail, p)
-	} else {
-		tail = tail.Clone()
-	}
-	return seq.Divide(tail, k), rate
+	return engine.ShareOut(ps, mark, parentRate, p, k)
 }
 
-// markOffset computes the §3.3 marked packet: the parent reported sending
-// the packet at sentOffset when the control packet left; δ time units
-// later it has sent ⌊δ·rate⌋ more packets. Flooring is the safe
-// direction — if the parent reaches the switch instant having sent past
-// the mark the overlap is a harmless duplicate, whereas overestimating
-// the mark would leave packets nobody transmits.
 func markOffset(sentOffset int, delta, rate float64) int {
-	return sentOffset + int(math.Floor(delta*rate+1e-9))
+	return engine.MarkOffset(sentOffset, delta, rate)
 }
 
 // currentOffset estimates how many packets a transmitter has sent, for

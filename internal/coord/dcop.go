@@ -1,113 +1,33 @@
 package coord
 
 import (
-	"p2pmss/internal/overlay"
+	"p2pmss/internal/engine"
 	"p2pmss/internal/simnet"
 )
 
-// dcop implements the Distributed Coordination Protocol of §3.4 — the
+// dcop drives the Distributed Coordination Protocol of §3.4 — the
 // redundant flooding protocol where a contents peer may be selected by
 // multiple parents and merges (unions) the subsequences assigned to it.
-//
-// Step 1: the leaf peer selects H contents peers and sends each a content
-// request. Step 2: a peer receiving the request starts transmitting its
-// division of the enhanced sequence and floods control packets to up to H
-// peers not in its view. Step 3: a peer receiving a control packet merges
-// the sender's view, starts (or extends) its transmission from the marked
-// packet, and — while its view is not full — floods further control
-// packets. A peer whose Select(CP, CP_i, H) returns φ stops selecting.
+// All transitions live in internal/engine; this driver only converts
+// simnet messages to engine events (and computes the initial
+// assignment, which needs the runner's content and bandwidth model).
 type dcop struct {
 	r *runner
 }
 
 func (d *dcop) start() {
-	r := d.r
-	sel := overlay.SelectFrom(r.eng.Rand(), r.cfg.N, overlay.View{}, r.cfg.H)
-	for u, cp := range sel {
-		m := reqMsg{Rate: r.cfg.Rate, Index: u, Round: 1}
-		if r.cfg.LeafShares {
-			m.Selected = sel
-		}
-		r.sendCtl(r.leafID(), simnet.NodeID(cp), m, 1)
-	}
+	d.r.initEngine(true)
+	d.r.startRequests()
 }
 
 func (d *dcop) deliver(p *peerNode, from simnet.NodeID, m simnet.Message) {
 	switch msg := m.(type) {
 	case reqMsg:
-		d.onRequest(p, msg)
+		s, rate := d.r.initialAssignment(msg.Index, msg.Selected)
+		d.r.dispatch(p, engine.Request{Assigned: s, Rate: rate, Selected: msg.Selected, Round: msg.Round})
 	case ctlMsg:
-		d.onControl(p, msg)
+		d.r.dispatch(p, engine.Control{Msg: msg})
+	case commitMsg:
+		d.r.dispatch(p, engine.Commit{Msg: msg})
 	}
-}
-
-// onRequest is step 2: activation by the leaf peer.
-func (d *dcop) onRequest(p *peerNode, m reqMsg) {
-	p.view.Add(p.id)
-	p.view.AddAll(m.Selected)
-	s, rate := d.r.initialAssignment(m.Index, m.Selected)
-	p.activate(m.Round, s, rate)
-	d.selectAndSend(p, d.r.cfg.FirstFanout, m.Round+1)
-}
-
-// onControl is step 3: activation (or extension) by a parent peer.
-func (d *dcop) onControl(p *peerNode, m ctlMsg) {
-	p.view.Add(p.id)
-	p.view.Add(m.Parent)
-	p.view.AddAll(m.View)
-	p.activate(m.Round, m.AssignedSeq, m.ChildRate)
-	if !p.view.Full() {
-		d.selectAndSend(p, d.r.cfg.H, m.Round+1)
-	}
-}
-
-// selectAndSend selects up to fanout peers outside p's view, hands each a
-// division of p's remaining stream (re-enhanced with parity interval h),
-// and switches p to its own share δ time units later (§3.3).
-//
-// Per §3.3 a parent takes at most H children over its lifetime ("a parent
-// CP_j surely takes the number H of child contents peers"): the
-// pseudocode's per-receipt re-selection therefore only tops the child set
-// up to H — without the cap DCoP's redundant flooding would exceed
-// TCoP's traffic at small H, contradicting the paper's Figure 10/11
-// comparison.
-func (d *dcop) selectAndSend(p *peerNode, fanout, round int) {
-	r := d.r
-	if remaining := r.cfg.H - p.childrenTaken; fanout > remaining {
-		fanout = remaining
-	}
-	if fanout <= 0 {
-		return
-	}
-	children := overlay.Select(r.eng.Rand(), p.view, fanout)
-	if len(children) == 0 {
-		return // Select returned φ: stop selecting child peers.
-	}
-	p.childrenTaken += len(children)
-	p.view.AddAll(children)
-
-	offset := p.tx.currentOffset()
-	mark := markOffset(offset, r.cfg.Delta, p.tx.rate)
-	parts, childRate := shareOut(p.tx.s, mark, p.tx.rate, r.cfg.Interval, len(children)+1)
-	vm := viewMembers(p.view)
-	for u, cp := range children {
-		msg := ctlMsg{
-			Parent:    p.id,
-			View:      vm,
-			SeqOffset: offset,
-			Rate:      p.tx.rate,
-			ChildRate: childRate,
-			Children:  len(children),
-			ChildIdx:  u + 1,
-			Round:     round,
-		}
-		if parts != nil {
-			msg.AssignedSeq = parts[u+1]
-		}
-		r.sendCtl(simnet.NodeID(p.id), simnet.NodeID(cp), msg, round)
-	}
-	// The parent changes its own subsequence to its share and reduces its
-	// rate δ time units after sending the control packets (§3.3).
-	keep, given := splitParts(parts)
-	p.tx.planShare(keep, given, p.tx.rate, childRate, r.cfg.Delta)
 }

@@ -1,0 +1,149 @@
+package coord
+
+import (
+	"math/rand"
+
+	"p2pmss/internal/engine"
+	"p2pmss/internal/seq"
+	"p2pmss/internal/simnet"
+)
+
+// This file is the des/simnet driver for the shared coordination engine
+// (internal/engine): it stamps virtual-time snapshots onto events,
+// turns SetTimer effects into des events, Send effects into simnet
+// messages (feeding send failures back into the engine so the live
+// layer's churn tolerance is deterministically simulatable), and
+// Activate/Merge/Handoff effects into transmitter operations.
+
+// initEngine builds the per-peer engine cores. Called from the
+// protocol's start() rather than newRunner because tests install
+// protocol impls directly.
+func (r *runner) initEngine(dcopMode bool) {
+	ecfg := engine.Config{
+		N:                r.cfg.N,
+		H:                r.cfg.H,
+		Interval:         r.cfg.Interval,
+		FirstFanout:      r.cfg.FirstFanout,
+		MarkDelta:        r.cfg.Delta,
+		HandshakeTimeout: r.cfg.HandshakeTimeout,
+		CommitRelease:    r.cfg.CommitRelease,
+		Retries:          r.cfg.Retries,
+		DCoP:             dcopMode,
+	}
+	if err := ecfg.Normalize(); err != nil {
+		panic(err) // unreachable: Config.normalize validated the same fields
+	}
+	for _, p := range r.peers {
+		rng := rand.New(rand.NewSource(engine.PeerSeed(r.cfg.Seed, p.id)))
+		p.core = engine.NewPeer(ecfg, p.id, rng)
+	}
+}
+
+// leafRand is the leaf peer's private random stream, seeded exactly as
+// the live layer seeds its leaf so the initial selection agrees.
+func (r *runner) leafRand() *rand.Rand {
+	return rand.New(rand.NewSource(engine.PeerSeed(r.cfg.Seed, engine.LeafID)))
+}
+
+// startRequests performs the leaf peer's step 1 for DCoP and TCoP:
+// select H contents peers and send each a content request.
+func (r *runner) startRequests() {
+	sel, _ := engine.SelectInitial(r.leafRand(), r.cfg.N, r.cfg.H)
+	for u, cp := range sel {
+		m := reqMsg{Rate: r.cfg.Rate, Index: u, Round: 1}
+		if r.cfg.LeafShares {
+			m.Selected = sel
+		}
+		r.sendCtl(r.leafID(), simnet.NodeID(cp), m, 1)
+	}
+}
+
+// snapshot stamps the peer's current data-plane state.
+func (r *runner) snapshot(p *peerNode) engine.Snapshot {
+	return engine.Snapshot{
+		Offset: p.tx.currentOffset(),
+		Stream: p.tx.s,
+		Rate:   p.tx.rate,
+	}
+}
+
+// dispatch feeds one event into the peer's engine core and applies the
+// resulting effects.
+func (r *runner) dispatch(p *peerNode, ev engine.Event) {
+	r.applyEffects(p, p.core.Handle(ev, r.snapshot(p)))
+}
+
+// applyEffects executes the engine's effects in order. Sends to crashed
+// peers feed SendFailed back into the engine (queued behind the
+// remaining effects); the hand-off is buffered so that Absorb effects
+// produced by those failures fold into it before it is planned.
+func (r *runner) applyEffects(p *peerNode, effs []engine.Effect) {
+	var handoff *engine.Handoff
+	queue := effs
+	for len(queue) > 0 {
+		eff := queue[0]
+		queue = queue[1:]
+		switch e := eff.(type) {
+		case engine.Send:
+			to := simnet.NodeID(e.To)
+			r.sendCtl(simnet.NodeID(p.id), to, e.Msg, msgRound(e.Msg))
+			if r.nw.Crashed(to) {
+				// The message is counted (it was transmitted) but will be
+				// discarded at delivery; tell the engine now so it can
+				// fail over or re-absorb deterministically.
+				fb := p.core.Handle(engine.SendFailed{To: e.To, Msg: e.Msg}, r.snapshot(p))
+				queue = append(queue, fb...)
+			}
+		case engine.SetTimer:
+			id := e.ID
+			r.eng.After(e.Delay, func() { r.dispatch(p, engine.TimerFired{Timer: id}) })
+		case engine.Activate:
+			p.activate(e.Round, e.Seq, e.Rate)
+		case engine.Merge:
+			p.activate(e.Round, e.Seq, e.Rate)
+		case engine.Handoff:
+			h := e
+			handoff = &h
+		case engine.Absorb:
+			if handoff != nil {
+				handoff.Keep = seq.Union(handoff.Keep, e.Seq)
+				handoff.NewRate += e.RateDelta
+			} else if p.active {
+				p.activate(p.depth, e.Seq, e.RateDelta)
+			}
+		case engine.ServeRepair:
+			r.serveRepair(p, e.Indices)
+		}
+	}
+	if handoff != nil {
+		p.tx.planShare(handoff.Keep, handoff.Given, handoff.OldRate, handoff.NewRate, r.cfg.Delta)
+	}
+}
+
+// msgRound extracts the round number carried by an engine message.
+func msgRound(m any) int {
+	switch msg := m.(type) {
+	case reqMsg:
+		return msg.Round
+	case ctlMsg:
+		return msg.Round
+	case confirmMsg:
+		return msg.Round
+	case commitMsg:
+		return msg.Round
+	}
+	return 0
+}
+
+// mirrorOutcomes copies the engines' coordination outcomes onto the
+// peer nodes (for the tree assertions in tests) and into the Result.
+func (r *runner) mirrorOutcomes() {
+	for _, p := range r.peers {
+		if p.core == nil {
+			return // baseline run: no engine cores
+		}
+		p.tcopCommitted = p.core.Committed()
+		p.tcopConfirmed = p.core.Confirmed()
+		r.res.Outcomes = append(r.res.Outcomes, p.core.Outcome())
+	}
+}

@@ -1,184 +1,36 @@
 package coord
 
 import (
-	"p2pmss/internal/overlay"
+	"p2pmss/internal/engine"
 	"p2pmss/internal/simnet"
 )
 
-// tcop implements the Tree-based Coordination Protocol of §3.5 — the
+// tcop drives the Tree-based Coordination Protocol of §3.5 — the
 // non-redundant protocol in which each contents peer takes at most one
-// parent. Selection is a three-round handshake per tree level:
-//
-//  1. a parent sends control packets c1 to up to H candidates selected by
-//     Aselect (excluding itself and peers it knows to be selected);
-//  2. each candidate replies with a confirmation — positive iff it has no
-//     parent yet (it takes the first parent whose control packet arrives);
-//  3. the parent sends a commit c2 to the confirmed children, carrying
-//     c2.n = H_j + 1 streams; children derive their subsequences from the
-//     marked packet, the parent switches to its own share δ later.
-//
-// Per the pseudocode, a TCoP control packet's view carries only the
-// sender and its current candidates (c1.VW_jj := 1; VW_jk := 1 for the
-// selected), not the sender's accumulated view — one of the reasons TCoP
-// floods more control packets than DCoP (Figure 11 vs Figure 10).
+// parent via a three-round handshake (control c1, confirmation cc1,
+// commit c2). All transitions — first-parent-wins adoption, the
+// confirmation deadline, alternate-peer retry waves, commit-release —
+// live in internal/engine; this driver only converts simnet messages to
+// engine events.
 type tcop struct {
 	r *runner
 }
 
 func (t *tcop) start() {
-	r := t.r
-	sel := overlay.SelectFrom(r.eng.Rand(), r.cfg.N, overlay.View{}, r.cfg.H)
-	for u, cp := range sel {
-		m := reqMsg{Rate: r.cfg.Rate, Index: u, Round: 1}
-		if r.cfg.LeafShares {
-			m.Selected = sel
-		}
-		r.sendCtl(r.leafID(), simnet.NodeID(cp), m, 1)
-	}
+	t.r.initEngine(false)
+	t.r.startRequests()
 }
 
 func (t *tcop) deliver(p *peerNode, from simnet.NodeID, m simnet.Message) {
 	switch msg := m.(type) {
 	case reqMsg:
-		t.onRequest(p, msg)
+		s, rate := t.r.initialAssignment(msg.Index, msg.Selected)
+		t.r.dispatch(p, engine.Request{Assigned: s, Rate: rate, Selected: msg.Selected, Round: msg.Round})
 	case ctlMsg:
-		t.onControl(p, msg)
+		t.r.dispatch(p, engine.Control{Msg: msg})
 	case confirmMsg:
-		t.onConfirm(p, msg)
+		t.r.dispatch(p, engine.Confirm{Msg: msg})
 	case commitMsg:
-		t.onCommit(p, msg)
+		t.r.dispatch(p, engine.Commit{Msg: msg})
 	}
-}
-
-func (t *tcop) onRequest(p *peerNode, m reqMsg) {
-	p.view.Add(p.id)
-	p.view.AddAll(m.Selected)
-	p.tcopParent = int(p.id) // leaf-rooted: no contents-peer parent to adopt
-	s, rate := t.r.initialAssignment(m.Index, m.Selected)
-	p.activate(m.Round, s, rate)
-	t.selectChildren(p, m.Round+1)
-}
-
-// selectChildren runs Aselect and round 1 of the handshake.
-func (t *tcop) selectChildren(p *peerNode, round int) {
-	r := t.r
-	children := overlay.Select(r.eng.Rand(), p.view, r.cfg.H)
-	if len(children) == 0 {
-		return // found no candidates: CP_j stops selecting (§3.5).
-	}
-	p.view.AddAll(children)
-	p.tcopAwait = len(children)
-	p.tcopConfirmed = nil
-	p.tcopCtlRound = round
-	p.tcopFinal = false
-
-	// c1.VW carries only the sender and its candidates (pseudocode step 2).
-	cv := overlay.NewView(r.cfg.N)
-	cv.Add(p.id)
-	cv.AddAll(children)
-	vm := cv.Members()
-	offset := p.tx.currentOffset()
-	for _, cp := range children {
-		msg := ctlMsg{
-			Parent:    p.id,
-			View:      vm,
-			SeqOffset: offset,
-			Rate:      p.tx.rate,
-			Children:  len(children),
-			Round:     round,
-		}
-		r.sendCtl(simnet.NodeID(p.id), simnet.NodeID(cp), msg, round)
-	}
-	// Guard against lost confirmations: finalize with whatever arrived.
-	gen := p.tcopGen
-	r.eng.After(2*(r.cfg.Delta+r.cfg.Jitter)+0.001, func() {
-		if p.tcopGen == gen {
-			t.finalize(p)
-		}
-	})
-}
-
-// onControl is the candidate side of handshake round 1: take the first
-// parent, refuse all others.
-func (t *tcop) onControl(p *peerNode, m ctlMsg) {
-	p.view.Add(p.id)
-	p.view.Add(m.Parent)
-	p.view.AddAll(m.View)
-	accept := !p.active && p.tcopParent < 0
-	if accept {
-		p.tcopParent = int(m.Parent)
-		// If the commit is lost, release the adoption so another parent
-		// can take this peer later.
-		adopted := m.Parent
-		t.r.eng.After(4*(t.r.cfg.Delta+t.r.cfg.Jitter)+0.001, func() {
-			if !p.active && p.tcopParent == int(adopted) && !p.tcopCommitted {
-				p.tcopParent = -1
-			}
-		})
-	}
-	t.r.sendCtl(simnet.NodeID(p.id), simnet.NodeID(m.Parent),
-		confirmMsg{Child: p.id, Accept: accept, Round: m.Round + 1}, m.Round+1)
-}
-
-// onConfirm collects handshake round 2 at the parent.
-func (t *tcop) onConfirm(p *peerNode, m confirmMsg) {
-	if p.tcopFinal || p.tcopAwait == 0 {
-		return // late confirmation after timeout finalization
-	}
-	p.tcopAwait--
-	if m.Accept {
-		p.tcopConfirmed = append(p.tcopConfirmed, m.Child)
-	}
-	if p.tcopAwait == 0 {
-		t.finalize(p)
-	}
-}
-
-// finalize is handshake round 3: commit to the confirmed children and
-// split the parent's stream into c2.n = H_j+1 parts. Per the pseudocode
-// (pkt_ji := Esq(pkt_j[m_j⟩, c2.n)) the re-enhancement uses parity
-// interval c2.n — a per-node interval, unlike DCoP's global h; this is
-// what makes TCoP's receipt-rate overhead larger (Figure 12).
-func (t *tcop) finalize(p *peerNode) {
-	if p.tcopFinal {
-		return
-	}
-	p.tcopFinal = true
-	p.tcopGen++
-	r := t.r
-	confirmed := p.tcopConfirmed
-	if len(confirmed) == 0 {
-		return // no child: CP_j stops (§3.5).
-	}
-	k := len(confirmed) + 1 // c2.n
-	offset := p.tx.currentOffset()
-	mark := markOffset(offset, r.cfg.Delta, p.tx.rate)
-	parts, rate := shareOut(p.tx.s, mark, p.tx.rate, k, k)
-	round := p.tcopCtlRound + 2
-	for u, cp := range confirmed {
-		msg := commitMsg{
-			Parent:    p.id,
-			Streams:   k,
-			SeqOffset: offset,
-			Rate:      rate,
-			ChildIdx:  u + 1,
-			Round:     round,
-		}
-		if parts != nil {
-			msg.AssignedSeq = parts[u+1]
-		}
-		r.sendCtl(simnet.NodeID(p.id), simnet.NodeID(cp), msg, round)
-	}
-	keep, given := splitParts(parts)
-	p.tx.planShare(keep, given, p.tx.rate, rate, r.cfg.Delta)
-}
-
-// onCommit activates the child and recurses down the tree.
-func (t *tcop) onCommit(p *peerNode, m commitMsg) {
-	if p.tcopParent != int(m.Parent) || p.active {
-		return // stale commit (we timed out and were re-adopted)
-	}
-	p.tcopCommitted = true
-	p.activate(m.Round, m.AssignedSeq, m.Rate)
-	t.selectChildren(p, m.Round+1)
 }

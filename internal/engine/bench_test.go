@@ -1,0 +1,25 @@
+package engine_test
+
+import (
+	"testing"
+
+	"p2pmss/internal/seq"
+)
+
+// The benchmarks run a full coordination round over a 100-peer overlay
+// (H=10, 200-packet content) through the in-memory harness — the number
+// that matters for the simulator, which runs thousands of such rounds
+// per sweep. CI records the results in BENCH_engine.json.
+
+func benchEngine(b *testing.B, dcop bool) {
+	content := seq.Range(1, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := newHarness(baseConfig(100, 10, dcop), int64(i)+1)
+		h.start(content, 25, int64(i)+1)
+		h.run()
+	}
+}
+
+func BenchmarkEngineTCoP(b *testing.B) { benchEngine(b, false) }
+func BenchmarkEngineDCoP(b *testing.B) { benchEngine(b, true) }

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"p2pmss/internal/overlay"
+	"p2pmss/internal/seq"
+)
+
+// DCoP (§3.4): the redundant-flooding coordination protocol. Controls
+// go out without a handshake; a peer selected by several parents merges
+// the redundant assignments (pkt_i := pkt_i ∪ pkt_ji) and the flooding
+// ends when views fill. The §3.3 fanout cap — at most H children over a
+// parent's lifetime — bounds the per-peer coordination load.
+
+// seqAt indexes a ShareOut parts slice that may be nil in
+// control-plane-only mode.
+func seqAt(parts []seq.Sequence, i int) seq.Sequence {
+	if i < len(parts) {
+		return parts[i]
+	}
+	return nil
+}
+
+// dcopOnControl handles a parent's c1: merge when already transmitting,
+// activate otherwise, then keep flooding while the view has holes.
+func (p *Peer) dcopOnControl(m MsgControl, snap Snapshot) []Effect {
+	p.viewAdd(p.id)
+	p.viewAdd(m.Parent)
+	p.viewAddAll(m.View)
+	var effs []Effect
+	var cur Snapshot
+	if p.active {
+		p.noteMerged(m.Round, m.AssignedSeq)
+		effs = append(effs, Merge{Seq: m.AssignedSeq, Rate: m.ChildRate, Round: m.Round})
+		cur = afterMerge(snap, m.AssignedSeq, m.ChildRate)
+	} else {
+		p.noteActivated(m.Round, m.AssignedSeq)
+		effs = append(effs, Activate{Seq: m.AssignedSeq, Rate: m.ChildRate, Round: m.Round})
+		cur = afterActivate(m.AssignedSeq, m.ChildRate)
+	}
+	if !p.view.Full() {
+		effs = append(effs, p.dcopSelect(p.cfg.H, m.Round+1, cur)...)
+	}
+	return effs
+}
+
+// dcopOnCommit handles a mid-stream Join grant (the live layer reuses
+// the commit packet to hand a joiner its slice; there is no handshake
+// in DCoP, so a commit can arrive to an already-active peer too).
+func (p *Peer) dcopOnCommit(m MsgCommit, snap Snapshot) []Effect {
+	p.viewAdd(m.Parent)
+	if p.active {
+		p.noteMerged(m.Round, m.AssignedSeq)
+		return []Effect{Merge{Seq: m.AssignedSeq, Rate: m.Rate, Round: m.Round}}
+	}
+	p.noteActivated(m.Round, m.AssignedSeq)
+	effs := []Effect{Activate{Seq: m.AssignedSeq, Rate: m.Rate, Round: m.Round}}
+	cur := afterActivate(m.AssignedSeq, m.Rate)
+	if !p.view.Full() {
+		effs = append(effs, p.dcopSelect(p.cfg.H, m.Round+1, cur)...)
+	}
+	return effs
+}
+
+// dcopSelect floods one selection round: pick up to fanout children
+// outside the view (bounded by the lifetime cap), divide the remaining
+// stream into len+1 parity-enhanced parts, send each child its part,
+// and hand own transmission off to part 0.
+func (p *Peer) dcopSelect(fanout, round int, cur Snapshot) []Effect {
+	if remaining := p.cfg.H - p.childrenTaken; fanout > remaining {
+		fanout = remaining // §3.3: at most H children over a lifetime
+	}
+	if fanout <= 0 {
+		return nil
+	}
+	children := overlay.Select(p.rng, p.view, fanout)
+	if len(children) == 0 {
+		return nil
+	}
+	p.childrenTaken += len(children)
+	p.view.AddAll(children)
+
+	mark := MarkOffset(cur.Offset, p.cfg.MarkDelta, cur.Rate)
+	parts, childRate := ShareOut(cur.Stream, mark, cur.Rate, p.cfg.Interval, len(children)+1)
+	vm := p.view.Members()
+	effs := make([]Effect, 0, len(children)+1)
+	for i, c := range children {
+		assigned := seqAt(parts, i+1)
+		p.noteShare(c, assigned, childRate)
+		effs = append(effs, Send{To: c, Msg: MsgControl{
+			Parent: p.id, View: vm, SeqOffset: cur.Offset, Rate: cur.Rate,
+			ChildRate: childRate, Children: len(children), ChildIdx: i + 1,
+			AssignedSeq: assigned, Round: round,
+		}})
+	}
+	keep, given := SplitParts(parts)
+	return append(effs, Handoff{
+		Keep: keep, Given: given, OldRate: cur.Rate, NewRate: childRate, Mark: mark,
+	})
+}

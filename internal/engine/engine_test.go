@@ -1,0 +1,558 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"p2pmss/internal/engine"
+	"p2pmss/internal/parity"
+	"p2pmss/internal/seq"
+)
+
+// harness is a minimal deterministic driver: unit-latency FIFO message
+// delivery, timers firing (earliest first) only once the message queue
+// drains, hand-offs applied immediately (key-based subtraction makes
+// early application lossless). It exists to exercise the engine without
+// either real driver, so invariants hold independent of transport.
+type harness struct {
+	cfg     engine.Config
+	peers   []*engine.Peer
+	streams []seq.Sequence
+	rates   []float64
+	crashed map[engine.PeerID]bool
+
+	queue  []delivery
+	timers []timerEntry
+	now    float64
+
+	// dropWhen, when non-nil, silently loses a delivery (message loss
+	// without a crash); crashWhen marks a peer crashed just before a
+	// delivery is attempted (the delivery is then lost too).
+	dropWhen  func(to engine.PeerID, ev engine.Event) bool
+	crashWhen func(to engine.PeerID, ev engine.Event) engine.PeerID
+
+	// afterHandle observes a peer right after it processed an event
+	// (used by the fuzzer to check per-step invariants).
+	afterHandle func(to engine.PeerID)
+}
+
+type delivery struct {
+	to engine.PeerID
+	ev engine.Event
+}
+
+type timerEntry struct {
+	at float64
+	to engine.PeerID
+	id engine.TimerID
+}
+
+func newHarness(cfg engine.Config, seed int64) *harness {
+	if err := cfg.Normalize(); err != nil {
+		panic(err)
+	}
+	h := &harness{cfg: cfg, crashed: make(map[engine.PeerID]bool)}
+	for i := 0; i < cfg.N; i++ {
+		id := engine.PeerID(i)
+		rng := rand.New(rand.NewSource(engine.PeerSeed(seed, id)))
+		h.peers = append(h.peers, engine.NewPeer(cfg, id, rng))
+		h.streams = append(h.streams, nil)
+		h.rates = append(h.rates, 0)
+	}
+	return h
+}
+
+func (h *harness) snap(id engine.PeerID) engine.Snapshot {
+	return engine.Snapshot{Offset: 0, Stream: h.streams[id], Rate: h.rates[id]}
+}
+
+// start performs the leaf's step 1 over the given content sequence.
+func (h *harness) start(content seq.Sequence, rate float64, leafSeed int64) {
+	enhanced := parity.Enhance(content, h.cfg.Interval)
+	perPeer := parity.PerPeerRate(rate, h.cfg.Interval, h.cfg.H)
+	lr := rand.New(rand.NewSource(engine.PeerSeed(leafSeed, engine.LeafID)))
+	sel, _ := engine.SelectInitial(lr, h.cfg.N, h.cfg.H)
+	for u, cp := range sel {
+		h.queue = append(h.queue, delivery{to: cp, ev: engine.Request{
+			Assigned: seq.Div(enhanced, h.cfg.H, u),
+			Rate:     perPeer,
+			Selected: sel,
+			Round:    1,
+		}})
+	}
+}
+
+// run drains messages FIFO, then fires the earliest timer, until quiet.
+func (h *harness) run() {
+	for len(h.queue) > 0 || len(h.timers) > 0 {
+		if len(h.queue) == 0 {
+			best := 0
+			for i, t := range h.timers {
+				if t.at < h.timers[best].at {
+					best = i
+				}
+			}
+			t := h.timers[best]
+			h.timers = append(h.timers[:best], h.timers[best+1:]...)
+			h.now = t.at
+			h.deliver(t.to, engine.TimerFired{Timer: t.id})
+			continue
+		}
+		d := h.queue[0]
+		h.queue = h.queue[1:]
+		h.deliver(d.to, d.ev)
+	}
+}
+
+func (h *harness) deliver(to engine.PeerID, ev engine.Event) {
+	if h.crashWhen != nil {
+		if victim := h.crashWhen(to, ev); victim >= 0 {
+			h.crashed[victim] = true
+		}
+	}
+	if h.crashed[to] {
+		return
+	}
+	if h.dropWhen != nil && h.dropWhen(to, ev) {
+		return
+	}
+	h.apply(to, h.peers[to].Handle(ev, h.snap(to)))
+	if h.afterHandle != nil {
+		h.afterHandle(to)
+	}
+}
+
+// apply executes effects exactly as the real drivers do: sends to
+// crashed peers feed SendFailed back behind the remaining effects, the
+// hand-off is buffered so Absorb folds into it, then applied.
+func (h *harness) apply(to engine.PeerID, effs []engine.Effect) {
+	p := h.peers[to]
+	var handoff *engine.Handoff
+	queue := effs
+	for len(queue) > 0 {
+		eff := queue[0]
+		queue = queue[1:]
+		switch e := eff.(type) {
+		case engine.Send:
+			if h.crashed[e.To] {
+				queue = append(queue, p.Handle(engine.SendFailed{To: e.To, Msg: e.Msg}, h.snap(to))...)
+				continue
+			}
+			switch m := e.Msg.(type) {
+			case engine.MsgControl:
+				h.queue = append(h.queue, delivery{e.To, engine.Control{Msg: m}})
+			case engine.MsgConfirm:
+				h.queue = append(h.queue, delivery{e.To, engine.Confirm{Msg: m}})
+			case engine.MsgCommit:
+				h.queue = append(h.queue, delivery{e.To, engine.Commit{Msg: m}})
+			}
+		case engine.SetTimer:
+			h.timers = append(h.timers, timerEntry{at: h.now + e.Delay, to: to, id: e.ID})
+		case engine.Activate:
+			h.streams[to] = e.Seq
+			h.rates[to] = e.Rate
+		case engine.Merge:
+			h.streams[to] = seq.Union(h.streams[to], e.Seq)
+			h.rates[to] += e.Rate
+		case engine.Handoff:
+			cp := e
+			handoff = &cp
+		case engine.Absorb:
+			if handoff != nil {
+				handoff.Keep = seq.Union(handoff.Keep, e.Seq)
+				handoff.NewRate += e.RateDelta
+			} else {
+				h.streams[to] = seq.Union(h.streams[to], e.Seq)
+				h.rates[to] += e.RateDelta
+			}
+		}
+	}
+	if handoff != nil {
+		given := make(map[string]bool)
+		for _, g := range handoff.Given {
+			for _, pkt := range g {
+				given[pkt.Key()] = true
+			}
+		}
+		var rest seq.Sequence
+		for _, pkt := range h.streams[to] {
+			if !given[pkt.Key()] {
+				rest = append(rest, pkt)
+			}
+		}
+		h.streams[to] = seq.Union(rest, handoff.Keep)
+		rate := h.rates[to] - handoff.OldRate + handoff.NewRate
+		if rate <= 0 {
+			rate = handoff.NewRate
+		}
+		h.rates[to] = rate
+	}
+}
+
+func (h *harness) outcomes() []engine.Outcome {
+	out := make([]engine.Outcome, len(h.peers))
+	for i, p := range h.peers {
+		out[i] = p.Outcome()
+	}
+	return out
+}
+
+func baseConfig(n, hh int, dcop bool) engine.Config {
+	return engine.Config{
+		N: n, H: hh, Interval: 3,
+		MarkDelta: 0.1, HandshakeTimeout: 1, CommitRelease: 4,
+		Retries: hh, DCoP: dcop,
+	}
+}
+
+// checkTree asserts TCoP's structural invariants: at most one parent per
+// peer, committed implies an adopting parent, and every parent/child
+// edge is mirrored in the parent's children list.
+func checkTree(t *testing.T, outs []engine.Outcome) {
+	t.Helper()
+	children := make(map[engine.PeerID]map[engine.PeerID]int)
+	for _, o := range outs {
+		m := make(map[engine.PeerID]int)
+		for _, c := range o.Children {
+			m[c]++
+			if m[c] > 1 {
+				t.Errorf("peer %d lists child %d twice", o.ID, c)
+			}
+		}
+		children[o.ID] = m
+	}
+	for _, o := range outs {
+		if o.Committed {
+			if o.Parent < 0 || o.Parent == int(o.ID) {
+				t.Errorf("peer %d committed with parent %d", o.ID, o.Parent)
+			}
+			if children[engine.PeerID(o.Parent)][o.ID] != 1 {
+				t.Errorf("peer %d's parent %d does not list it as a child", o.ID, o.Parent)
+			}
+		}
+	}
+}
+
+// coverageKeys returns the union of assigned keys over active peers.
+func coverageKeys(outs []engine.Outcome) map[string]bool {
+	keys := make(map[string]bool)
+	for _, o := range outs {
+		if !o.Active {
+			continue
+		}
+		for _, k := range o.Assigned.Keys() {
+			keys[k] = true
+		}
+	}
+	return keys
+}
+
+func TestEngineTCoPTreeInvariants(t *testing.T) {
+	content := seq.Range(1, 60)
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := baseConfig(24, 4, false)
+		h := newHarness(cfg, seed)
+		h.start(content, 12, seed)
+		h.run()
+		outs := h.outcomes()
+		checkTree(t, outs)
+		active := 0
+		edges := 0
+		for _, o := range outs {
+			if o.Active {
+				active++
+			}
+			edges += len(o.Children)
+		}
+		if active != cfg.N {
+			t.Errorf("seed %d: %d/%d peers active", seed, active, cfg.N)
+		}
+		// Every active peer except the H leaf-selected roots joined via
+		// exactly one commit edge.
+		if edges != active-cfg.H {
+			t.Errorf("seed %d: %d edges for %d active peers (want %d)", seed, edges, active, active-cfg.H)
+		}
+		want := parity.Enhance(content, cfg.Interval).Keys()
+		got := coverageKeys(outs)
+		for _, k := range want {
+			if !got[k] {
+				t.Fatalf("seed %d: enhanced packet %s assigned to nobody", seed, k)
+			}
+		}
+	}
+}
+
+func TestEngineDCoPFloodsAndCovers(t *testing.T) {
+	content := seq.Range(1, 60)
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := baseConfig(24, 4, true)
+		h := newHarness(cfg, seed)
+		h.start(content, 12, seed)
+		h.run()
+		outs := h.outcomes()
+		active := 0
+		for _, o := range outs {
+			if o.Active {
+				active++
+			}
+		}
+		if active < cfg.N*3/4 {
+			t.Errorf("seed %d: only %d/%d peers active", seed, active, cfg.N)
+		}
+		want := parity.Enhance(content, cfg.Interval).Keys()
+		got := coverageKeys(outs)
+		for _, k := range want {
+			if !got[k] {
+				t.Fatalf("seed %d: enhanced packet %s assigned to nobody", seed, k)
+			}
+		}
+	}
+}
+
+// TestEngineDCoPChildrenCapSmallH is the §3.3 regression for the
+// lifetime fanout cap: even at tiny H, where redundant selection makes a
+// peer's select fire repeatedly (once per merge), the children taken
+// over a peer's lifetime never exceed H. The pre-engine live runtime
+// lacked this cap.
+func TestEngineDCoPChildrenCapSmallH(t *testing.T) {
+	content := seq.Range(1, 40)
+	for _, hh := range []int{1, 2, 3} {
+		for seed := int64(1); seed <= 10; seed++ {
+			cfg := baseConfig(16, hh, true)
+			h := newHarness(cfg, seed)
+			h.start(content, 8, seed)
+			h.run()
+			for i, p := range h.peers {
+				if p.ChildrenTaken() > hh {
+					t.Fatalf("H=%d seed %d: peer %d took %d children", hh, seed, i, p.ChildrenTaken())
+				}
+				if got := len(p.Outcome().Children); got > hh {
+					t.Fatalf("H=%d seed %d: peer %d kept %d children", hh, seed, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineTCoPRetryOnCrashedChild exercises the fail-over path: a
+// selected child that is already crashed produces SendFailed, and the
+// parent retries an alternate from its spare queue.
+func TestEngineTCoPRetryOnCrashedChild(t *testing.T) {
+	content := seq.Range(1, 60)
+	cfg := baseConfig(12, 3, false)
+	retriedSome := false
+	for seed := int64(1); seed <= 8 && !retriedSome; seed++ {
+		h := newHarness(cfg, seed)
+		// Crash two peers the leaf did not select.
+		lr := rand.New(rand.NewSource(engine.PeerSeed(seed, engine.LeafID)))
+		sel, spares := engine.SelectInitial(lr, cfg.N, cfg.H)
+		_ = sel
+		h.crashed[spares[0]] = true
+		h.crashed[spares[1]] = true
+		h.start(content, 12, seed)
+		h.run()
+		outs := h.outcomes()
+		checkTree(t, outs)
+		for _, o := range outs {
+			if h.crashed[o.ID] && o.Active {
+				t.Fatalf("seed %d: crashed peer %d became active", seed, o.ID)
+			}
+			if o.Retried > 0 {
+				retriedSome = true
+			}
+		}
+	}
+	if !retriedSome {
+		t.Fatal("no seed exercised the alternate-peer retry path")
+	}
+}
+
+// TestEngineTCoPCommitAbsorb crashes a child between its confirmation
+// and the parent's commit: the commit send fails and the parent
+// re-absorbs the share, so no packet is orphaned.
+func TestEngineTCoPCommitAbsorb(t *testing.T) {
+	content := seq.Range(1, 60)
+	cfg := baseConfig(12, 3, false)
+	h := newHarness(cfg, 1)
+	crashedOne := false
+	h.crashWhen = func(to engine.PeerID, ev engine.Event) engine.PeerID {
+		if c, ok := ev.(engine.Confirm); ok && c.Msg.Accept && !crashedOne {
+			crashedOne = true
+			return c.Msg.Child
+		}
+		return -1
+	}
+	h.start(content, 12, 1)
+	h.run()
+	absorbed := 0
+	for _, o := range h.outcomes() {
+		absorbed += o.Absorbed
+	}
+	if absorbed == 0 {
+		t.Fatal("no share was re-absorbed after the post-confirm crash")
+	}
+	// Coverage must survive the crash: the absorbed share stays with the
+	// parent, so the union over surviving active peers is still complete.
+	want := parity.Enhance(content, cfg.Interval).Keys()
+	outs := h.outcomes()
+	got := make(map[string]bool)
+	for i, o := range outs {
+		if o.Active && !h.crashed[o.ID] {
+			for _, pkt := range h.streams[i] {
+				got[pkt.Key()] = true
+			}
+			_ = o
+		}
+	}
+	// The harness applies hand-offs immediately, so each survivor's
+	// stream is exactly what it will transmit; their union must cover
+	// the enhanced content minus nothing.
+	for _, k := range want {
+		if !got[k] {
+			t.Fatalf("packet %s orphaned by the crash", k)
+		}
+	}
+}
+
+// TestEngineTCoPCommitLostReleasesAdoption drops a commit in flight: the
+// adopted child never hears c2, and after CommitRelease its adoption is
+// released so a later parent could take it.
+func TestEngineTCoPCommitLostReleasesAdoption(t *testing.T) {
+	content := seq.Range(1, 60)
+	cfg := baseConfig(12, 3, false)
+	h := newHarness(cfg, 1)
+	var victim engine.PeerID = -1
+	h.dropWhen = func(to engine.PeerID, ev engine.Event) bool {
+		if _, ok := ev.(engine.Commit); ok && victim < 0 {
+			victim = to
+			return true
+		}
+		return false
+	}
+	h.start(content, 12, 1)
+	h.run()
+	if victim < 0 {
+		t.Fatal("no commit was ever sent")
+	}
+	p := h.peers[victim]
+	if p.Active() || p.Committed() {
+		t.Fatalf("victim %d active=%v committed=%v after losing its commit", victim, p.Active(), p.Committed())
+	}
+	if p.ParentID() != -1 {
+		t.Fatalf("victim %d still adopted by %d after CommitRelease", victim, p.ParentID())
+	}
+}
+
+// TestEngineTCoPConfirmTimeoutRetryWave drops a control in flight: the
+// child never answers, the parent's deadline fires, and a retry wave
+// goes out to an alternate with a doubled deadline.
+func TestEngineTCoPConfirmTimeoutRetryWave(t *testing.T) {
+	content := seq.Range(1, 60)
+	cfg := baseConfig(12, 3, false)
+	h := newHarness(cfg, 1)
+	dropped := false
+	h.dropWhen = func(to engine.PeerID, ev engine.Event) bool {
+		if _, ok := ev.(engine.Control); ok && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	h.start(content, 12, 1)
+	h.run()
+	retried := 0
+	for _, o := range h.outcomes() {
+		retried += o.Retried
+	}
+	if retried == 0 {
+		t.Fatal("confirmation timeout did not trigger a retry wave")
+	}
+	checkTree(t, h.outcomes())
+}
+
+// TestEngineDeterministicReplay runs the same seed twice and requires
+// byte-identical outcomes — the property both drivers rely on.
+func TestEngineDeterministicReplay(t *testing.T) {
+	content := seq.Range(1, 60)
+	for _, dcop := range []bool{false, true} {
+		run := func() string {
+			h := newHarness(baseConfig(20, 4, dcop), 7)
+			h.start(content, 12, 7)
+			h.run()
+			return formatOutcomes(h.outcomes())
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("dcop=%v: two runs of the same seed diverged:\n%s\n--vs--\n%s", dcop, a, b)
+		}
+	}
+}
+
+func formatOutcomes(outs []engine.Outcome) string {
+	s := ""
+	for _, o := range outs {
+		kids := append([]engine.PeerID(nil), o.Children...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		keys := o.Assigned.Keys()
+		sort.Strings(keys)
+		s += fmt.Sprintf("%d active=%v parent=%d kids=%v assigned=%v\n", o.ID, o.Active, o.Parent, kids, keys)
+	}
+	return s
+}
+
+func TestConfigNormalize(t *testing.T) {
+	bad := []engine.Config{
+		{N: 0, H: 1, Interval: 1},
+		{N: 1, H: 0, Interval: 1},
+		{N: 1, H: 1, Interval: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) accepted an invalid config", cfg)
+		}
+	}
+	cfg := engine.Config{N: 4, H: 2, Interval: 3, Retries: -5}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if cfg.FirstFanout != 2 || cfg.Retries != 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestPeerSeedIndependence(t *testing.T) {
+	seen := make(map[int64]engine.PeerID)
+	for id := engine.PeerID(-1); id < 100; id++ {
+		s := engine.PeerSeed(42, id)
+		if s < 0 {
+			t.Fatalf("PeerSeed(42, %d) = %d is negative", id, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("PeerSeed collision between ids %d and %d", prev, id)
+		}
+		seen[s] = id
+	}
+	if engine.PeerSeed(1, 0) == engine.PeerSeed(2, 0) {
+		t.Error("PeerSeed ignores the base seed")
+	}
+}
+
+func TestMarkOffsetFloors(t *testing.T) {
+	cases := []struct {
+		off  int
+		d, r float64
+		want int
+	}{
+		{0, 0, 10, 0},
+		{5, 1, 10, 15},
+		{5, 0.5, 3, 6},  // 1.5 floors to 1
+		{2, 1, 1e-6, 2}, // negligible rate advances nothing
+		{0, 0.3, 10, 3}, // 2.9999... + eps rounds to 3
+	}
+	for _, c := range cases {
+		if got := engine.MarkOffset(c.off, c.d, c.r); got != c.want {
+			t.Errorf("MarkOffset(%d,%v,%v) = %d, want %d", c.off, c.d, c.r, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package engine
+
+import "p2pmss/internal/overlay"
+
+// TCoP (§3.5): the tree-based coordination protocol. A selected peer
+// runs a three-round handshake with its prospective children — control
+// c1, confirmations cc1, commit c2 — and only confirmed children join
+// the tree, so every peer ends with at most one parent. Beyond the
+// paper, a parent whose control is refused, undeliverable, or unanswered
+// within HandshakeTimeout retries alternate candidates with a doubled
+// deadline, up to Retries peers; a child whose commit never arrives
+// releases its adoption after CommitRelease.
+
+// tcopSelect begins a handshake round: pick up to H prospective
+// children from outside the view, send each a restricted-view control
+// packet, and arm the confirmation deadline. cur is the data-plane
+// snapshot the controls should advertise.
+func (p *Peer) tcopSelect(round int, cur Snapshot) []Effect {
+	wave, spares := overlay.SelectWithSpares(p.rng, p.view, p.cfg.H)
+	if len(wave) == 0 {
+		return nil // view full: re-enhancement ends here
+	}
+	p.view.AddAll(wave)
+	p.wanted = len(wave)
+	p.outstanding = make(map[PeerID]bool, len(wave))
+	for _, c := range wave {
+		p.outstanding[c] = true
+	}
+	p.candQueue = spares
+	p.retryLeft = p.cfg.Retries
+	p.confirmed = nil
+	p.ctlRound = round
+	p.final = false
+	p.confirmDelay = p.cfg.HandshakeTimeout
+
+	// c1 carries a restricted view — only the sender and the selected
+	// children — so children's own selections overlap and the flooding
+	// stays redundant (§3.5).
+	cv := overlay.NewView(p.cfg.N)
+	p.addRestricted(cv, p.id)
+	for _, c := range wave {
+		p.addRestricted(cv, c)
+	}
+	effs := make([]Effect, 0, len(wave)+1)
+	for _, c := range wave {
+		effs = append(effs, Send{To: c, Msg: MsgControl{
+			Parent: p.id, View: cv.Members(), SeqOffset: cur.Offset,
+			Rate: cur.Rate, Children: len(wave), Round: round,
+		}})
+	}
+	// Timer last: the simulator driver historically registered the
+	// deadline after the sends, and effect order is driver-visible.
+	effs = append(effs, SetTimer{ID: TimerID{Kind: TimerConfirm, Gen: p.gen}, Delay: p.confirmDelay})
+	return effs
+}
+
+// addRestricted adds id to a scratch view, skipping out-of-range ids.
+func (p *Peer) addRestricted(v overlay.View, id PeerID) {
+	if id >= 0 && int(id) < p.cfg.N {
+		v.Add(id)
+	}
+}
+
+// tcopOnControl handles a prospective parent's c1: accept iff not yet
+// transmitting and not already adopted (first parent wins, §3.5).
+func (p *Peer) tcopOnControl(m MsgControl) []Effect {
+	p.viewAdd(p.id)
+	p.viewAdd(m.Parent)
+	p.viewAddAll(m.View)
+	accept := !p.active && p.parent < 0
+	var effs []Effect
+	if accept {
+		p.parent = int(m.Parent)
+		// If the commit never arrives (parent crashed between rounds),
+		// release the adoption so a later parent can take this peer.
+		// Registered before the send to preserve the simulator's
+		// RNG-draw order.
+		p.relGen++
+		effs = append(effs, SetTimer{
+			ID:    TimerID{Kind: TimerRelease, Gen: p.relGen, Peer: m.Parent},
+			Delay: p.cfg.CommitRelease,
+		})
+	}
+	return append(effs, Send{To: m.Parent, Msg: MsgConfirm{
+		Child: p.id, Accept: accept, Round: m.Round + 1,
+	}})
+}
+
+// tcopOnConfirm handles a child's cc1. Refusals pull an alternate
+// candidate when the retry budget allows; otherwise the round completes
+// with whoever confirmed.
+func (p *Peer) tcopOnConfirm(m MsgConfirm, snap Snapshot) []Effect {
+	if p.final || p.outstanding == nil || !p.outstanding[m.Child] {
+		return nil // stale round or duplicate
+	}
+	delete(p.outstanding, m.Child)
+	if m.Accept {
+		p.confirmed = append(p.confirmed, m.Child)
+		return p.maybeFinalize(snap)
+	}
+	if repl, ok := p.pullAlternate(); ok {
+		p.outstanding[repl] = true
+		return []Effect{Send{To: repl, Msg: p.retryControl(snap, repl)}}
+	}
+	return p.maybeFinalize(snap)
+}
+
+// pullAlternate draws the next failover candidate, spending one retry.
+func (p *Peer) pullAlternate() (PeerID, bool) {
+	if p.final || p.retryLeft <= 0 || len(p.candQueue) == 0 {
+		return 0, false
+	}
+	repl := p.candQueue[0]
+	p.candQueue = p.candQueue[1:]
+	p.retryLeft--
+	p.retried++
+	return repl, true
+}
+
+// retryControl builds the c1 for a failover candidate: same round and
+// child count as the original wave, view restricted to sender+candidate.
+func (p *Peer) retryControl(snap Snapshot, repl PeerID) MsgControl {
+	p.view.AddAll([]PeerID{repl})
+	cv := overlay.NewView(p.cfg.N)
+	p.addRestricted(cv, p.id)
+	p.addRestricted(cv, repl)
+	return MsgControl{
+		Parent: p.id, View: cv.Members(), SeqOffset: snap.Offset,
+		Rate: snap.Rate, Children: p.wanted, Round: p.ctlRound,
+	}
+}
+
+// maybeFinalize closes the handshake round once every outstanding
+// control has been answered and no further retry could raise the count.
+func (p *Peer) maybeFinalize(snap Snapshot) []Effect {
+	if p.final || p.outstanding == nil || len(p.outstanding) > 0 {
+		return nil
+	}
+	if len(p.confirmed) >= p.wanted || len(p.candQueue) == 0 || p.retryLeft <= 0 {
+		return p.tcopFinalize(snap)
+	}
+	return nil
+}
+
+// tcopOnConfirmTimeout fires the confirmation deadline: silent children
+// are written off, and either a retry wave of alternates goes out with
+// a doubled deadline, or the round finalizes with the confirmations in
+// hand.
+func (p *Peer) tcopOnConfirmTimeout(id TimerID, snap Snapshot) []Effect {
+	if id.Gen != p.gen || p.final || p.outstanding == nil {
+		return nil
+	}
+	need := len(p.outstanding)
+	p.outstanding = make(map[PeerID]bool)
+	var wave []PeerID
+	for i := 0; i < need; i++ {
+		repl, ok := p.pullAlternate()
+		if !ok {
+			break
+		}
+		wave = append(wave, repl)
+	}
+	if len(wave) == 0 {
+		return p.tcopFinalize(snap)
+	}
+	p.gen++
+	p.confirmDelay *= 2
+	effs := make([]Effect, 0, len(wave)+1)
+	for _, repl := range wave {
+		p.outstanding[repl] = true
+		effs = append(effs, Send{To: repl, Msg: p.retryControl(snap, repl)})
+	}
+	return append(effs, SetTimer{ID: TimerID{Kind: TimerConfirm, Gen: p.gen}, Delay: p.confirmDelay})
+}
+
+// tcopFinalize closes the round: divide the remaining stream into
+// c2.n = confirmed+1 parts with parity interval c2.n, commit each
+// confirmed child its part, and hand off own transmission to part 0.
+func (p *Peer) tcopFinalize(snap Snapshot) []Effect {
+	if p.final {
+		return nil
+	}
+	p.final = true
+	p.outstanding = nil
+	p.gen++ // invalidate any in-flight confirmation deadline
+	if len(p.confirmed) == 0 {
+		return nil
+	}
+	k := len(p.confirmed) + 1
+	mark := MarkOffset(snap.Offset, p.cfg.MarkDelta, snap.Rate)
+	parts, rate := ShareOut(snap.Stream, mark, snap.Rate, k, k)
+	effs := make([]Effect, 0, len(p.confirmed)+1)
+	for i, c := range p.confirmed {
+		assigned := seqAt(parts, i+1)
+		p.noteShare(c, assigned, rate)
+		effs = append(effs, Send{To: c, Msg: MsgCommit{
+			Parent: p.id, Streams: k, SeqOffset: snap.Offset,
+			Rate: rate, ChildIdx: i + 1, AssignedSeq: assigned,
+			Round: p.ctlRound + 2,
+		}})
+	}
+	keep, given := SplitParts(parts)
+	return append(effs, Handoff{
+		Keep: keep, Given: given, OldRate: snap.Rate, NewRate: rate, Mark: mark,
+	})
+}
+
+// tcopOnCommit handles the parent's c2: adopt the assignment, start
+// transmitting, and open the next handshake round toward the unknown
+// part of the view. A commit is stale if the peer already transmits or
+// has since been adopted by a different parent.
+func (p *Peer) tcopOnCommit(m MsgCommit, snap Snapshot) []Effect {
+	if p.active || (p.parent >= 0 && p.parent != int(m.Parent)) {
+		return nil
+	}
+	p.parent = int(m.Parent)
+	p.committed = true
+	p.noteActivated(m.Round, m.AssignedSeq)
+	effs := []Effect{Activate{Seq: m.AssignedSeq, Rate: m.Rate, Round: m.Round}}
+	return append(effs, p.tcopSelect(m.Round+1, afterActivate(m.AssignedSeq, m.Rate))...)
+}

@@ -31,6 +31,10 @@ type Options struct {
 	Rate       float64
 	ContentLen int64
 	Window     float64
+	// Retries and HandshakeTimeout tune the engine's churn tolerance
+	// (see coord.Config); zero keeps the coordination defaults.
+	Retries          int
+	HandshakeTimeout float64
 	// Parallel is the number of worker goroutines sweep points fan out
 	// over: 0 or 1 runs serially, a negative value selects
 	// runtime.NumCPU(). Every run is an isolated deterministic DES
@@ -112,6 +116,12 @@ func (o Options) pointConfig(H, seed int, dataPlane bool) coord.Config {
 	cfg.H = H
 	cfg.Seed = int64(seed + 1)
 	cfg.LeafShares = o.LeafShares
+	if o.Retries != 0 {
+		cfg.Retries = o.Retries
+	}
+	if o.HandshakeTimeout != 0 {
+		cfg.HandshakeTimeout = o.HandshakeTimeout
+	}
 	if dataPlane {
 		cfg.DataPlane = true
 		cfg.Rate = o.Rate

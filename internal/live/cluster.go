@@ -30,6 +30,10 @@ type ClusterConfig struct {
 	Delta time.Duration
 	// RepairAfter is the leaf's stall-detection period (default 500 ms).
 	RepairAfter time.Duration
+	// HandshakeTimeout and Retries tune the peers' churn tolerance (see
+	// PeerConfig); zero picks the per-peer defaults.
+	HandshakeTimeout time.Duration
+	Retries          int
 	// Seed seeds all peers deterministically; 0 uses the clock.
 	Seed int64
 	// Metrics, when non-nil, instruments the whole session — every
@@ -114,14 +118,16 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			seed += int64(i) + 1
 		}
 		p, err := NewPeer(PeerConfig{
-			Content:  cfg.Content,
-			Roster:   roster,
-			H:        cfg.H,
-			Interval: cfg.Interval,
-			Delta:    cfg.Delta,
-			Protocol: cfg.Protocol,
-			Seed:     seed,
-			Metrics:  cfg.Metrics,
+			Content:          cfg.Content,
+			Roster:           roster,
+			H:                cfg.H,
+			Interval:         cfg.Interval,
+			Delta:            cfg.Delta,
+			Protocol:         cfg.Protocol,
+			HandshakeTimeout: cfg.HandshakeTimeout,
+			Retries:          cfg.Retries,
+			Seed:             seed,
+			Metrics:          cfg.Metrics,
 		}, transports[i])
 		if err != nil {
 			c.Close()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/engine"
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/transport"
 )
@@ -134,11 +135,16 @@ func (l *Leaf) send(to, typ string, v any) error {
 // accept delivery.
 func (l *Leaf) Start() error {
 	l.mu.Lock()
-	roster := append([]string{}, l.cfg.Roster...)
-	l.rng.Shuffle(len(roster), func(i, j int) { roster[i], roster[j] = roster[j], roster[i] })
+	selIdx, spareIdx := engine.SelectInitial(l.rng, len(l.cfg.Roster), l.cfg.H)
 	l.mu.Unlock()
-	sel := append([]string{}, roster[:l.cfg.H]...)
-	spare := roster[l.cfg.H:]
+	sel := make([]string, len(selIdx))
+	for i, id := range selIdx {
+		sel[i] = l.cfg.Roster[id]
+	}
+	spare := make([]string, len(spareIdx))
+	for i, id := range spareIdx {
+		spare[i] = l.cfg.Roster[id]
+	}
 	var lastErr error
 	for idx := 0; idx < len(sel); idx++ {
 		for {

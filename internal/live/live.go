@@ -18,6 +18,14 @@
 // whose commit cannot be delivered is re-absorbed by the parent, and a
 // peer may join an in-flight stream (Node.Join) and be handed a slice.
 //
+// The protocol transitions themselves live in internal/engine, shared
+// with the simulator; this package is the wall-clock driver. A Peer
+// decodes transport messages into engine events, translates roster
+// addresses to engine peer ids, hydrates payload-stripped sequences from
+// its content copy, and applies the engine's effects: Send becomes a
+// JSON message, SetTimer a time.AfterFunc, Activate/Merge/Handoff
+// operations on the streaming goroutine's sequence.
+//
 // A Node hosts a content.Store on one endpoint and multiplexes many
 // concurrent sessions — serving some as a contents peer and consuming
 // others as a leaf — keyed by the SessionID carried in transport.Msg.
@@ -26,12 +34,13 @@ package live
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/engine"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/parity"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/seq"
 	"p2pmss/internal/transport"
@@ -59,26 +68,42 @@ type requestBody struct {
 	Leaf      string   `json:"leaf"`
 }
 
-// controlBody is TCoP's c1.
+// controlBody is the control packet c1 — engine.MsgControl on the wire,
+// with peers named by address and the assigned sequence payload-stripped
+// (the receiver re-derives payloads from its own content copy).
 type controlBody struct {
-	Parent string   `json:"parent"`
-	View   []string `json:"view"`
-	Leaf   string   `json:"leaf"`
+	Parent    string       `json:"parent"`
+	View      []string     `json:"view"`
+	Leaf      string       `json:"leaf"`
+	ContentID string       `json:"content_id,omitempty"`
+	SeqOffset int          `json:"seq_offset"`
+	Rate      float64      `json:"rate"`
+	ChildRate float64      `json:"child_rate,omitempty"`
+	Children  int          `json:"children"`
+	ChildIdx  int          `json:"child_idx,omitempty"`
+	Assigned  seq.Sequence `json:"assigned,omitempty"`
+	Round     int          `json:"round"`
 }
 
-// confirmBody is TCoP's confirmation.
+// confirmBody is TCoP's confirmation cc1.
 type confirmBody struct {
 	Child  string `json:"child"`
 	Accept bool   `json:"accept"`
+	Round  int    `json:"round"`
 }
 
-// commitBody is TCoP's c2 carrying the child's complete derivation.
+// commitBody is TCoP's c2 (and the mid-stream join grant), carrying the
+// child's payload-stripped subsequence.
 type commitBody struct {
-	Parent    string            `json:"parent"`
-	ContentID string            `json:"content_id"`
-	Deriv     []content.DivStep `json:"deriv"`
-	Rate      float64           `json:"rate"`
-	Leaf      string            `json:"leaf"`
+	Parent    string       `json:"parent"`
+	ContentID string       `json:"content_id"`
+	Leaf      string       `json:"leaf"`
+	Streams   int          `json:"streams"`
+	SeqOffset int          `json:"seq_offset"`
+	Rate      float64      `json:"rate"`
+	ChildIdx  int          `json:"child_idx"`
+	Assigned  seq.Sequence `json:"assigned,omitempty"`
+	Round     int          `json:"round"`
 }
 
 // dataBody carries one packet.
@@ -130,9 +155,11 @@ type PeerConfig struct {
 	// peer serves whichever content it holds under that ID.
 	Store *content.Store
 	// Roster lists the addresses of all contents peers (including this
-	// one).
+	// one). Its order defines the engine's peer numbering, so every
+	// session member must use the same roster order.
 	Roster []string
-	// H is the selection fanout.
+	// H is the selection fanout (§3.3): the per-round handshake width
+	// and the lifetime cap on children per parent.
 	H int
 	// Interval is the parity interval h for the initial enhancement.
 	Interval int
@@ -147,11 +174,11 @@ type PeerConfig struct {
 	Session SessionID
 	// HandshakeTimeout bounds each TCoP confirmation round; children
 	// silent past the deadline are presumed crashed and replaced.
-	// Zero means 4·Delta + 50 ms.
+	// Zero means 4·Delta + 50 ms (normalize resolves it).
 	HandshakeTimeout time.Duration
 	// Retries bounds how many alternate peers this peer contacts when a
 	// selected child refuses, is unreachable, or times out. Zero means
-	// H; negative disables retries.
+	// H; negative disables retries (normalize resolves it).
 	Retries int
 	// Seed seeds the peer's random selection; 0 uses the clock.
 	Seed int64
@@ -161,47 +188,81 @@ type PeerConfig struct {
 	Metrics *metrics.Registry
 }
 
-// Peer is a live contents peer: a TCoP state machine plus a streaming
-// goroutine.
+// normalize validates the config and resolves every defaulted knob in
+// place (mirroring coord.Config.normalize), so the engine and the
+// driver read already-resolved values.
+func (cfg *PeerConfig) normalize() error {
+	if cfg.Content == nil && cfg.Store == nil {
+		return fmt.Errorf("live: peer needs a content or a store")
+	}
+	if cfg.H <= 0 || cfg.Interval <= 0 {
+		return fmt.Errorf("live: H=%d and Interval=%d must be positive", cfg.H, cfg.Interval)
+	}
+	switch cfg.Protocol {
+	case "":
+		cfg.Protocol = protocol.TCoP
+	case protocol.TCoP, protocol.DCoP:
+	default:
+		return fmt.Errorf("live: unknown protocol %q", cfg.Protocol)
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 4*cfg.Delta + 50*time.Millisecond
+	}
+	switch {
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	case cfg.Retries == 0:
+		cfg.Retries = cfg.H
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	return nil
+}
+
+// pendingHandoff is a planned stream switch: applied when the transmit
+// position reaches mark, it drops the keys handed to children from the
+// unsent remainder, unions in the kept share, and adjusts the rate.
+type pendingHandoff struct {
+	keep    seq.Sequence
+	given   map[string]bool
+	oldRate float64
+	newRate float64
+	mark    int
+}
+
+// Peer is a live contents peer: the shared coordination engine plus a
+// streaming goroutine and the address/payload codec between them.
 type Peer struct {
 	cfg PeerConfig
 	ep  transport.Endpoint
-	rng *rand.Rand
 	met peerMetrics
 
-	mu      sync.Mutex
-	content *content.Content // the content currently being served
-	view    map[string]bool
-	active  bool
-	parent  string
-	deriv   []content.DivStep
-	// derivOK records whether deriv still describes stream exactly;
-	// DCoP merges (stream unions) invalidate it, after which the peer
-	// cannot hand out derivation-based slices (joins are declined).
-	derivOK bool
-	stream  seq.Sequence
-	pos     int
-	rate    float64
-	leaf    string
-	ctlSent bool
-	final   bool
+	mu   sync.Mutex
+	core *engine.Peer
+	// names/ids map engine peer ids to transport addresses and back.
+	// Roster order defines ids 0..N-1; out-of-roster senders (mid-stream
+	// joiners) get ephemeral ids >= N, which the engine tracks but never
+	// adds to its bounded view.
+	names []string
+	ids   map[string]engine.PeerID
 
-	// TCoP confirmation-round state: how many children we want, the
-	// controls still unanswered, the alternates not yet contacted, the
-	// remaining retry budget, and a generation counter that invalidates
-	// stale round timers.
-	wanted      int
-	outstanding map[string]bool
-	candQueue   []string
-	retryLeft   int
-	ctlGen      int
-	confirmed   []string
+	content  *content.Content // the content currently being served
+	payloads map[string][]byte
+	leaf     string
+	active   bool
+	stream   seq.Sequence
+	pos      int
+	rate     float64
+	pending  *pendingHandoff
 
-	// A planned hand-off: applied when pos reaches pendingMark.
-	pendingStream seq.Sequence
-	pendingDeriv  []content.DivStep
-	pendingMark   int
-	pendingRate   float64
+	// repairTo is the reply address of the repair request currently
+	// being dispatched (the engine's ServeRepair effect has no driver
+	// addressing).
+	repairTo      string
+	repairContent *content.Content
+
+	lastRetried int
 
 	stopCh  chan struct{}
 	stopped sync.Once
@@ -217,27 +278,12 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("live: peer needs a transport")
 	}
-	if cfg.Content == nil && cfg.Store == nil {
-		return nil, fmt.Errorf("live: peer needs a content or a store")
-	}
-	if cfg.H <= 0 || cfg.Interval <= 0 {
-		return nil, fmt.Errorf("live: H=%d and Interval=%d must be positive", cfg.H, cfg.Interval)
-	}
-	switch cfg.Protocol {
-	case "":
-		cfg.Protocol = protocol.TCoP
-	case protocol.TCoP, protocol.DCoP:
-	default:
-		return nil, fmt.Errorf("live: unknown protocol %q", cfg.Protocol)
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
+	if err := cfg.normalize(); err != nil {
+		return nil, err
 	}
 	p := &Peer{
 		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(seed)),
-		view:   make(map[string]bool),
+		ids:    make(map[string]engine.PeerID, len(cfg.Roster)),
 		stopCh: make(chan struct{}),
 		wake:   make(chan struct{}, 1),
 	}
@@ -246,6 +292,30 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 		return nil, err
 	}
 	p.ep = ep
+	n := len(cfg.Roster)
+	if n == 0 {
+		n = 1 // a standalone peer is its own one-peer universe
+	}
+	ecfg := engine.Config{
+		N:                n,
+		H:                cfg.H,
+		Interval:         cfg.Interval,
+		MarkDelta:        (2 * cfg.Delta).Seconds(),
+		HandshakeTimeout: cfg.HandshakeTimeout.Seconds(),
+		CommitRelease:    (4 * cfg.HandshakeTimeout).Seconds(),
+		Retries:          cfg.Retries,
+		DCoP:             cfg.Protocol == protocol.DCoP,
+	}
+	if err := ecfg.Normalize(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	for _, a := range cfg.Roster {
+		p.idOfLocked(a)
+	}
+	self := p.idOfLocked(ep.Name())
+	p.core = engine.NewPeer(ecfg, self, rand.New(rand.NewSource(cfg.Seed)))
+	p.mu.Unlock()
 	p.met = newPeerMetrics(cfg.Metrics, ep.Name(), cfg.Session)
 	go p.streamLoop()
 	return p, nil
@@ -272,6 +342,15 @@ func (p *Peer) Active() bool {
 	return p.active
 }
 
+// Outcome returns the peer's coordination outcome (parent, children,
+// assignment union) with peers numbered by roster order — the live side
+// of the sim/live conformance comparison.
+func (p *Peer) Outcome() engine.Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.core.Outcome()
+}
+
 // Close stops the peer (crash-stop: no goodbye messages).
 func (p *Peer) Close() error {
 	p.stopped.Do(func() { close(p.stopCh) })
@@ -289,24 +368,324 @@ func (p *Peer) send(to, typ string, v any) error {
 	return p.ep.Send(to, m)
 }
 
-// handshakeTimeout returns the confirmation-round deadline.
-func (p *Peer) handshakeTimeout() time.Duration {
-	if p.cfg.HandshakeTimeout > 0 {
-		return p.cfg.HandshakeTimeout
+// ---- address/id codec ---------------------------------------------------
+
+// idOfLocked resolves an address to an engine peer id, appending an
+// ephemeral id for addresses outside the roster. Callers hold p.mu.
+func (p *Peer) idOfLocked(addr string) engine.PeerID {
+	if id, ok := p.ids[addr]; ok {
+		return id
 	}
-	return 4*p.cfg.Delta + 50*time.Millisecond
+	id := engine.PeerID(len(p.names))
+	p.names = append(p.names, addr)
+	p.ids[addr] = id
+	return id
 }
 
-// retryBudget returns how many alternate peers may be contacted in total.
-func (p *Peer) retryBudget() int {
-	if p.cfg.Retries < 0 {
-		return 0
+// addrOfLocked resolves an engine peer id back to its address.
+func (p *Peer) addrOfLocked(id engine.PeerID) string {
+	if id >= 0 && int(id) < len(p.names) {
+		return p.names[id]
 	}
-	if p.cfg.Retries > 0 {
-		return p.cfg.Retries
-	}
-	return p.cfg.H
+	return ""
 }
+
+func (p *Peer) idsOfLocked(addrs []string) []engine.PeerID {
+	out := make([]engine.PeerID, len(addrs))
+	for i, a := range addrs {
+		out[i] = p.idOfLocked(a)
+	}
+	return out
+}
+
+func (p *Peer) addrsOfLocked(ids []engine.PeerID) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if a := p.addrOfLocked(id); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ---- payload codec ------------------------------------------------------
+
+// stripPayloads returns a copy of s with payloads removed, for the wire:
+// the receiver holds the content and re-derives every payload locally,
+// so control traffic stays proportional to sequence length, not content
+// size.
+func stripPayloads(s seq.Sequence) seq.Sequence {
+	if s == nil {
+		return nil
+	}
+	out := make(seq.Sequence, len(s))
+	for i, pkt := range s {
+		pkt.Payload = nil
+		out[i] = pkt
+	}
+	return out
+}
+
+// hydrateLocked fills in the payloads of a decoded sequence from the
+// peer's own content copy: data packets by index, parity packets by
+// XORing the payloads of the packets their key says they cover
+// (recursively, since re-enhancement nests parity over parity). Callers
+// hold p.mu.
+func (p *Peer) hydrateLocked(c *content.Content, s seq.Sequence) seq.Sequence {
+	if c == nil || s == nil {
+		return s
+	}
+	out := make(seq.Sequence, len(s))
+	for i, pkt := range s {
+		if pkt.Payload == nil {
+			pkt.Payload = p.payloadOfLocked(c, pkt.Key())
+		}
+		out[i] = pkt
+	}
+	return out
+}
+
+// payloadOfLocked derives (and memoizes) the payload of the packet with
+// the given identity key.
+func (p *Peer) payloadOfLocked(c *content.Content, key string) []byte {
+	if pl, ok := p.payloads[key]; ok {
+		return pl
+	}
+	var pl []byte
+	if k, ok := parity.DataIndexOf(key); ok {
+		if k >= 1 && k <= c.NumPackets() {
+			pl = c.Packet(k).Payload
+		}
+	} else if covers, ok := parity.CoversOf(key); ok {
+		bufs := make([][]byte, 0, len(covers))
+		for _, ck := range covers {
+			bufs = append(bufs, p.payloadOfLocked(c, ck))
+		}
+		pl = parity.XOR(bufs)
+	}
+	if p.payloads == nil {
+		p.payloads = make(map[string][]byte)
+	}
+	p.payloads[key] = pl
+	return pl
+}
+
+// ---- engine driver ------------------------------------------------------
+
+// outSend is one Send effect translated to the wire, remembered so a
+// transport error can be fed back to the engine as SendFailed.
+type outSend struct {
+	to   string
+	typ  string
+	body any
+	toID engine.PeerID
+	msg  any // the engine message, nil for data-plane sends
+}
+
+// dispatch feeds one event into the engine under the lock and applies
+// the effects; transmissions happen after the lock is released, and
+// their failures are fed back as SendFailed events.
+func (p *Peer) dispatch(ev engine.Event) {
+	p.mu.Lock()
+	if p.core == nil {
+		p.mu.Unlock()
+		return
+	}
+	snap := engine.Snapshot{Offset: p.pos, Stream: p.stream, Rate: p.rate, Pending: p.pending != nil}
+	sends := p.applyLocked(p.core.Handle(ev, snap))
+	p.mu.Unlock()
+	for _, s := range sends {
+		err := p.send(s.to, s.typ, s.body)
+		if err != nil {
+			if s.msg != nil {
+				p.dispatch(engine.SendFailed{To: s.toID, Msg: s.msg})
+			}
+			continue
+		}
+		if s.typ == typeData {
+			p.mu.Lock()
+			p.sent++
+			p.mu.Unlock()
+			p.met.sent.Inc()
+			p.met.repairServed.Inc()
+		}
+	}
+}
+
+// applyLocked executes the engine's effects in order, buffering the
+// hand-off so Absorb effects fold into it, and returns the sends to
+// perform once the lock is released. Callers hold p.mu.
+func (p *Peer) applyLocked(effs []engine.Effect) []outSend {
+	var sends []outSend
+	var handoff *engine.Handoff
+	for _, eff := range effs {
+		switch e := eff.(type) {
+		case engine.Send:
+			sends = append(sends, p.encodeLocked(e))
+		case engine.SetTimer:
+			p.armTimer(e)
+		case engine.Activate:
+			p.activateLocked(e.Seq, e.Rate)
+		case engine.Merge:
+			p.mergeLocked(e.Seq, e.Rate)
+		case engine.Handoff:
+			h := e
+			handoff = &h
+		case engine.Absorb:
+			p.met.failovers.Inc()
+			switch {
+			case handoff != nil:
+				handoff.Keep = seq.Union(handoff.Keep, e.Seq)
+				handoff.NewRate += e.RateDelta
+			case p.pending != nil:
+				p.pending.keep = seq.Union(p.pending.keep, e.Seq)
+				p.pending.newRate += e.RateDelta
+			default:
+				p.mergeLocked(e.Seq, e.RateDelta)
+			}
+		case engine.ServeRepair:
+			sends = append(sends, p.repairSendsLocked(e.Indices)...)
+		}
+	}
+	if handoff != nil {
+		p.installHandoffLocked(handoff)
+	}
+	if used := p.core.RetriesUsed(); used > p.lastRetried {
+		p.met.retries.Add(int64(used - p.lastRetried))
+		p.lastRetried = used
+	}
+	return sends
+}
+
+// encodeLocked translates an engine Send into a wire message.
+func (p *Peer) encodeLocked(e engine.Send) outSend {
+	to := p.addrOfLocked(e.To)
+	var cid string
+	if p.content != nil {
+		cid = p.content.ID()
+	}
+	switch m := e.Msg.(type) {
+	case engine.MsgControl:
+		return outSend{to: to, typ: typeControl, toID: e.To, msg: e.Msg, body: controlBody{
+			Parent: p.Addr(), View: p.addrsOfLocked(m.View), Leaf: p.leaf, ContentID: cid,
+			SeqOffset: m.SeqOffset, Rate: m.Rate, ChildRate: m.ChildRate,
+			Children: m.Children, ChildIdx: m.ChildIdx,
+			Assigned: stripPayloads(m.AssignedSeq), Round: m.Round,
+		}}
+	case engine.MsgConfirm:
+		return outSend{to: to, typ: typeConfirm, toID: e.To, msg: e.Msg, body: confirmBody{
+			Child: p.Addr(), Accept: m.Accept, Round: m.Round,
+		}}
+	case engine.MsgCommit:
+		return outSend{to: to, typ: typeCommit, toID: e.To, msg: e.Msg, body: commitBody{
+			Parent: p.Addr(), ContentID: cid, Leaf: p.leaf,
+			Streams: m.Streams, SeqOffset: m.SeqOffset, Rate: m.Rate,
+			ChildIdx: m.ChildIdx, Assigned: stripPayloads(m.AssignedSeq), Round: m.Round,
+		}}
+	}
+	return outSend{to: to}
+}
+
+// armTimer schedules TimerFired delivery on the wall clock.
+func (p *Peer) armTimer(e engine.SetTimer) {
+	id := e.ID
+	time.AfterFunc(time.Duration(e.Delay*float64(time.Second)), func() {
+		select {
+		case <-p.stopCh:
+			return
+		default:
+		}
+		p.dispatch(engine.TimerFired{Timer: id})
+	})
+}
+
+// activateLocked installs the peer's first stream.
+func (p *Peer) activateLocked(s seq.Sequence, rate float64) {
+	p.stream = s
+	p.pos = 0
+	p.rate = rate
+	if !p.active {
+		p.active = true
+		p.met.activations.Inc()
+	}
+	p.kick()
+}
+
+// mergeLocked unions an additional share into the unsent remainder and
+// adds its rate (DCoP's pkt_i := pkt_i ∪ pkt_ji).
+func (p *Peer) mergeLocked(s seq.Sequence, rate float64) {
+	var remaining seq.Sequence
+	if p.pos < len(p.stream) {
+		remaining = p.stream[p.pos:].Clone()
+	}
+	p.stream = seq.Union(remaining, s)
+	p.pos = 0
+	p.rate += rate
+	p.kick()
+}
+
+// installHandoffLocked plans the parent's own switch. If a hand-off is
+// already pending (a redundant DCoP parent re-selected before the first
+// mark), the older one is applied immediately — the subtraction is
+// key-based, so early application loses nothing — before the new one is
+// installed.
+func (p *Peer) installHandoffLocked(h *engine.Handoff) {
+	if p.pending != nil {
+		p.applyPendingLocked()
+	}
+	given := make(map[string]bool)
+	for _, g := range h.Given {
+		for _, pkt := range g {
+			given[pkt.Key()] = true
+		}
+	}
+	p.pending = &pendingHandoff{
+		keep: h.Keep, given: given,
+		oldRate: h.OldRate, newRate: h.NewRate, mark: h.Mark,
+	}
+	p.met.handoffs.Add(int64(len(h.Given)))
+}
+
+// applyPendingLocked executes the planned switch: the unsent remainder
+// minus the keys handed to children, unioned with the kept share.
+func (p *Peer) applyPendingLocked() {
+	h := p.pending
+	p.pending = nil
+	var rest seq.Sequence
+	if p.pos < len(p.stream) {
+		for _, pkt := range p.stream[p.pos:] {
+			if !h.given[pkt.Key()] {
+				rest = append(rest, pkt)
+			}
+		}
+	}
+	p.stream = seq.Union(rest, h.keep)
+	p.pos = 0
+	rate := p.rate - h.oldRate + h.newRate
+	if rate <= 0 {
+		rate = h.newRate
+	}
+	p.rate = rate
+	p.kick()
+}
+
+// repairSendsLocked materializes a ServeRepair effect into data sends.
+func (p *Peer) repairSendsLocked(indices []int64) []outSend {
+	c, to := p.repairContent, p.repairTo
+	if c == nil || to == "" {
+		return nil
+	}
+	var out []outSend
+	for _, k := range indices {
+		if k < 1 || k > c.NumPackets() {
+			continue
+		}
+		out = append(out, outSend{to: to, typ: typeData, body: dataBody{Pkt: c.Packet(k)}})
+	}
+	return out
+}
+
+// ---- inbound messages ---------------------------------------------------
 
 // handle dispatches inbound messages. It runs on transport goroutines.
 func (p *Peer) handle(m transport.Msg) {
@@ -357,314 +736,50 @@ func (p *Peer) resolveContent(id string) (*content.Content, bool) {
 	return nil, false
 }
 
+// onRequest is activation by the leaf (§3.4/§3.5 step 2). The driver
+// computes the initial assignment — Div(Esq(content, h), H, index) at
+// rate τ(h+1)/(hH), exactly the simulator's — because only the driver
+// holds the content; the engine does the rest.
 func (p *Peer) onRequest(b requestBody) {
 	c, ok := p.resolveContent(b.ContentID)
-	if !ok {
-		return // we do not hold that content
-	}
-	p.mu.Lock()
-	if p.active {
-		p.mu.Unlock()
+	if !ok || b.H <= 0 || b.Interval <= 0 {
 		return
 	}
+	assigned := seq.Div(parity.Enhance(c.Sequence(), b.Interval), b.H, b.Index)
+	rate := parity.PerPeerRate(b.Rate, b.Interval, b.H)
+	p.mu.Lock()
 	p.content = c
 	p.leaf = b.Leaf
-	p.view[p.Addr()] = true
-	for _, s := range b.Selected {
-		p.view[s] = true
-	}
-	p.parent = "leaf"
-	p.deriv = []content.DivStep{{Mark: 0, Interval: b.Interval, Parts: b.H, Index: b.Index}}
-	p.derivOK = true
-	p.stream = content.Materialize(c.Sequence(), p.deriv)
-	p.pos = 0
-	p.rate = b.Rate * float64(b.Interval+1) / float64(b.Interval*b.H)
-	p.active = true
+	sel := p.idsOfLocked(b.Selected)
 	p.mu.Unlock()
-	p.met.activations.Inc()
-	p.kick()
-	p.selectChildren()
-}
-
-// viewSnapshotLocked lists the peer's current view in sorted order (for
-// deterministic control packets). Callers hold p.mu.
-func (p *Peer) viewSnapshotLocked() []string {
-	vm := make([]string, 0, len(p.view))
-	for a := range p.view {
-		vm = append(vm, a)
-	}
-	sort.Strings(vm)
-	return vm
-}
-
-// selectChildren starts child selection: TCoP's three-round handshake
-// with per-round deadlines and alternate-peer retries, or DCoP's
-// single-round redundant assignment.
-func (p *Peer) selectChildren() {
-	p.mu.Lock()
-	if p.ctlSent {
-		p.mu.Unlock()
-		return
-	}
-	var cands []string
-	for _, a := range p.cfg.Roster {
-		if a != p.Addr() && !p.view[a] {
-			cands = append(cands, a)
-		}
-	}
-	p.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-	if len(cands) == 0 {
-		p.mu.Unlock()
-		return
-	}
-	if p.cfg.Protocol == protocol.DCoP {
-		// DCoP: assign directly, no handshake; children merge.
-		if len(cands) > p.cfg.H {
-			cands = cands[:p.cfg.H]
-		}
-		p.ctlSent = true
-		for _, c := range cands {
-			p.view[c] = true
-		}
-		p.confirmed = cands
-		p.final = true
-		p.mu.Unlock()
-		p.commitShares()
-		return
-	}
-	p.ctlSent = true
-	p.wanted = p.cfg.H
-	if p.wanted > len(cands) {
-		p.wanted = len(cands)
-	}
-	wave := append([]string{}, cands[:p.wanted]...)
-	p.candQueue = append([]string{}, cands[p.wanted:]...)
-	p.retryLeft = p.retryBudget()
-	p.outstanding = make(map[string]bool, len(wave))
-	for _, c := range wave {
-		p.outstanding[c] = true
-		p.view[c] = true
-	}
-	gen := p.ctlGen
-	d := p.handshakeTimeout()
-	p.mu.Unlock()
-
-	p.sendControls(wave)
-	go p.confirmTimer(d, gen)
-}
-
-// sendControls delivers c1 to each target. A send error (crashed or
-// unreachable peer) counts as an immediate refusal: the target is
-// replaced by an alternate while the retry budget lasts.
-func (p *Peer) sendControls(wave []string) {
-	for len(wave) > 0 {
-		c := wave[0]
-		wave = wave[1:]
-		p.mu.Lock()
-		body := controlBody{Parent: p.Addr(), View: p.viewSnapshotLocked(), Leaf: p.leaf}
-		p.mu.Unlock()
-		if err := p.send(c, typeControl, body); err != nil {
-			if repl, ok := p.replaceChild(c); ok {
-				wave = append(wave, repl)
-			}
-		}
-	}
-	p.maybeFinalize()
-}
-
-// replaceChild drops a failed or refusing child from the outstanding set
-// and, budget permitting, returns an alternate to contact in its place.
-func (p *Peer) replaceChild(c string) (string, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	delete(p.outstanding, c)
-	if p.final || p.retryLeft <= 0 || len(p.candQueue) == 0 {
-		return "", false
-	}
-	repl := p.candQueue[0]
-	p.candQueue = p.candQueue[1:]
-	p.retryLeft--
-	p.outstanding[repl] = true
-	p.view[repl] = true
-	p.met.retries.Inc()
-	return repl, true
-}
-
-// confirmTimer enforces one confirmation round's deadline: children
-// still silent are presumed crashed, and a fresh wave of alternates is
-// contacted (with doubled deadline) while the budget lasts.
-func (p *Peer) confirmTimer(d time.Duration, gen int) {
-	select {
-	case <-time.After(d):
-	case <-p.stopCh:
-		return
-	}
-	p.mu.Lock()
-	if p.final || gen != p.ctlGen {
-		p.mu.Unlock()
-		return
-	}
-	need := p.wanted - len(p.confirmed)
-	var wave []string
-	for need > len(wave) && p.retryLeft > 0 && len(p.candQueue) > 0 {
-		c := p.candQueue[0]
-		p.candQueue = p.candQueue[1:]
-		p.retryLeft--
-		p.view[c] = true
-		wave = append(wave, c)
-		p.met.retries.Inc()
-	}
-	p.outstanding = make(map[string]bool, len(wave))
-	for _, c := range wave {
-		p.outstanding[c] = true
-	}
-	if len(wave) == 0 {
-		p.mu.Unlock()
-		p.finalize()
-		return
-	}
-	p.ctlGen++
-	gen = p.ctlGen
-	p.mu.Unlock()
-	p.sendControls(wave)
-	go p.confirmTimer(2*d, gen)
+	p.dispatch(engine.Request{Assigned: assigned, Rate: rate, Selected: sel, Round: 1})
 }
 
 func (p *Peer) onControl(b controlBody) {
 	p.mu.Lock()
-	accept := !p.active && p.parent == ""
-	if accept {
-		p.parent = b.Parent
+	if c, ok := p.resolveContent(b.ContentID); ok && p.content == nil {
+		p.content = c
+	}
+	if p.leaf == "" {
 		p.leaf = b.Leaf
 	}
-	p.view[b.Parent] = true
-	for _, v := range b.View {
-		p.view[v] = true
+	msg := engine.MsgControl{
+		Parent: p.idOfLocked(b.Parent), View: p.idsOfLocked(b.View),
+		SeqOffset: b.SeqOffset, Rate: b.Rate, ChildRate: b.ChildRate,
+		Children: b.Children, ChildIdx: b.ChildIdx,
+		AssignedSeq: p.hydrateLocked(p.content, b.Assigned), Round: b.Round,
 	}
 	p.mu.Unlock()
-	p.send(b.Parent, typeConfirm, confirmBody{Child: p.Addr(), Accept: accept}) //nolint:errcheck // an unreachable parent needs no answer
+	p.dispatch(engine.Control{Msg: msg})
 }
 
 func (p *Peer) onConfirm(b confirmBody) {
 	p.mu.Lock()
-	if p.final {
-		p.mu.Unlock()
-		return
-	}
-	delete(p.outstanding, b.Child)
-	if b.Accept {
-		for _, c := range p.confirmed {
-			if c == b.Child { // duplicate confirmation
-				p.mu.Unlock()
-				p.maybeFinalize()
-				return
-			}
-		}
-		p.confirmed = append(p.confirmed, b.Child)
-		p.mu.Unlock()
-		p.maybeFinalize()
-		return
-	}
+	msg := engine.MsgConfirm{Child: p.idOfLocked(b.Child), Accept: b.Accept, Round: b.Round}
 	p.mu.Unlock()
-	if repl, ok := p.replaceChild(b.Child); ok {
-		p.sendControls([]string{repl})
-		return
-	}
-	p.maybeFinalize()
+	p.dispatch(engine.Confirm{Msg: msg})
 }
 
-// maybeFinalize closes the confirmation phase once every contacted child
-// has answered (or been given up on) and no further alternates can be
-// tried.
-func (p *Peer) maybeFinalize() {
-	p.mu.Lock()
-	done := p.ctlSent && !p.final && len(p.outstanding) == 0 &&
-		(len(p.confirmed) >= p.wanted || len(p.candQueue) == 0 || p.retryLeft <= 0)
-	p.mu.Unlock()
-	if done {
-		p.finalize()
-	}
-}
-
-// finalize closes TCoP's confirmation phase exactly once.
-func (p *Peer) finalize() {
-	p.mu.Lock()
-	if p.final {
-		p.mu.Unlock()
-		return
-	}
-	p.final = true
-	p.mu.Unlock()
-	p.commitShares()
-}
-
-// commitShares splits the stream among this peer and its (confirmed or,
-// under DCoP, directly assigned) children exactly at the mark: the
-// parent's own switch applies when the transmit position reaches the
-// mark, so hand-offs are gap- and duplicate-free. A child whose commit
-// cannot be delivered (crashed between confirm and commit) is failed
-// over: the parent re-absorbs that share into its own stream.
-func (p *Peer) commitShares() {
-	p.mu.Lock()
-	confirmed := p.confirmed
-	if len(confirmed) == 0 {
-		p.mu.Unlock()
-		return
-	}
-	k := len(confirmed) + 1
-	// Mark far enough ahead that the commit reaches children before
-	// their share begins.
-	ahead := int(p.rate*p.cfg.Delta.Seconds()*2) + 1
-	mark := p.pos + ahead
-	step := content.DivStep{Mark: mark, Interval: k, Parts: k}
-	parentDeriv := append(append([]content.DivStep{}, p.deriv...), step)
-	rate := p.rate * float64(k+1) / float64(k*k)
-	leaf := p.leaf
-	served := p.content
-	p.mu.Unlock()
-	if served == nil {
-		return
-	}
-
-	var absorbed seq.Sequence
-	failed := 0
-	for u, c := range confirmed {
-		d := append([]content.DivStep{}, parentDeriv...)
-		d[len(d)-1].Index = u + 1
-		err := p.send(c, typeCommit, commitBody{
-			Parent: p.Addr(), ContentID: served.ID(), Deriv: d, Rate: rate, Leaf: leaf,
-		})
-		if err != nil {
-			// Hand-off failover: the unreachable child's share is
-			// re-absorbed so delivery does not depend on repair.
-			absorbed = seq.Union(absorbed, content.Materialize(served.Sequence(), d))
-			failed++
-			p.met.failovers.Inc()
-		}
-	}
-	// The parent's own share: applied when pos reaches the mark.
-	own := append([]content.DivStep{}, parentDeriv...)
-	own[len(own)-1].Index = 0
-	ownStream := content.Materialize(served.Sequence(), own)
-	ownDeriv := own
-	ownRate := rate
-	if failed > 0 {
-		ownStream = seq.Union(ownStream, absorbed)
-		ownDeriv = nil // the union is no longer a pure derivation
-		ownRate = rate * float64(1+failed)
-	}
-	p.mu.Lock()
-	p.pendingMark = mark
-	p.pendingStream = ownStream
-	p.pendingDeriv = ownDeriv
-	p.pendingRate = ownRate
-	p.mu.Unlock()
-	p.met.handoffs.Add(int64(len(confirmed) - failed))
-}
-
-// Under DCoP a commit may arrive at an already-active peer (redundant
-// parent): the assigned subsequence is merged (unioned) into the unsent
-// remainder and the rates add (§3.3's pkt_i := pkt_i ∪ pkt_ji).
 func (p *Peer) onCommit(b commitBody) {
 	c, ok := p.resolveContent(b.ContentID)
 	if !ok {
@@ -672,54 +787,16 @@ func (p *Peer) onCommit(b commitBody) {
 	}
 	p.mu.Lock()
 	p.content = c
-	if p.cfg.Protocol == protocol.DCoP {
-		assigned := content.Materialize(c.Sequence(), b.Deriv)
-		if p.active {
-			var remaining seq.Sequence
-			if p.pos < len(p.stream) {
-				remaining = p.stream[p.pos:].Clone()
-			}
-			p.stream = seq.Union(remaining, assigned)
-			p.derivOK = false
-			p.pos = 0
-			p.rate += b.Rate
-			p.mu.Unlock()
-			p.kick()
-			return
-		}
+	if p.leaf == "" {
 		p.leaf = b.Leaf
-		p.deriv = b.Deriv
-		p.derivOK = true
-		p.stream = assigned
-		p.pos = 0
-		p.rate = b.Rate
-		p.active = true
-		p.mu.Unlock()
-		p.met.activations.Inc()
-		p.kick()
-		p.selectChildren()
-		return
 	}
-	// TCoP: accept from the parent we confirmed, or — when we never saw
-	// a control packet (mid-stream join grant, or the control was lost
-	// to churn) — adopt the committing peer as parent.
-	if p.active || (p.parent != "" && p.parent != b.Parent) {
-		p.mu.Unlock()
-		return
+	msg := engine.MsgCommit{
+		Parent: p.idOfLocked(b.Parent), Streams: b.Streams,
+		SeqOffset: b.SeqOffset, Rate: b.Rate, ChildIdx: b.ChildIdx,
+		AssignedSeq: p.hydrateLocked(c, b.Assigned), Round: b.Round,
 	}
-	p.parent = b.Parent
-	p.view[b.Parent] = true
-	p.leaf = b.Leaf
-	p.deriv = b.Deriv
-	p.derivOK = true
-	p.stream = content.Materialize(c.Sequence(), b.Deriv)
-	p.pos = 0
-	p.rate = b.Rate
-	p.active = true
 	p.mu.Unlock()
-	p.met.activations.Inc()
-	p.kick()
-	p.selectChildren()
+	p.dispatch(engine.Commit{Msg: msg})
 }
 
 // onRepair retransmits the requested data packets immediately.
@@ -728,71 +805,31 @@ func (p *Peer) onRepair(b repairBody) {
 	if !ok {
 		return
 	}
-	for _, k := range b.Indices {
-		if k < 1 || k > c.NumPackets() {
-			continue
-		}
-		if err := p.send(b.Leaf, typeData, dataBody{Pkt: c.Packet(k)}); err == nil {
-			p.mu.Lock()
-			p.sent++
-			p.mu.Unlock()
-			p.met.sent.Inc()
-			p.met.repairServed.Inc()
-		}
-	}
+	p.mu.Lock()
+	p.repairContent = c
+	p.repairTo = b.Leaf
+	p.mu.Unlock()
+	p.dispatch(engine.Repair{Indices: b.Indices})
 }
 
-// onJoin hands a mid-stream joiner a slice: the remaining stream is
-// divided in two at a mark, the joiner is committed the second half, and
-// this peer keeps the first. Declined when inactive, when a hand-off is
-// already pending, or when the stream can no longer be expressed as a
-// derivation (DCoP merges).
+// onJoin hands a mid-stream joiner a slice of the remaining stream (the
+// engine declines when inactive or when a hand-off is already pending).
 func (p *Peer) onJoin(b joinBody) {
 	p.mu.Lock()
-	ok := p.active && p.content != nil && p.derivOK && p.pendingStream == nil &&
-		b.Joiner != "" && b.Joiner != p.Addr() &&
+	ok := b.Joiner != "" && b.Joiner != p.Addr() && p.content != nil &&
 		(b.ContentID == "" || b.ContentID == p.content.ID())
+	var joiner engine.PeerID
+	if ok {
+		joiner = p.idOfLocked(b.Joiner)
+	}
+	p.mu.Unlock()
 	if !ok {
-		p.mu.Unlock()
 		return
 	}
-	ahead := int(p.rate*p.cfg.Delta.Seconds()*2) + 1
-	mark := p.pos + ahead
-	if mark >= len(p.stream)-1 {
-		p.mu.Unlock()
-		return // too little left to be worth sharing
-	}
-	step := content.DivStep{Mark: mark, Interval: 0, Parts: 2}
-	deriv := append(append([]content.DivStep{}, p.deriv...), step)
-	rate := p.rate / 2
-	leaf := p.leaf
-	served := p.content
-	p.view[b.Joiner] = true
-	p.mu.Unlock()
-
-	child := append([]content.DivStep{}, deriv...)
-	child[len(child)-1].Index = 1
-	err := p.send(b.Joiner, typeCommit, commitBody{
-		Parent: p.Addr(), ContentID: served.ID(), Deriv: child, Rate: rate, Leaf: leaf,
-	})
-	if err != nil {
-		p.met.failovers.Inc()
-		return // joiner unreachable; keep the whole stream
-	}
-	own := append([]content.DivStep{}, deriv...)
-	own[len(own)-1].Index = 0
-	ownStream := content.Materialize(served.Sequence(), own)
-	p.mu.Lock()
-	// Re-check: another hand-off may have been planned meanwhile.
-	if p.active && p.pendingStream == nil {
-		p.pendingMark = mark
-		p.pendingStream = ownStream
-		p.pendingDeriv = own
-		p.pendingRate = rate
-	}
-	p.mu.Unlock()
-	p.met.handoffs.Inc()
+	p.dispatch(engine.Join{Joiner: joiner})
 }
+
+// ---- streaming ----------------------------------------------------------
 
 // kick wakes the streaming loop after an assignment change.
 func (p *Peer) kick() {
@@ -833,14 +870,8 @@ func (p *Peer) streamLoop() {
 func (p *Peer) sendOne() {
 	p.mu.Lock()
 	// Apply a pending hand-off exactly at its mark.
-	if p.pendingStream != nil && p.pos >= p.pendingMark {
-		p.stream = p.pendingStream
-		p.deriv = p.pendingDeriv
-		p.derivOK = p.pendingDeriv != nil
-		p.pos = 0
-		p.rate = p.pendingRate
-		p.pendingStream = nil
-		p.pendingDeriv = nil
+	if p.pending != nil && p.pos >= p.pending.mark {
+		p.applyPendingLocked()
 	}
 	if p.pos >= len(p.stream) {
 		p.mu.Unlock()

@@ -147,6 +147,26 @@ func Select(rng *rand.Rand, view View, m int) []PeerID {
 	return cand
 }
 
+// SelectWithSpares is Select, also returning the candidates that did
+// NOT make the cut, in shuffled order — the failover preference list
+// for churn-tolerant retry. It consumes the RNG identically to Select
+// (one shuffle of the full candidate list), so a caller that ignores
+// the spares observes the same random stream.
+func SelectWithSpares(rng *rand.Rand, view View, m int) (sel, spares []PeerID) {
+	if m <= 0 {
+		return nil, nil
+	}
+	cand := view.Missing()
+	if len(cand) == 0 {
+		return nil, nil
+	}
+	rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+	if m < len(cand) {
+		return cand[:m], cand[m:]
+	}
+	return cand, nil
+}
+
 // SelectFrom returns up to m distinct peers drawn uniformly at random
 // from the 0..n-1 universe excluding `exclude` — used by TCoP's Aselect,
 // where the exclusion set is the peers CP_i knows to have been selected,

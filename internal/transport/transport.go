@@ -99,8 +99,23 @@ type Fabric struct {
 	// be invoked concurrently from many sender goroutines and must be
 	// safe for concurrent use.
 	Drop func(from, to string) bool
-	wg   sync.WaitGroup
-	met  fabricMetrics
+	// queued, when set (NewQueuedFabric), delivers messages one at a
+	// time from a single pump goroutine in global enqueue order instead
+	// of spawning a goroutine per message. Handlers run synchronously on
+	// the pump, so a handler's own sends enqueue behind everything
+	// already in flight — the breadth-first order a discrete-event
+	// simulator with uniform latency produces. Latency is ignored; Drop
+	// is still honored at enqueue time.
+	queued  bool
+	queue   []queuedMsg
+	pumping bool
+	wg      sync.WaitGroup
+	met     fabricMetrics
+}
+
+type queuedMsg struct {
+	to string
+	m  Msg
 }
 
 // Instrument registers the fabric's traffic counters (messages/bytes
@@ -115,6 +130,16 @@ func (f *Fabric) Instrument(reg *metrics.Registry) {
 // NewFabric returns an empty in-memory fabric.
 func NewFabric() *Fabric {
 	return &Fabric{handlers: make(map[string]Handler), closed: make(map[string]bool)}
+}
+
+// NewQueuedFabric returns a fabric with deterministic FIFO delivery: one
+// pump goroutine delivers messages in global enqueue order, running each
+// handler to completion before the next delivery. Used by conformance
+// tests that compare a live run against the discrete-event simulator.
+func NewQueuedFabric() *Fabric {
+	f := NewFabric()
+	f.queued = true
+	return f
 }
 
 // Endpoint registers name with the handler and returns its endpoint.
@@ -154,6 +179,10 @@ func (e *memEndpoint) Send(to string, m Msg) error {
 		met.dropped.Inc()
 		return nil // silently lost, like the network would
 	}
+	if f.queued {
+		f.enqueue(to, m)
+		return nil
+	}
 	f.wg.Add(1)
 	met.inflight.Add(1)
 	go func() {
@@ -173,6 +202,48 @@ func (e *memEndpoint) Send(to string, m Msg) error {
 		h(m)
 	}()
 	return nil
+}
+
+// enqueue appends to the FIFO queue and starts the pump if idle.
+func (f *Fabric) enqueue(to string, m Msg) {
+	f.mu.Lock()
+	f.queue = append(f.queue, queuedMsg{to, m})
+	f.wg.Add(1)
+	f.met.inflight.Add(1)
+	start := !f.pumping
+	if start {
+		f.pumping = true
+	}
+	f.mu.Unlock()
+	if start {
+		go f.pump()
+	}
+}
+
+// pump drains the queue in order, one delivery at a time.
+func (f *Fabric) pump() {
+	for {
+		f.mu.Lock()
+		if len(f.queue) == 0 {
+			f.pumping = false
+			f.mu.Unlock()
+			return
+		}
+		qm := f.queue[0]
+		f.queue = f.queue[1:]
+		h := f.handlers[qm.to]
+		closed := f.closed[qm.to]
+		met := f.met
+		f.mu.Unlock()
+		if h != nil && !closed {
+			met.received.Inc()
+			h(qm.m)
+		} else {
+			met.dropped.Inc()
+		}
+		met.inflight.Add(-1)
+		f.wg.Done()
+	}
 }
 
 func (e *memEndpoint) Close() error {
