@@ -1,8 +1,15 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON document on stdout (or -o file), so CI can archive benchmark
-// results as a machine-readable artifact (BENCH_engine.json).
+// results as a machine-readable artifact (BENCH_engine.json,
+// BENCH_span.json).
+//
+// With -assert-zero-allocs PREFIX it additionally fails (exit 1) if any
+// benchmark whose name starts with PREFIX reports a non-zero allocs/op
+// — the CI gate keeping the disabled-tracing path allocation-free.
 //
 //	go test -run='^$' -bench=. -benchmem ./internal/engine | benchjson -o BENCH_engine.json
+//	go test -run='^$' -bench=SpanDisabled -benchmem ./internal/engine | \
+//	    benchjson -assert-zero-allocs BenchmarkSpanDisabled -o BENCH_span.json
 package main
 
 import (
@@ -73,6 +80,8 @@ func parse(lines []string) Report {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	zeroAllocs := flag.String("assert-zero-allocs", "",
+		"fail if any benchmark with this name prefix reports allocs/op > 0")
 	flag.Parse()
 
 	var lines []string
@@ -92,6 +101,27 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
 		os.Exit(1)
+	}
+	if *zeroAllocs != "" {
+		matched, failed := 0, 0
+		for _, b := range rep.Benchmarks {
+			if !strings.HasPrefix(b.Name, *zeroAllocs) {
+				continue
+			}
+			matched++
+			if b.AllocsPerOp > 0 {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchjson: %s allocates: %d allocs/op (want 0)\n",
+					b.Name, b.AllocsPerOp)
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -assert-zero-allocs %q\n", *zeroAllocs)
+			os.Exit(1)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -13,6 +13,7 @@
 //	mssim -fig 10 -n 100 -seeds 5 -hs 2,10,60,100
 //	mssim -fig 10 -noshare     # leaf does not share its initial selection
 //	mssim -fig 12 -parallel 1  # serial sweep (output identical to parallel)
+//	mssim -fig 11 -trace-out t.jsonl   # also export causal spans (msstrace perfetto t.jsonl)
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 			"alternate-peer retries per failed child slot (0 = coordination default)")
 		hsTimeout = flag.Float64("handshake-timeout", 0,
 			"control/confirm handshake deadline in virtual seconds (0 = coordination default)")
+		traceOut = flag.String("trace-out", "",
+			"write causal coordination spans (JSONL) to this file; convert with msstrace perfetto/summary")
 	)
 	flag.Parse()
 
@@ -66,6 +69,32 @@ func main() {
 
 	run := func(name string) bool { return *fig == "all" || *fig == name }
 
+	// Span collection is a side channel: the trace goes to -trace-out,
+	// tables/records go to stdout unchanged (byte-identical to an
+	// untraced run).
+	o.CollectSpans = *traceOut != ""
+	var spans []p2pmss.Span
+	collect := func(recs []p2pmss.RunRecord) {
+		if o.CollectSpans {
+			spans = append(spans, p2pmss.Spans(recs)...)
+		}
+	}
+	defer func() {
+		if *traceOut == "" {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := p2pmss.WriteSpansJSONL(f, spans); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}()
+
 	if *jsonOut {
 		// JSONL mode: per-run records with metrics snapshots instead of
 		// averaged tables. Deterministic: instrumentation never perturbs
@@ -75,6 +104,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			collect(recs)
 			if err := p2pmss.WriteRunRecordsJSONL(os.Stdout, recs); err != nil {
 				fatal(err)
 			}
@@ -103,8 +133,26 @@ func main() {
 		return
 	}
 
+	// sweepSeries runs one protocol sweep via the records path, so one
+	// grid run yields both the averaged table and the spans. Used only
+	// when tracing; the untraced path keeps the historical Figure calls.
+	sweepSeries := func(proto p2pmss.Protocol, dataPlane bool) (p2pmss.Series, error) {
+		recs, err := p2pmss.SweepRecords(proto, o, dataPlane)
+		if err != nil {
+			return p2pmss.Series{}, err
+		}
+		collect(recs)
+		return p2pmss.SeriesFromRecords(proto, o, recs), nil
+	}
+
 	if run("10") {
-		s, err := p2pmss.Figure10(o)
+		var s p2pmss.Series
+		var err error
+		if o.CollectSpans {
+			s, err = sweepSeries(p2pmss.DCoP, false)
+		} else {
+			s, err = p2pmss.Figure10(o)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -121,7 +169,13 @@ func main() {
 		}
 	}
 	if run("11") {
-		s, err := p2pmss.Figure11(o)
+		var s p2pmss.Series
+		var err error
+		if o.CollectSpans {
+			s, err = sweepSeries(p2pmss.TCoP, false)
+		} else {
+			s, err = p2pmss.Figure11(o)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -138,7 +192,15 @@ func main() {
 		}
 	}
 	if run("12") {
-		d, t, err := p2pmss.Figure12(o)
+		var d, t p2pmss.Series
+		var err error
+		if o.CollectSpans {
+			if d, err = sweepSeries(p2pmss.DCoP, true); err == nil {
+				t, err = sweepSeries(p2pmss.TCoP, true)
+			}
+		} else {
+			d, t, err = p2pmss.Figure12(o)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -156,7 +218,17 @@ func main() {
 		}
 	}
 	if run("baselines") {
-		rows, err := p2pmss.Baselines(o, *hFixed)
+		var rows []p2pmss.BaselineRow
+		var err error
+		if o.CollectSpans {
+			var recs []p2pmss.RunRecord
+			if recs, err = p2pmss.BaselineRecords(o, *hFixed); err == nil {
+				collect(recs)
+				rows = p2pmss.BaselinesFromRecords(o, recs)
+			}
+		} else {
+			rows, err = p2pmss.Baselines(o, *hFixed)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -18,6 +18,7 @@
 //	mssplay -peers 8 -h 3 -size 65536 -kill 2
 //	mssplay -peers 10 -sessions 4 -kill 1
 //	mssplay -listen 127.0.0.1:9090   # then: curl localhost:9090/metrics
+//	mssplay -sessions 4 -trace-out t.jsonl   # then: msstrace perfetto t.jsonl
 package main
 
 import (
@@ -49,8 +50,15 @@ func main() {
 		retries  = flag.Int("retries", 0, "alternate-peer retries per failed child slot (0 = per-peer default H)")
 		hsTime   = flag.Duration("handshake-timeout", 0, "control/confirm handshake deadline (0 = per-peer default)")
 		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof/ on this address (off by default)")
+		traceOut = flag.String("trace-out", "",
+			"write causal coordination spans (JSONL) to this file; convert with msstrace perfetto/summary")
 	)
 	flag.Parse()
+
+	var spanCol *p2pmss.SpanCollector
+	if *traceOut != "" {
+		spanCol = p2pmss.NewSpanCollector()
+	}
 
 	// Metrics are registered only when they will be served.
 	var reg *p2pmss.MetricsRegistry
@@ -67,7 +75,7 @@ func main() {
 
 	if *sessions > 1 {
 		runSessions(*nPeers, *sessions, *fanout, *interval, *size, *pktSize, *rate,
-			*kill, *proto, *timeout, *seed, *retries, *hsTime, reg)
+			*kill, *proto, *timeout, *seed, *retries, *hsTime, reg, spanCol, *traceOut)
 		return
 	}
 
@@ -90,6 +98,7 @@ func main() {
 		Retries:          *retries,
 		Seed:             *seed,
 		Metrics:          reg,
+		Spans:            spanCol,
 	})
 	if err != nil {
 		fatal(err)
@@ -142,6 +151,7 @@ func main() {
 			}
 			fmt.Println("content verified byte-for-byte ✓")
 			cl.Close()
+			writeTrace(*traceOut, spanCol)
 			return
 		case <-tick.C:
 			fmt.Printf("  %d/%d packets delivered\n", cl.Leaf.Progress(), c.NumPackets())
@@ -154,7 +164,8 @@ func main() {
 // nodes mid-stream.
 func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate float64,
 	kill int, proto string, timeout time.Duration, seed int64,
-	retries int, hsTimeout time.Duration, reg *p2pmss.MetricsRegistry) {
+	retries int, hsTimeout time.Duration, reg *p2pmss.MetricsRegistry,
+	spanCol *p2pmss.SpanCollector, traceOut string) {
 	if sessions > nodes {
 		fatal(fmt.Errorf("-sessions %d needs at least as many -peers (have %d)", sessions, nodes))
 	}
@@ -178,6 +189,7 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 		Retries:          retries,
 		Seed:             seed,
 		Metrics:          reg,
+		Spans:            spanCol,
 	})
 	if err != nil {
 		fatal(err)
@@ -256,6 +268,31 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 		fatal(fmt.Errorf("%d/%d sessions failed", failed, sessions))
 	}
 	fmt.Printf("all %d sessions verified byte-for-byte in %v\n", sessions, time.Since(start).Round(time.Millisecond))
+	// Close now (idempotent; the deferred call becomes a no-op) so every
+	// open span is finalized before the trace is written.
+	nc.Close()
+	writeTrace(traceOut, spanCol)
+}
+
+// writeTrace flushes the collected spans as JSONL. No-op when tracing is
+// off; the file is written only after the session closed, so dangling
+// spans are already finalized.
+func writeTrace(path string, col *p2pmss.SpanCollector) {
+	if path == "" {
+		return
+	}
+	spans := col.Spans()
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := p2pmss.WriteSpansJSONL(f, spans); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("causal trace: %d spans -> %s (view: msstrace perfetto %s)\n", len(spans), path, path)
 }
 
 func fatal(err error) {

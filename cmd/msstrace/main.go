@@ -3,16 +3,24 @@
 // crash in virtual-time order. Useful for understanding how DCoP's
 // flooding or TCoP's handshake actually unfolds.
 //
+// It also post-processes causal span traces written by mssim/mssplay
+// -trace-out: `msstrace perfetto` converts a span JSONL file to Chrome
+// trace-event JSON (open in https://ui.perfetto.dev, one track per
+// peer), and `msstrace summary` prints per-session latency quantiles.
+//
 // Usage:
 //
 //	msstrace -proto dcop -n 20 -h 4
 //	msstrace -proto tcop -n 12 -h 3 -kinds activate,crash
 //	msstrace -proto dcop -json | jq .kind
+//	msstrace perfetto trace.jsonl -o trace.json
+//	msstrace summary trace.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,6 +28,105 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "perfetto":
+			runPerfetto(os.Args[2:])
+			return
+		case "summary":
+			runSummary(os.Args[2:])
+			return
+		}
+	}
+	runTimeline()
+}
+
+// splitInput peels a leading positional argument (the trace file) off
+// the subcommand args, so flags may come before or after the file name
+// (stdlib flag parsing stops at the first non-flag otherwise).
+func splitInput(args []string) (input string, rest []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+// readSpans loads a span JSONL trace ("-" or no path reads stdin).
+func readSpans(path string) []p2pmss.Span {
+	var r io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	spans, err := p2pmss.ReadSpansJSONL(r)
+	if err != nil {
+		fatal(err)
+	}
+	return spans
+}
+
+// runPerfetto converts a span JSONL trace (mssim/mssplay -trace-out)
+// into Chrome trace-event JSON for the Perfetto UI.
+func runPerfetto(args []string) {
+	fs := flag.NewFlagSet("msstrace perfetto", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: msstrace perfetto [-o out.json] [trace.jsonl]")
+		fs.PrintDefaults()
+	}
+	input, rest := splitInput(args)
+	fs.Parse(rest) //nolint:errcheck // ExitOnError
+	if input == "" {
+		input = fs.Arg(0)
+	}
+	spans := readSpans(input)
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := p2pmss.WriteSpansPerfetto(w, spans); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "msstrace: %d spans -> %s (open in https://ui.perfetto.dev)\n", len(spans), *out)
+	}
+}
+
+// runSummary prints per-session latency quantiles (p50/p95/p99 per span
+// name) for a span JSONL trace.
+func runSummary(args []string) {
+	fs := flag.NewFlagSet("msstrace summary", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: msstrace summary [trace.jsonl]")
+		fs.PrintDefaults()
+	}
+	input, rest := splitInput(args)
+	fs.Parse(rest) //nolint:errcheck // ExitOnError
+	if input == "" {
+		input = fs.Arg(0)
+	}
+	p2pmss.PrintSpanSummary(os.Stdout, p2pmss.SummarizeSpans(readSpans(input)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msstrace:", err)
+	os.Exit(1)
+}
+
+func runTimeline() {
 	var (
 		proto   = flag.String("proto", p2pmss.DCoP, "protocol: dcop, tcop, broadcast, unicast, centralized, ams")
 		n       = flag.Int("n", 20, "contents peers")

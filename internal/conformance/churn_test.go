@@ -1,0 +1,173 @@
+package conformance_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/coord"
+	"p2pmss/internal/engine"
+	"p2pmss/internal/live"
+	"p2pmss/internal/overlay"
+	"p2pmss/internal/protocol"
+	"p2pmss/internal/transport"
+)
+
+// crashVictims picks `count` peers outside the leaf's initial selection
+// for the seed. Crashing non-selected peers keeps the leaf's slot
+// failover out of play (the live leaf replaces unreachable selected
+// members synchronously, which the simulated leaf does not model) and
+// isolates the mirrored path: member-level SendFailed failover.
+func crashVictims(seed int64, count int) []engine.PeerID {
+	rng := rand.New(rand.NewSource(engine.PeerSeed(seed, engine.LeafID)))
+	sel, _ := engine.SelectInitial(rng, confN, confH)
+	selected := make(map[engine.PeerID]bool, len(sel))
+	for _, id := range sel {
+		selected[id] = true
+	}
+	var victims []engine.PeerID
+	for id := engine.PeerID(0); int(id) < confN && len(victims) < count; id++ {
+		if !selected[id] {
+			victims = append(victims, id)
+		}
+	}
+	return victims
+}
+
+// simChurnOutcomes runs the simulator with the victims crash-stopped
+// before the run (coord.Config.CrashPeers with CrashAt zero) and
+// member-level retries enabled, mirroring the live driver's defaults.
+func simChurnOutcomes(t *testing.T, proto protocol.Protocol, seed int64, victims []engine.PeerID) []engine.Outcome {
+	t.Helper()
+	crash := make([]overlay.PeerID, len(victims))
+	for i, v := range victims {
+		crash[i] = overlay.PeerID(v)
+	}
+	res, err := coord.Run(proto, coord.Config{
+		N: confN, H: confH, Interval: confInterval,
+		Rate: confRate, Delta: 1,
+		LeafShares: true,
+		DataPlane:  true, ContentLen: confPackets,
+		Settle: 1, Window: 1,
+		Seed:       seed,
+		CrashPeers: crash,
+		Retries:    confH,
+	})
+	if err != nil {
+		t.Fatalf("sim %s seed %d: %v", proto, seed, err)
+	}
+	return res.Outcomes
+}
+
+// liveChurnOutcomes mirrors the scripted crash on the live runtime: the
+// victims' endpoints are closed before the leaf starts, so sends to
+// them fail synchronously and feed SendFailed into the surviving
+// engines — the same failover the simulator derives from
+// coord.Config.CrashPeers. The fabric is the bounded queued variant, so
+// the churn run also exercises the capped FIFO path end to end.
+func liveChurnOutcomes(t *testing.T, proto protocol.Protocol, seed int64, victims []engine.PeerID) []engine.Outcome {
+	t.Helper()
+	data := make([]byte, confPackets*16)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	c := content.New("conf", data, 16)
+
+	fab := transport.NewBoundedQueuedFabric(64, transport.QueueBlock)
+	roster := make([]string, confN)
+	for i := range roster {
+		roster[i] = fmt.Sprintf("p%d", i)
+	}
+	peers := make([]*live.Peer, confN)
+	for i := range roster {
+		p, err := live.NewPeer(live.PeerConfig{
+			Content:  c,
+			Roster:   roster,
+			H:        confH,
+			Interval: confInterval,
+			Delta:    time.Millisecond,
+			Protocol: proto,
+			Retries:  confH,
+			Seed:     engine.PeerSeed(seed, engine.PeerID(i)),
+		}, live.WithFabric(fab, roster[i]))
+		if err != nil {
+			t.Fatalf("live peer %d: %v", i, err)
+		}
+		peers[i] = p
+		defer p.Close()
+	}
+	for _, v := range victims {
+		peers[v].Close() // scripted crash: fail before participating
+	}
+	leaf, err := live.NewLeaf(live.LeafConfig{
+		Roster: roster, H: confH, Interval: confInterval,
+		Rate: confRate, ContentID: c.ID(),
+		ContentSize: len(data), PacketSize: 16,
+		Seed: engine.PeerSeed(seed, engine.LeafID),
+	}, live.WithFabric(fab, "leaf"))
+	if err != nil {
+		t.Fatalf("live leaf: %v", err)
+	}
+	defer leaf.Close()
+
+	if err := leaf.Start(); err != nil {
+		t.Fatalf("live start: %v", err)
+	}
+	fab.Wait()
+
+	outs := make([]engine.Outcome, confN)
+	for i, p := range peers {
+		outs[i] = p.Outcome()
+	}
+	return outs
+}
+
+// TestSimLiveConformanceUnderChurn byte-compares the two drivers with
+// two peers crash-stopped before the run. The surviving peers must
+// agree on the repaired tree / assignment unions, and the victims must
+// end inactive on both sides.
+func TestSimLiveConformanceUnderChurn(t *testing.T) {
+	for _, proto := range []protocol.Protocol{protocol.TCoP, protocol.DCoP} {
+		for seed := int64(1); seed <= 5; seed++ {
+			victims := crashVictims(seed, 2)
+			if len(victims) != 2 {
+				t.Fatalf("seed %d: got %d victims", seed, len(victims))
+			}
+			sim := outcomeLines(simChurnOutcomes(t, proto, seed, victims))
+			lv := outcomeLines(liveChurnOutcomes(t, proto, seed, victims))
+			if sim != lv {
+				t.Errorf("%s seed %d crash=%v: drivers diverged\n--- sim ---\n%s\n--- live ---\n%s",
+					proto, seed, victims, sim, lv)
+			}
+		}
+	}
+}
+
+// TestChurnConformanceIsNotVacuous pins that the scripted crash
+// actually bites: the victims end inactive while the majority of the
+// swarm still activates, on the simulator side of the comparison.
+func TestChurnConformanceIsNotVacuous(t *testing.T) {
+	victims := crashVictims(1, 2)
+	outs := simChurnOutcomes(t, protocol.TCoP, 1, victims)
+	crashed := make(map[engine.PeerID]bool)
+	for _, v := range victims {
+		crashed[v] = true
+	}
+	active := 0
+	for _, o := range outs {
+		if crashed[o.ID] {
+			if o.Active {
+				t.Fatalf("victim %d still active", o.ID)
+			}
+			continue
+		}
+		if o.Active {
+			active++
+		}
+	}
+	if active < confN-len(victims)-1 {
+		t.Fatalf("only %d/%d survivors active", active, confN-len(victims))
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"p2pmss/internal/schedule"
 	"p2pmss/internal/seq"
 	"p2pmss/internal/simnet"
+	"p2pmss/internal/span"
 	"p2pmss/internal/trace"
 )
 
@@ -162,6 +163,16 @@ type Config struct {
 	// identical to a bare one, and the snapshot of a seeded run is
 	// itself deterministic.
 	Metrics *metrics.Registry
+	// Spans, when non-nil, collects causal spans (handshake rounds,
+	// confirmation waves, commits, hand-offs, streaming, leaf stalls)
+	// with virtual-time timestamps. Like Metrics, span collection never
+	// feeds back into the simulation, and because the DES is
+	// single-threaded, span IDs are allocated in event order — the
+	// trace of a seeded run is byte-identical across repetitions.
+	Spans *span.Collector
+	// SpanTrace is the trace (session) ID spans are recorded under.
+	// Zero derives one from the seed.
+	SpanTrace span.TraceID
 }
 
 // BurstParams parameterizes the per-channel Gilbert–Elliott loss model.
@@ -234,6 +245,9 @@ func (c *Config) normalize() error {
 	}
 	if c.Retries < 0 {
 		c.Retries = 0
+	}
+	if c.Spans != nil && c.SpanTrace == 0 {
+		c.SpanTrace = span.DeriveTrace(fmt.Sprintf("coord/seed=%d", c.Seed))
 	}
 	if c.HandshakeTimeout == 0 {
 		c.HandshakeTimeout = 2*(c.Delta+c.Jitter) + 0.001
@@ -350,6 +364,7 @@ type reqMsg struct {
 	Index    int              // which of the H initial divisions the recipient takes
 	Selected []overlay.PeerID // initial selection when Config.LeafShares
 	Round    int
+	Span     span.Context // causal context (zero when tracing is off)
 }
 
 // ctlMsg, confirmMsg and commitMsg are the engine's wire vocabulary:
@@ -421,6 +436,10 @@ type runner struct {
 	measureDone  bool
 	measureOpen  bool
 	quiesceRound int
+
+	// Root "session" span (engine-backed protocols with Config.Spans).
+	sessionSpan  span.SpanID
+	sessionStart float64
 }
 
 // leafID returns the simnet node ID of the leaf peer.
@@ -441,6 +460,9 @@ type peerNode struct {
 
 	// core is the peer's coordination state machine (DCoP/TCoP runs).
 	core *engine.Peer
+	// spans derives causal spans and latency observations from core's
+	// event/effect stream; nil when both spans and metrics are off.
+	spans *engine.SpanTracker
 
 	// tcopCommitted/tcopConfirmed mirror the engine's outcome after the
 	// run (tree well-formedness assertions in tests).
@@ -631,6 +653,7 @@ func (r *runner) run() Result {
 		}
 	}
 	r.res.NetStats = r.nw.Stats()
+	r.closeSpans()
 	r.mirrorOutcomes()
 	if r.cfg.DataPlane {
 		r.res.PeerSent = make([]int64, r.cfg.N)
@@ -653,6 +676,21 @@ func (r *runner) run() Result {
 		r.res.Overruns = r.leaf.overruns
 	}
 	return r.res
+}
+
+// closeSpans finishes every peer's long-lived spans and the root
+// session span at the end of the run.
+func (r *runner) closeSpans() {
+	now := r.eng.Now()
+	for _, p := range r.peers {
+		p.spans.Finish(now)
+	}
+	if r.cfg.Spans != nil && r.sessionSpan != 0 {
+		r.cfg.Spans.Add(span.Span{
+			Trace: r.cfg.SpanTrace, ID: r.sessionSpan,
+			Name: "session", Peer: -1, Start: r.sessionStart, End: now,
+		})
+	}
 }
 
 // Run executes the named protocol under cfg and returns its metrics.

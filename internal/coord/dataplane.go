@@ -1,12 +1,14 @@
 package coord
 
 import (
+	"fmt"
 	"slices"
 
 	"p2pmss/internal/des"
 	"p2pmss/internal/parity"
 	"p2pmss/internal/seq"
 	"p2pmss/internal/simnet"
+	"p2pmss/internal/span"
 )
 
 // transmitter is a contents peer's data-plane sender: it transmits the
@@ -170,6 +172,9 @@ type leafNode struct {
 	lastProgress int64
 	repairRounds int
 	quietChecks  int
+	// lastArrivalAt is the virtual time of the most recent arrival, for
+	// stall-duration observability.
+	lastArrivalAt float64
 	// missing tracks the not-yet-present content indices incrementally
 	// off the recoverer, so a repair check costs O(|missing|) instead of
 	// rescanning all ContentLen indices every interval.
@@ -219,6 +224,19 @@ func (l *leafNode) Receive(from simnet.NodeID, m simnet.Message) {
 		l.bufLevel++
 	}
 	l.total++
+	if l.total == 1 {
+		// Time-to-first-packet: coordination starts at virtual time 0,
+		// so the first arrival's timestamp is the startup delay.
+		l.r.met.timeToFirstPacket.Observe(now)
+		if l.r.cfg.Spans != nil {
+			l.r.cfg.Spans.Add(span.Span{
+				Trace: l.r.cfg.SpanTrace, ID: l.r.cfg.Spans.NextID(),
+				Parent: l.r.sessionSpan, Name: "first_packet",
+				Peer: -1, Start: now, End: now,
+			})
+		}
+	}
+	l.lastArrivalAt = now
 	if l.recov != nil {
 		before := l.recov.Recovered()
 		l.recov.Add(dm.Pkt)
@@ -317,6 +335,18 @@ func (l *leafNode) repairCheck() {
 	const batch = 64
 	if len(missing) > batch {
 		missing = missing[:batch]
+	}
+	// Delivery stalled: record how long the leaf has been starved and
+	// open a repair wave in the trace.
+	now := r.eng.Now()
+	r.met.stallDuration.Observe(now - l.lastArrivalAt)
+	if r.cfg.Spans != nil {
+		r.cfg.Spans.Add(span.Span{
+			Trace: r.cfg.SpanTrace, ID: r.cfg.Spans.NextID(),
+			Parent: r.sessionSpan, Name: "stall", Peer: -1,
+			Start: l.lastArrivalAt, End: now,
+			Detail: fmt.Sprintf("%d missing", len(l.missing)),
+		})
 	}
 	// Pick a random live peer to serve the repair.
 	alive := make([]simnet.NodeID, 0, r.cfg.N)

@@ -6,6 +6,7 @@ import (
 	"p2pmss/internal/engine"
 	"p2pmss/internal/seq"
 	"p2pmss/internal/simnet"
+	"p2pmss/internal/span"
 )
 
 // This file is the des/simnet driver for the shared coordination engine
@@ -33,9 +34,15 @@ func (r *runner) initEngine(dcopMode bool) {
 	if err := ecfg.Normalize(); err != nil {
 		panic(err) // unreachable: Config.normalize validated the same fields
 	}
+	sm := engine.SpanMetrics{
+		HandshakeRTT:   r.met.handshakeRTT,
+		CommitLatency:  r.met.commitLatency,
+		RetryWaveDepth: r.met.retryWaveDepth,
+	}
 	for _, p := range r.peers {
 		rng := rand.New(rand.NewSource(engine.PeerSeed(r.cfg.Seed, p.id)))
 		p.core = engine.NewPeer(ecfg, p.id, rng)
+		p.spans = engine.NewSpanTracker(r.cfg.Spans, r.cfg.SpanTrace, int(p.id), sm)
 	}
 }
 
@@ -49,8 +56,15 @@ func (r *runner) leafRand() *rand.Rand {
 // select H contents peers and send each a content request.
 func (r *runner) startRequests() {
 	sel, _ := engine.SelectInitial(r.leafRand(), r.cfg.N, r.cfg.H)
+	var root span.Context
+	if r.cfg.Spans != nil {
+		// Root "session" span on the leaf track; closed in closeSpans.
+		r.sessionSpan = r.cfg.Spans.NextID()
+		r.sessionStart = r.eng.Now()
+		root = span.Context{Trace: r.cfg.SpanTrace, Span: r.sessionSpan}
+	}
 	for u, cp := range sel {
-		m := reqMsg{Rate: r.cfg.Rate, Index: u, Round: 1}
+		m := reqMsg{Rate: r.cfg.Rate, Index: u, Round: 1, Span: root}
 		if r.cfg.LeafShares {
 			m.Selected = sel
 		}
@@ -68,9 +82,20 @@ func (r *runner) snapshot(p *peerNode) engine.Snapshot {
 }
 
 // dispatch feeds one event into the peer's engine core and applies the
-// resulting effects.
+// resulting effects. Events with no carried causal context (timers,
+// repair) enter with the zero context; the span tracker's own state
+// supplies the nesting.
 func (r *runner) dispatch(p *peerNode, ev engine.Event) {
-	r.applyEffects(p, p.core.Handle(ev, r.snapshot(p)))
+	r.dispatchCtx(p, ev, span.Context{})
+}
+
+// dispatchCtx is dispatch with the causal context the triggering
+// message carried; the tracker derives spans from the event/effect
+// pair and stamps outgoing messages before they are sent.
+func (r *runner) dispatchCtx(p *peerNode, ev engine.Event, parent span.Context) {
+	effs := p.core.Handle(ev, r.snapshot(p))
+	p.spans.Observe(p.core, r.eng.Now(), ev, parent, effs)
+	r.applyEffects(p, effs)
 }
 
 // applyEffects executes the engine's effects in order. Sends to crashed
@@ -91,7 +116,9 @@ func (r *runner) applyEffects(p *peerNode, effs []engine.Effect) {
 				// The message is counted (it was transmitted) but will be
 				// discarded at delivery; tell the engine now so it can
 				// fail over or re-absorb deterministically.
-				fb := p.core.Handle(engine.SendFailed{To: e.To, Msg: e.Msg}, r.snapshot(p))
+				ev := engine.SendFailed{To: e.To, Msg: e.Msg}
+				fb := p.core.Handle(ev, r.snapshot(p))
+				p.spans.Observe(p.core, r.eng.Now(), ev, msgSpanCtx(e.Msg), fb)
 				queue = append(queue, fb...)
 			}
 		case engine.SetTimer:
@@ -133,6 +160,21 @@ func msgRound(m any) int {
 		return msg.Round
 	}
 	return 0
+}
+
+// msgSpanCtx extracts the causal context stamped on an engine message.
+func msgSpanCtx(m any) span.Context {
+	switch msg := m.(type) {
+	case reqMsg:
+		return msg.Span
+	case ctlMsg:
+		return msg.Span
+	case confirmMsg:
+		return msg.Span
+	case commitMsg:
+		return msg.Span
+	}
+	return span.Context{}
 }
 
 // mirrorOutcomes copies the engines' coordination outcomes onto the

@@ -21,6 +21,14 @@ type coordMetrics struct {
 	delivered                       *metrics.Gauge
 	repairRequests                  *metrics.Counter
 	underruns                       *metrics.Counter
+
+	// Coordination-latency histograms (virtual time units), fed by the
+	// engine span trackers and the leaf.
+	handshakeRTT      *metrics.Histogram
+	commitLatency     *metrics.Histogram
+	retryWaveDepth    *metrics.Histogram
+	timeToFirstPacket *metrics.Histogram
+	stallDuration     *metrics.Histogram
 }
 
 // ctlTypeNames maps every coordination message to its label value.
@@ -77,6 +85,12 @@ func newCoordMetrics(reg *metrics.Registry) coordMetrics {
 		delivered:       reg.Gauge("coord_leaf_delivered_data"),
 		repairRequests:  reg.Counter("coord_repair_requests_total"),
 		underruns:       reg.Counter("coord_playback_underruns_total"),
+
+		handshakeRTT:      reg.Histogram("coord_handshake_rtt", []float64{0.5, 1, 2, 4, 8, 16, 32, 64}),
+		commitLatency:     reg.Histogram("coord_control_commit_latency", []float64{0.5, 1, 2, 4, 8, 16, 32, 64}),
+		retryWaveDepth:    reg.Histogram("coord_retry_wave_depth", []float64{1, 2, 3, 4, 6, 8}),
+		timeToFirstPacket: reg.Histogram("coord_time_to_first_packet", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		stallDuration:     reg.Histogram("coord_stall_duration", []float64{1, 2, 4, 8, 16, 32, 64}),
 	}
 	for _, t := range ctlTypeNames {
 		cm.ctl[t] = reg.Counter("coord_control_packets_total", "type", t)

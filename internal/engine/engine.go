@@ -22,6 +22,7 @@ import (
 	"p2pmss/internal/overlay"
 	"p2pmss/internal/parity"
 	"p2pmss/internal/seq"
+	"p2pmss/internal/span"
 )
 
 // PeerID identifies a contents peer (the overlay numbering 0..n-1). The
@@ -180,6 +181,10 @@ type MsgControl struct {
 	ChildIdx    int              // which division (1..H_j) this child takes
 	AssignedSeq seq.Sequence     // the child's division pkt_ji
 	Round       int
+	// Span is the causal context the message carries (zero when tracing
+	// is disabled). Stamped by the driver-side SpanTracker, never by the
+	// protocol logic.
+	Span span.Context
 }
 
 // MsgConfirm is TCoP's (positive or negative) confirmation cc1.
@@ -187,6 +192,7 @@ type MsgConfirm struct {
 	Child  overlay.PeerID
 	Accept bool
 	Round  int
+	Span   span.Context
 }
 
 // MsgCommit is TCoP's second control packet c2.
@@ -198,6 +204,7 @@ type MsgCommit struct {
 	ChildIdx    int     // 1..Streams-1
 	AssignedSeq seq.Sequence
 	Round       int
+	Span        span.Context
 }
 
 // ---- timers -------------------------------------------------------------

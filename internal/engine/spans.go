@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"p2pmss/internal/metrics"
+	"p2pmss/internal/span"
+)
+
+// SpanMetrics are the coordination-latency histograms a SpanTracker
+// feeds. All fields are optional; nil histograms are no-ops (the
+// metrics package's nil-receiver contract).
+type SpanMetrics struct {
+	// HandshakeRTT observes the duration of each completed TCoP
+	// confirmation wave (control out → wave closed).
+	HandshakeRTT *metrics.Histogram
+	// CommitLatency observes control→commit latency: first control of a
+	// handshake round out → commits sent.
+	CommitLatency *metrics.Histogram
+	// RetryWaveDepth observes how many confirmation waves (1 = no
+	// retries) a finalized handshake round took.
+	RetryWaveDepth *metrics.Histogram
+}
+
+func (m SpanMetrics) enabled() bool {
+	return m.HandshakeRTT != nil || m.CommitLatency != nil || m.RetryWaveDepth != nil
+}
+
+// SpanTracker derives causal spans and latency observations from one
+// peer's event/effect stream. It is driver-side instrumentation: the
+// driver calls Observe between Peer.Handle and applying the effects,
+// and the tracker — never the protocol logic — opens spans for the
+// units the paper names (handshake rounds, confirmation retry waves,
+// commits, hand-offs, per-peer streaming) and stamps outgoing messages
+// with the span context their receiver should nest under.
+//
+// A nil *SpanTracker is the disabled tracker: Observe and Finish
+// return immediately, with zero allocations (benchmarked in
+// bench_span_test.go). NewSpanTracker returns nil when both the
+// collector and the metrics are disabled, so drivers keep the call
+// sites unconditional.
+type SpanTracker struct {
+	col   *span.Collector
+	trace span.TraceID
+	peer  int
+	met   SpanMetrics
+
+	// Open handshake round (TCoP): the enclosing "handshake" span and
+	// the currently outstanding "confirm_wave" under it. The open flags
+	// are tracked separately from the span IDs so the latency
+	// histograms still fire in metrics-only mode (nil collector, whose
+	// NextID is always 0).
+	hsOpen    bool
+	hs        span.SpanID
+	hsParent  span.SpanID
+	hsStart   float64
+	waveOpen  bool
+	wave      span.SpanID
+	waveStart float64
+	waveDepth int
+
+	// Per-peer streaming span, opened at first activation.
+	streaming   bool
+	streamStart float64
+}
+
+// NewSpanTracker returns a tracker recording into col under trace,
+// on the given peer track (use -1 for the leaf/driver track). Returns
+// nil — the disabled tracker — when col is nil and met carries no
+// histograms.
+func NewSpanTracker(col *span.Collector, trace span.TraceID, peer int, met SpanMetrics) *SpanTracker {
+	if col == nil && !met.enabled() {
+		return nil
+	}
+	return &SpanTracker{col: col, trace: trace, peer: peer, met: met}
+}
+
+// instant records a zero-duration span and returns its context for
+// stamping messages.
+func (t *SpanTracker) instant(now float64, name string, parent span.SpanID) span.Context {
+	id := t.col.NextID()
+	t.col.Add(span.Span{
+		Trace: t.trace, ID: id, Parent: parent,
+		Name: name, Peer: t.peer, Start: now, End: now,
+	})
+	return span.Context{Trace: t.trace, Span: id}
+}
+
+// closeWave emits the outstanding confirmation wave as a span ending
+// now and observes its duration as handshake RTT.
+func (t *SpanTracker) closeWave(now float64) {
+	if !t.waveOpen {
+		return
+	}
+	t.col.Add(span.Span{
+		Trace: t.trace, ID: t.wave, Parent: t.hs,
+		Name: "confirm_wave", Peer: t.peer, Start: t.waveStart, End: now,
+	})
+	t.met.HandshakeRTT.Observe(now - t.waveStart)
+	t.waveOpen = false
+	t.wave = 0
+}
+
+// closeHandshake emits the enclosing handshake span ending now.
+func (t *SpanTracker) closeHandshake(now float64) {
+	if !t.hsOpen {
+		return
+	}
+	t.col.Add(span.Span{
+		Trace: t.trace, ID: t.hs, Parent: t.hsParent,
+		Name: "handshake", Peer: t.peer, Start: t.hsStart, End: now,
+	})
+	t.hsOpen = false
+	t.hs = 0
+	t.waveDepth = 0
+}
+
+// Observe derives spans from one Handle call: p is the peer that just
+// handled ev (already advanced), parent is the causal context the
+// event arrived under (the span stamped on the triggering message, or
+// zero), and effs is Handle's result. Outgoing protocol messages in
+// effs are stamped in place with the span context their receiver
+// should treat as parent. now is the driver's current time.
+func (t *SpanTracker) Observe(p *Peer, now float64, ev Event, parent span.Context, effs []Effect) {
+	if t == nil {
+		return
+	}
+	local := parent.Span
+
+	// Pre-scan the batch: the span structure depends on which effect
+	// kinds appear together (e.g. controls+deadline = a new wave).
+	var nCtl, nCommit int
+	hasConfirmTimer := false
+	hasReleaseTimer := false
+	for _, e := range effs {
+		switch eff := e.(type) {
+		case Send:
+			switch eff.Msg.(type) {
+			case MsgControl:
+				nCtl++
+			case MsgCommit:
+				nCommit++
+			}
+		case SetTimer:
+			switch eff.ID.Kind {
+			case TimerConfirm:
+				hasConfirmTimer = true
+			case TimerRelease:
+				hasReleaseTimer = true
+			}
+		}
+	}
+
+	// Structural spans first (activation/merge), so the handshake the
+	// same batch opens nests under them.
+	var ctlCtx, commitCtx, confirmCtx span.Context
+	for _, e := range effs {
+		switch e.(type) {
+		case Activate:
+			local = t.instant(now, "activate", local).Span
+			if !t.streaming {
+				t.streaming = true
+				t.streamStart = now
+			}
+		case Merge:
+			local = t.instant(now, "merge", local).Span
+		}
+	}
+
+	if nCtl > 0 {
+		if hasConfirmTimer {
+			// A fresh confirmation wave: tcopSelect or a timeout retry
+			// wave. Open the enclosing handshake on the first one.
+			if !t.hsOpen {
+				t.hsOpen = true
+				t.hs = t.col.NextID()
+				t.hsParent = local
+				t.hsStart = now
+			} else {
+				t.closeWave(now)
+			}
+			t.waveOpen = true
+			t.wave = t.col.NextID()
+			t.waveStart = now
+			t.waveDepth++
+			ctlCtx = span.Context{Trace: t.trace, Span: t.wave}
+		} else if t.hsOpen {
+			// Failover control inside the open wave (refusal or send
+			// failure pulled an alternate).
+			ctlCtx = span.Context{Trace: t.trace, Span: t.wave}
+		} else {
+			// DCoP select: no handshake, controls carry the assignment.
+			ctlCtx = t.instant(now, "select", local)
+		}
+	}
+
+	if nCommit > 0 {
+		commitParent := local
+		if t.waveOpen {
+			commitParent = t.wave
+		}
+		if t.hsOpen {
+			t.met.CommitLatency.Observe(now - t.hsStart)
+			t.met.RetryWaveDepth.Observe(float64(t.waveDepth))
+		}
+		t.closeWave(now)
+		commitCtx = t.instant(now, "commit", commitParent)
+		t.closeHandshake(now)
+	}
+
+	// Remaining instants and message stamping.
+	for i, e := range effs {
+		switch eff := e.(type) {
+		case Send:
+			switch m := eff.Msg.(type) {
+			case MsgControl:
+				m.Span = ctlCtx
+				effs[i] = Send{To: eff.To, Msg: m}
+			case MsgCommit:
+				m.Span = commitCtx
+				effs[i] = Send{To: eff.To, Msg: m}
+			case MsgConfirm:
+				if confirmCtx == (span.Context{}) {
+					if m.Accept && hasReleaseTimer {
+						// Adoption: the child accepted a prospective
+						// parent and armed the commit-release guard.
+						confirmCtx = t.instant(now, "adopt", local)
+					} else {
+						confirmCtx = span.Context{Trace: t.trace, Span: local}
+					}
+				}
+				m.Span = confirmCtx
+				effs[i] = Send{To: eff.To, Msg: m}
+			}
+		case Handoff:
+			t.instant(now, "handoff", local)
+		case Absorb:
+			t.instant(now, "absorb", local)
+		case ServeRepair:
+			t.instant(now, "repair_serve", local)
+		}
+	}
+
+	// A handshake round can end without commits (every candidate
+	// refused, failed, or stayed silent): the engine marked the round
+	// final with nothing to send, so close the dangling spans here.
+	if nCommit == 0 && t.hsOpen && !p.cfg.DCoP && p.final {
+		t.closeWave(now)
+		t.closeHandshake(now)
+	}
+}
+
+// MsgSpan extracts the causal context stamped on an engine protocol
+// message (zero for messages that carry none). Drivers use it to
+// propagate the context of a failed send into the SendFailed feedback
+// event.
+func MsgSpan(m any) span.Context {
+	switch msg := m.(type) {
+	case MsgControl:
+		return msg.Span
+	case MsgConfirm:
+		return msg.Span
+	case MsgCommit:
+		return msg.Span
+	}
+	return span.Context{}
+}
+
+// Finish closes the tracker's long-lived spans at driver shutdown (or
+// simulation end): any dangling handshake state and the per-peer
+// streaming span.
+func (t *SpanTracker) Finish(now float64) {
+	if t == nil {
+		return
+	}
+	t.closeWave(now)
+	t.closeHandshake(now)
+	if t.streaming {
+		id := t.col.NextID()
+		t.col.Add(span.Span{
+			Trace: t.trace, ID: id,
+			Name: "stream", Peer: t.peer, Start: t.streamStart, End: now,
+		})
+		t.streaming = false
+	}
+}

@@ -46,6 +46,10 @@ type Options struct {
 	// BaselineRecords). Instrumentation never perturbs results: series
 	// and tables are byte-identical with it on or off.
 	Instrument bool
+	// CollectSpans attaches a fresh span collector to every run and
+	// carries each run's causal trace in RunRecord.Spans (one trace per
+	// grid point). Like Instrument, collection never perturbs results.
+	CollectSpans bool
 }
 
 // DefaultOptions returns the paper's setting: n = 100, H swept over

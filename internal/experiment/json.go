@@ -2,35 +2,51 @@ package experiment
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"p2pmss/internal/coord"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/span"
 )
 
 // RunRecord is one (protocol, H, seed) grid point in machine-readable
 // form: the full simulation result plus, when Options.Instrument is set,
-// the run's metrics snapshot. One RunRecord is one JSON line.
+// the run's metrics snapshot. One RunRecord is one JSON line. Spans
+// (Options.CollectSpans) are carried separately from the JSON encoding —
+// they go to the trace file, not the record stream.
 type RunRecord struct {
 	Protocol string            `json:"protocol"`
 	H        int               `json:"h"`
 	Seed     int64             `json:"seed"`
 	Result   coord.Result      `json:"result"`
 	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
+	Spans    []span.Span       `json:"-"`
 }
 
 // runRecords executes the jobs (optionally with a fresh per-run registry
-// each) and pairs every result with its grid coordinates. Registries are
-// snapshotted only after runGrid returns — its pool join is the
-// happens-before edge making the per-run counters safe to read — and the
-// snapshot itself is sorted, so the byte output is deterministic at any
-// worker count.
-func runRecords(jobs []runJob, workers int, instrument bool) ([]RunRecord, error) {
+// and span collector each) and pairs every result with its grid
+// coordinates. Registries and collectors are read only after runGrid
+// returns — its pool join is the happens-before edge making the per-run
+// state safe to read — and both snapshots are sorted, so the byte output
+// is deterministic at any worker count.
+func runRecords(jobs []runJob, workers int, instrument, collectSpans bool) ([]RunRecord, error) {
 	regs := make([]*metrics.Registry, len(jobs))
 	if instrument {
 		for i := range jobs {
 			regs[i] = metrics.New()
 			jobs[i].cfg.Metrics = regs[i]
+		}
+	}
+	cols := make([]*span.Collector, len(jobs))
+	if collectSpans {
+		for i := range jobs {
+			cols[i] = span.NewCollector()
+			jobs[i].cfg.Spans = cols[i]
+			// One trace per grid point: the default seed-derived trace
+			// would collide across H values sharing a seed.
+			jobs[i].cfg.SpanTrace = span.DeriveTrace(fmt.Sprintf("%s/H=%d/seed=%d",
+				jobs[i].protocol, jobs[i].cfg.H, jobs[i].cfg.Seed))
 		}
 	}
 	results, err := runGrid(jobs, workers)
@@ -49,8 +65,35 @@ func runRecords(jobs []runJob, workers int, instrument bool) ([]RunRecord, error
 			s := regs[i].Snapshot()
 			recs[i].Metrics = &s
 		}
+		if cols[i] != nil {
+			recs[i].Spans = cols[i].Spans()
+		}
 	}
 	return recs, nil
+}
+
+// Spans concatenates the records' span sets in record (grid) order —
+// deterministic because each run's collector is merged after the pool
+// join and sorted per run.
+func Spans(recs []RunRecord) []span.Span {
+	var out []span.Span
+	for _, r := range recs {
+		out = append(out, r.Spans...)
+	}
+	return out
+}
+
+// SeriesFromRecords aggregates per-run records (in SweepRecords grid
+// order) into the same averaged series the figure functions return, so
+// a caller that needs both the table and the raw traces runs the grid
+// once.
+func SeriesFromRecords(protocol string, o Options, recs []RunRecord) Series {
+	o.normalize()
+	results := make([]coord.Result, len(recs))
+	for i, r := range recs {
+		results[i] = r.Result
+	}
+	return aggregateSweep(protocol, o, results)
 }
 
 // SweepRecords runs the protocol's (H, seed) grid and returns every
@@ -60,7 +103,7 @@ func SweepRecords(protocol string, o Options, dataPlane bool) ([]RunRecord, erro
 	if err := o.checkHs(); err != nil {
 		return nil, err
 	}
-	return runRecords(sweepJobs(protocol, o, dataPlane), o.Parallel, o.Instrument)
+	return runRecords(sweepJobs(protocol, o, dataPlane), o.Parallel, o.Instrument, o.CollectSpans)
 }
 
 // BaselineRecords runs every protocol at fixed H and returns the per-run
@@ -76,7 +119,36 @@ func BaselineRecords(o Options, H int) ([]RunRecord, error) {
 			jobs = append(jobs, runJob{proto, o.pointConfig(H, seed, true)})
 		}
 	}
-	return runRecords(jobs, o.Parallel, o.Instrument)
+	return runRecords(jobs, o.Parallel, o.Instrument, o.CollectSpans)
+}
+
+// BaselinesFromRecords aggregates per-run baseline records (in
+// BaselineRecords order) into the comparison table rows.
+func BaselinesFromRecords(o Options, recs []RunRecord) []BaselineRow {
+	o.normalize()
+	var rows []BaselineRow
+	idx := 0
+	for _, proto := range coord.Protocols {
+		var row BaselineRow
+		row.Protocol = proto
+		for seed := 0; seed < o.Seeds && idx < len(recs); seed++ {
+			res := recs[idx].Result
+			idx++
+			row.Rounds += float64(res.Rounds)
+			row.SyncRounds += float64(res.SyncRounds)
+			row.ControlPackets += float64(res.ControlPackets)
+			row.SyncTime += res.SyncTime
+			row.ReceiptRate += res.ReceiptRate
+		}
+		n := float64(o.Seeds)
+		row.Rounds /= n
+		row.SyncRounds /= n
+		row.ControlPackets /= n
+		row.SyncTime /= n
+		row.ReceiptRate /= n
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // WriteRecordsJSONL writes the records to w as JSON Lines, one compact

@@ -7,6 +7,7 @@ import (
 
 	"p2pmss/internal/content"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/span"
 	"p2pmss/internal/transport"
 )
 
@@ -40,6 +41,9 @@ type ClusterConfig struct {
 	// peer, the leaf, and the transport — on one shared registry,
 	// ready to serve via metrics.DebugMux.
 	Metrics *metrics.Registry
+	// Spans, when non-nil, collects the session's causal spans on one
+	// shared collector, ready to export via span.WritePerfetto.
+	Spans *span.Collector
 }
 
 // Cluster is a running live session.
@@ -128,6 +132,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Retries:          cfg.Retries,
 			Seed:             seed,
 			Metrics:          cfg.Metrics,
+			Spans:            cfg.Spans,
 		}, transports[i])
 		if err != nil {
 			c.Close()
@@ -150,6 +155,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		RepairAfter: cfg.RepairAfter,
 		Seed:        leafSeed,
 		Metrics:     cfg.Metrics,
+		Spans:       cfg.Spans,
 	}, leafTransport)
 	if err != nil {
 		c.Close()

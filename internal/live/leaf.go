@@ -11,6 +11,7 @@ import (
 	"p2pmss/internal/content"
 	"p2pmss/internal/engine"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/span"
 	"p2pmss/internal/transport"
 )
 
@@ -42,6 +43,12 @@ type LeafConfig struct {
 	// duplicates, repair requests, retries, failovers) and
 	// delivery-progress gauges.
 	Metrics *metrics.Registry
+	// Spans, when non-nil, collects the session's causal spans; the leaf
+	// opens the root "session" span every member's spans nest under.
+	Spans *span.Collector
+	// SpanTrace identifies the session's trace; zero derives it from the
+	// Session id (matching the peers' derivation).
+	SpanTrace span.TraceID
 }
 
 // Leaf is a live leaf peer LP_s: it requests a content from H contents
@@ -69,8 +76,14 @@ type Leaf struct {
 	// repairFirst is the leading missing index of the previous repair
 	// round; seeing it again means the round went unanswered (a retry).
 	repairFirst int64
-	done        chan struct{}
-	doneOnce    sync.Once
+	// sessionSpan is the root span of the session's trace, opened at
+	// Start; sessionStart/firstAt feed the session span and the
+	// time-to-first-packet observation.
+	sessionSpan  span.SpanID
+	sessionStart float64
+	gotFirst     bool
+	done         chan struct{}
+	doneOnce     sync.Once
 
 	stopCh  chan struct{}
 	stopped sync.Once
@@ -91,6 +104,9 @@ func NewLeaf(cfg LeafConfig, tr Transport) (*Leaf, error) {
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
+	}
+	if cfg.Spans != nil && cfg.SpanTrace == 0 {
+		cfg.SpanTrace = span.DeriveTrace("live/session=" + string(cfg.Session))
 	}
 	l := &Leaf{
 		cfg:       cfg,
@@ -120,11 +136,18 @@ func (l *Leaf) Session() SessionID { return l.cfg.Session }
 
 // send encodes v, stamps the leaf's session, and transmits.
 func (l *Leaf) send(to, typ string, v any) error {
+	return l.sendCtx(to, typ, v, span.Context{})
+}
+
+// sendCtx is send with a causal span context stamped on the frame.
+func (l *Leaf) sendCtx(to, typ string, v any, ctx span.Context) error {
 	m, err := transport.Encode(typ, l.Addr(), v)
 	if err != nil {
 		return err
 	}
 	m.Session = string(l.cfg.Session)
+	m.Trace = uint64(ctx.Trace)
+	m.Span = uint64(ctx.Span)
 	return l.ep.Send(to, m)
 }
 
@@ -136,6 +159,15 @@ func (l *Leaf) send(to, typ string, v any) error {
 func (l *Leaf) Start() error {
 	l.mu.Lock()
 	selIdx, spareIdx := engine.SelectInitial(l.rng, len(l.cfg.Roster), l.cfg.H)
+	l.sessionStart = liveNow()
+	var root span.Context
+	if l.cfg.Spans != nil {
+		// Root "session" span on the leaf track (-1); closed in Close.
+		// Requests carry its context so every member's handshake nests
+		// under it.
+		l.sessionSpan = l.cfg.Spans.NextID()
+		root = span.Context{Trace: l.cfg.SpanTrace, Span: l.sessionSpan}
+	}
 	l.mu.Unlock()
 	sel := make([]string, len(selIdx))
 	for i, id := range selIdx {
@@ -157,7 +189,7 @@ func (l *Leaf) Start() error {
 				Selected:  sel,
 				Leaf:      l.Addr(),
 			}
-			err := l.send(sel[idx], typeRequest, body)
+			err := l.sendCtx(sel[idx], typeRequest, body, root)
 			if err == nil {
 				break
 			}
@@ -188,6 +220,17 @@ func (l *Leaf) handle(m transport.Msg) {
 	l.mu.Lock()
 	l.total++
 	l.met.arrivals.Inc()
+	if !l.gotFirst {
+		l.gotFirst = true
+		now := liveNow()
+		l.met.timeToFirstPacket.Observe(now - l.sessionStart)
+		if l.cfg.Spans != nil {
+			l.cfg.Spans.Add(span.Span{
+				Trace: l.cfg.SpanTrace, ID: l.cfg.Spans.NextID(), Parent: l.sessionSpan,
+				Name: "first_packet", Peer: -1, Start: now, End: now,
+			})
+		}
+	}
 	l.lastHeard[m.From] = time.Now()
 	if b.Pkt.IsData() && b.Pkt.Index > l.maxIdx[m.From] {
 		l.maxIdx[m.From] = b.Pkt.Index
@@ -246,8 +289,18 @@ func (l *Leaf) repairLoop() {
 		var targets []string
 		if stalled {
 			missing = l.asm.Missing()
+			stalledFor := time.Since(l.lastGain).Seconds()
 			l.lastGain = time.Now() // back off until the next stall
 			if len(missing) > 0 {
+				l.met.stallDuration.Observe(stalledFor)
+				if l.cfg.Spans != nil {
+					now := liveNow()
+					l.cfg.Spans.Add(span.Span{
+						Trace: l.cfg.SpanTrace, ID: l.cfg.Spans.NextID(), Parent: l.sessionSpan,
+						Name: "stall", Peer: -1, Start: now - stalledFor, End: now,
+						Detail: fmt.Sprintf("%d missing", len(missing)),
+					})
+				}
 				if missing[0] == l.repairFirst {
 					// The previous round's leading gap is still open:
 					// this is a retry of an unanswered request.
@@ -375,8 +428,19 @@ func (l *Leaf) Progress() int64 {
 	return l.asm.Have()
 }
 
-// Close stops the leaf.
+// Close stops the leaf, ending the session's root span.
 func (l *Leaf) Close() error {
-	l.stopped.Do(func() { close(l.stopCh) })
+	l.stopped.Do(func() {
+		close(l.stopCh)
+		l.mu.Lock()
+		if l.sessionSpan != 0 {
+			l.cfg.Spans.Add(span.Span{
+				Trace: l.cfg.SpanTrace, ID: l.sessionSpan,
+				Name: "session", Peer: -1, Start: l.sessionStart, End: liveNow(),
+				Detail: string(l.cfg.Session),
+			})
+		}
+		l.mu.Unlock()
+	})
 	return l.ep.Close()
 }

@@ -32,6 +32,7 @@
 package live
 
 import (
+	"container/list"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -43,8 +44,18 @@ import (
 	"p2pmss/internal/parity"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/seq"
+	"p2pmss/internal/span"
 	"p2pmss/internal/transport"
 )
+
+// liveEpoch anchors span timestamps: every participant in the process
+// measures span time as seconds since this instant, so the tracks of
+// one session (and of concurrent sessions) share a time base in the
+// exported trace.
+var liveEpoch = time.Now()
+
+// liveNow returns the current span timestamp (seconds since liveEpoch).
+func liveNow() float64 { return time.Since(liveEpoch).Seconds() }
 
 // Message type tags.
 const (
@@ -186,6 +197,16 @@ type PeerConfig struct {
 	// sent, hand-offs, activations, repair packets served, per-session
 	// retries and failovers). Several peers may share one registry.
 	Metrics *metrics.Registry
+	// Spans, when non-nil, collects causal coordination spans (handshake
+	// rounds, confirmation waves, commits, hand-offs, streaming). All
+	// members of a session should share one collector.
+	Spans *span.Collector
+	// SpanTrace identifies the session's trace; zero derives it from the
+	// Session id so every member agrees without coordination.
+	SpanTrace span.TraceID
+	// PayloadMemoCap bounds the derived-payload memo (entries); the memo
+	// is LRU-evicted past the cap. Zero means 4096.
+	PayloadMemoCap int
 }
 
 // normalize validates the config and resolves every defaulted knob in
@@ -217,6 +238,12 @@ func (cfg *PeerConfig) normalize() error {
 	if cfg.Seed == 0 {
 		cfg.Seed = time.Now().UnixNano()
 	}
+	if cfg.Spans != nil && cfg.SpanTrace == 0 {
+		cfg.SpanTrace = span.DeriveTrace("live/session=" + string(cfg.Session))
+	}
+	if cfg.PayloadMemoCap <= 0 {
+		cfg.PayloadMemoCap = 4096
+	}
 	return nil
 }
 
@@ -240,6 +267,9 @@ type Peer struct {
 
 	mu   sync.Mutex
 	core *engine.Peer
+	// spans derives causal spans from the engine's event/effect stream;
+	// nil (tracing and latency metrics both off) is the no-op tracker.
+	spans *engine.SpanTracker
 	// names/ids map engine peer ids to transport addresses and back.
 	// Roster order defines ids 0..N-1; out-of-roster senders (mid-stream
 	// joiners) get ephemeral ids >= N, which the engine tracks but never
@@ -248,7 +278,7 @@ type Peer struct {
 	ids   map[string]engine.PeerID
 
 	content  *content.Content // the content currently being served
-	payloads map[string][]byte
+	payloads payloadMemo
 	leaf     string
 	active   bool
 	stream   seq.Sequence
@@ -309,14 +339,21 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 	if err := ecfg.Normalize(); err != nil {
 		return nil, err
 	}
+	p.met = newPeerMetrics(cfg.Metrics, ep.Name(), cfg.Session)
+	p.payloads.cap = cfg.PayloadMemoCap
+	p.payloads.evictions = p.met.memoEvictions
 	p.mu.Lock()
 	for _, a := range cfg.Roster {
 		p.idOfLocked(a)
 	}
 	self := p.idOfLocked(ep.Name())
 	p.core = engine.NewPeer(ecfg, self, rand.New(rand.NewSource(cfg.Seed)))
+	p.spans = engine.NewSpanTracker(cfg.Spans, cfg.SpanTrace, int(self), engine.SpanMetrics{
+		HandshakeRTT:   p.met.handshakeRTT,
+		CommitLatency:  p.met.commitLatency,
+		RetryWaveDepth: p.met.retryWaveDepth,
+	})
 	p.mu.Unlock()
-	p.met = newPeerMetrics(cfg.Metrics, ep.Name(), cfg.Session)
 	go p.streamLoop()
 	return p, nil
 }
@@ -353,18 +390,32 @@ func (p *Peer) Outcome() engine.Outcome {
 
 // Close stops the peer (crash-stop: no goodbye messages).
 func (p *Peer) Close() error {
-	p.stopped.Do(func() { close(p.stopCh) })
+	p.stopped.Do(func() {
+		close(p.stopCh)
+		p.mu.Lock()
+		p.spans.Finish(liveNow())
+		p.mu.Unlock()
+	})
 	return p.ep.Close()
 }
 
 // send encodes v, stamps the peer's session, and transmits. The error is
 // surfaced so callers can fail over to an alternate peer.
 func (p *Peer) send(to, typ string, v any) error {
+	return p.sendCtx(to, typ, v, span.Context{})
+}
+
+// sendCtx is send with a causal span context stamped on the frame (the
+// zero context leaves the frame untouched, byte-identical to an
+// untraced send).
+func (p *Peer) sendCtx(to, typ string, v any, ctx span.Context) error {
 	m, err := transport.Encode(typ, p.Addr(), v)
 	if err != nil {
 		return err
 	}
 	m.Session = string(p.cfg.Session)
+	m.Trace = uint64(ctx.Trace)
+	m.Span = uint64(ctx.Span)
 	return p.ep.Send(to, m)
 }
 
@@ -448,7 +499,7 @@ func (p *Peer) hydrateLocked(c *content.Content, s seq.Sequence) seq.Sequence {
 // payloadOfLocked derives (and memoizes) the payload of the packet with
 // the given identity key.
 func (p *Peer) payloadOfLocked(c *content.Content, key string) []byte {
-	if pl, ok := p.payloads[key]; ok {
+	if pl, ok := p.payloads.get(key); ok {
 		return pl
 	}
 	var pl []byte
@@ -463,11 +514,69 @@ func (p *Peer) payloadOfLocked(c *content.Content, key string) []byte {
 		}
 		pl = parity.XOR(bufs)
 	}
-	if p.payloads == nil {
-		p.payloads = make(map[string][]byte)
-	}
-	p.payloads[key] = pl
+	p.payloads.put(key, pl)
 	return pl
+}
+
+// payloadMemo is the bounded LRU cache of derived payloads keyed by
+// packet identity. Hydration of long control sequences revisits the
+// same keys (data payloads feed the parity XORs), so the memo is hot;
+// bounding it keeps a long-lived multi-session peer's memory
+// proportional to the working set, not to every content it ever served.
+// The zero value (cap 0) stores nothing; callers are expected to set
+// cap before use (normalize defaults it).
+type payloadMemo struct {
+	cap       int
+	evictions *metrics.Counter
+	ll        *list.List // front = most recently used
+	idx       map[string]*list.Element
+}
+
+type memoEntry struct {
+	key     string
+	payload []byte
+}
+
+// get returns the memoized payload and marks it most recently used.
+func (m *payloadMemo) get(key string) ([]byte, bool) {
+	e, ok := m.idx[key]
+	if !ok {
+		return nil, false
+	}
+	m.ll.MoveToFront(e)
+	return e.Value.(*memoEntry).payload, true
+}
+
+// put inserts (or refreshes) a memo entry, evicting the least recently
+// used entries past the cap.
+func (m *payloadMemo) put(key string, pl []byte) {
+	if m.cap <= 0 {
+		return
+	}
+	if m.ll == nil {
+		m.ll = list.New()
+		m.idx = make(map[string]*list.Element, m.cap)
+	}
+	if e, ok := m.idx[key]; ok {
+		e.Value.(*memoEntry).payload = pl
+		m.ll.MoveToFront(e)
+		return
+	}
+	m.idx[key] = m.ll.PushFront(&memoEntry{key: key, payload: pl})
+	for m.ll.Len() > m.cap {
+		last := m.ll.Back()
+		delete(m.idx, last.Value.(*memoEntry).key)
+		m.ll.Remove(last)
+		m.evictions.Inc()
+	}
+}
+
+// len reports how many payloads are memoized (for tests).
+func (m *payloadMemo) len() int {
+	if m.ll == nil {
+		return 0
+	}
+	return m.ll.Len()
 }
 
 // ---- engine driver ------------------------------------------------------
@@ -479,26 +588,38 @@ type outSend struct {
 	typ  string
 	body any
 	toID engine.PeerID
-	msg  any // the engine message, nil for data-plane sends
+	msg  any          // the engine message, nil for data-plane sends
+	ctx  span.Context // causal context stamped on the frame
 }
 
 // dispatch feeds one event into the engine under the lock and applies
 // the effects; transmissions happen after the lock is released, and
-// their failures are fed back as SendFailed events.
+// their failures are fed back as SendFailed events. Events with no
+// carried causal context (timers, repair, join) enter with the zero
+// context.
 func (p *Peer) dispatch(ev engine.Event) {
+	p.dispatchCtx(ev, span.Context{})
+}
+
+// dispatchCtx is dispatch with the causal context the triggering
+// message carried; the span tracker derives spans from the event/effect
+// pair and stamps outgoing messages before they are encoded.
+func (p *Peer) dispatchCtx(ev engine.Event, parent span.Context) {
 	p.mu.Lock()
 	if p.core == nil {
 		p.mu.Unlock()
 		return
 	}
 	snap := engine.Snapshot{Offset: p.pos, Stream: p.stream, Rate: p.rate, Pending: p.pending != nil}
-	sends := p.applyLocked(p.core.Handle(ev, snap))
+	effs := p.core.Handle(ev, snap)
+	p.spans.Observe(p.core, liveNow(), ev, parent, effs)
+	sends := p.applyLocked(effs)
 	p.mu.Unlock()
 	for _, s := range sends {
-		err := p.send(s.to, s.typ, s.body)
+		err := p.sendCtx(s.to, s.typ, s.body, s.ctx)
 		if err != nil {
 			if s.msg != nil {
-				p.dispatch(engine.SendFailed{To: s.toID, Msg: s.msg})
+				p.dispatchCtx(engine.SendFailed{To: s.toID, Msg: s.msg}, engine.MsgSpan(s.msg))
 			}
 			continue
 		}
@@ -566,18 +687,18 @@ func (p *Peer) encodeLocked(e engine.Send) outSend {
 	}
 	switch m := e.Msg.(type) {
 	case engine.MsgControl:
-		return outSend{to: to, typ: typeControl, toID: e.To, msg: e.Msg, body: controlBody{
+		return outSend{to: to, typ: typeControl, toID: e.To, msg: e.Msg, ctx: m.Span, body: controlBody{
 			Parent: p.Addr(), View: p.addrsOfLocked(m.View), Leaf: p.leaf, ContentID: cid,
 			SeqOffset: m.SeqOffset, Rate: m.Rate, ChildRate: m.ChildRate,
 			Children: m.Children, ChildIdx: m.ChildIdx,
 			Assigned: stripPayloads(m.AssignedSeq), Round: m.Round,
 		}}
 	case engine.MsgConfirm:
-		return outSend{to: to, typ: typeConfirm, toID: e.To, msg: e.Msg, body: confirmBody{
+		return outSend{to: to, typ: typeConfirm, toID: e.To, msg: e.Msg, ctx: m.Span, body: confirmBody{
 			Child: p.Addr(), Accept: m.Accept, Round: m.Round,
 		}}
 	case engine.MsgCommit:
-		return outSend{to: to, typ: typeCommit, toID: e.To, msg: e.Msg, body: commitBody{
+		return outSend{to: to, typ: typeCommit, toID: e.To, msg: e.Msg, ctx: m.Span, body: commitBody{
 			Parent: p.Addr(), ContentID: cid, Leaf: p.leaf,
 			Streams: m.Streams, SeqOffset: m.SeqOffset, Rate: m.Rate,
 			ChildIdx: m.ChildIdx, Assigned: stripPayloads(m.AssignedSeq), Round: m.Round,
@@ -689,36 +810,39 @@ func (p *Peer) repairSendsLocked(indices []int64) []outSend {
 
 // handle dispatches inbound messages. It runs on transport goroutines.
 func (p *Peer) handle(m transport.Msg) {
+	// The frame's causal context (zero when the sender traces nothing)
+	// parents whatever spans handling this message opens.
+	parent := span.Context{Trace: span.TraceID(m.Trace), Span: span.SpanID(m.Span)}
 	switch m.Type {
 	case typeRequest:
 		var b requestBody
 		if m.Decode(&b) == nil {
-			p.onRequest(b)
+			p.onRequest(b, parent)
 		}
 	case typeControl:
 		var b controlBody
 		if m.Decode(&b) == nil {
-			p.onControl(b)
+			p.onControl(b, parent)
 		}
 	case typeConfirm:
 		var b confirmBody
 		if m.Decode(&b) == nil {
-			p.onConfirm(b)
+			p.onConfirm(b, parent)
 		}
 	case typeCommit:
 		var b commitBody
 		if m.Decode(&b) == nil {
-			p.onCommit(b)
+			p.onCommit(b, parent)
 		}
 	case typeRepair:
 		var b repairBody
 		if m.Decode(&b) == nil {
-			p.onRepair(b)
+			p.onRepair(b, parent)
 		}
 	case typeJoin:
 		var b joinBody
 		if m.Decode(&b) == nil {
-			p.onJoin(b)
+			p.onJoin(b, parent)
 		}
 	}
 }
@@ -740,7 +864,7 @@ func (p *Peer) resolveContent(id string) (*content.Content, bool) {
 // computes the initial assignment — Div(Esq(content, h), H, index) at
 // rate τ(h+1)/(hH), exactly the simulator's — because only the driver
 // holds the content; the engine does the rest.
-func (p *Peer) onRequest(b requestBody) {
+func (p *Peer) onRequest(b requestBody, parent span.Context) {
 	c, ok := p.resolveContent(b.ContentID)
 	if !ok || b.H <= 0 || b.Interval <= 0 {
 		return
@@ -752,10 +876,10 @@ func (p *Peer) onRequest(b requestBody) {
 	p.leaf = b.Leaf
 	sel := p.idsOfLocked(b.Selected)
 	p.mu.Unlock()
-	p.dispatch(engine.Request{Assigned: assigned, Rate: rate, Selected: sel, Round: 1})
+	p.dispatchCtx(engine.Request{Assigned: assigned, Rate: rate, Selected: sel, Round: 1}, parent)
 }
 
-func (p *Peer) onControl(b controlBody) {
+func (p *Peer) onControl(b controlBody, parent span.Context) {
 	p.mu.Lock()
 	if c, ok := p.resolveContent(b.ContentID); ok && p.content == nil {
 		p.content = c
@@ -770,17 +894,17 @@ func (p *Peer) onControl(b controlBody) {
 		AssignedSeq: p.hydrateLocked(p.content, b.Assigned), Round: b.Round,
 	}
 	p.mu.Unlock()
-	p.dispatch(engine.Control{Msg: msg})
+	p.dispatchCtx(engine.Control{Msg: msg}, parent)
 }
 
-func (p *Peer) onConfirm(b confirmBody) {
+func (p *Peer) onConfirm(b confirmBody, parent span.Context) {
 	p.mu.Lock()
 	msg := engine.MsgConfirm{Child: p.idOfLocked(b.Child), Accept: b.Accept, Round: b.Round}
 	p.mu.Unlock()
-	p.dispatch(engine.Confirm{Msg: msg})
+	p.dispatchCtx(engine.Confirm{Msg: msg}, parent)
 }
 
-func (p *Peer) onCommit(b commitBody) {
+func (p *Peer) onCommit(b commitBody, parent span.Context) {
 	c, ok := p.resolveContent(b.ContentID)
 	if !ok {
 		return
@@ -796,11 +920,11 @@ func (p *Peer) onCommit(b commitBody) {
 		AssignedSeq: p.hydrateLocked(c, b.Assigned), Round: b.Round,
 	}
 	p.mu.Unlock()
-	p.dispatch(engine.Commit{Msg: msg})
+	p.dispatchCtx(engine.Commit{Msg: msg}, parent)
 }
 
 // onRepair retransmits the requested data packets immediately.
-func (p *Peer) onRepair(b repairBody) {
+func (p *Peer) onRepair(b repairBody, parent span.Context) {
 	c, ok := p.resolveContent(b.ContentID)
 	if !ok {
 		return
@@ -809,12 +933,12 @@ func (p *Peer) onRepair(b repairBody) {
 	p.repairContent = c
 	p.repairTo = b.Leaf
 	p.mu.Unlock()
-	p.dispatch(engine.Repair{Indices: b.Indices})
+	p.dispatchCtx(engine.Repair{Indices: b.Indices}, parent)
 }
 
 // onJoin hands a mid-stream joiner a slice of the remaining stream (the
 // engine declines when inactive or when a hand-off is already pending).
-func (p *Peer) onJoin(b joinBody) {
+func (p *Peer) onJoin(b joinBody, parent span.Context) {
 	p.mu.Lock()
 	ok := b.Joiner != "" && b.Joiner != p.Addr() && p.content != nil &&
 		(b.ContentID == "" || b.ContentID == p.content.ID())
@@ -826,7 +950,7 @@ func (p *Peer) onJoin(b joinBody) {
 	if !ok {
 		return
 	}
-	p.dispatch(engine.Join{Joiner: joiner})
+	p.dispatchCtx(engine.Join{Joiner: joiner}, parent)
 }
 
 // ---- streaming ----------------------------------------------------------

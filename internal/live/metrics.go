@@ -29,16 +29,32 @@ type peerMetrics struct {
 	// counterpart could not be reached.
 	retries   *metrics.Counter
 	failovers *metrics.Counter
+	// memoEvictions counts payload-memo entries dropped by the LRU bound.
+	memoEvictions *metrics.Counter
+	// Coordination-latency histograms (seconds), fed by the engine span
+	// tracker.
+	handshakeRTT   *metrics.Histogram
+	commitLatency  *metrics.Histogram
+	retryWaveDepth *metrics.Histogram
 }
+
+// latencyBounds are the wall-clock histogram buckets (seconds) shared
+// by the live coordination-latency series.
+var latencyBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
 
 func newPeerMetrics(reg *metrics.Registry, addr string, sid SessionID) peerMetrics {
 	return peerMetrics{
-		sent:         reg.Counter("live_data_packets_sent_total", withSession(sid, "peer", addr)...),
-		handoffs:     reg.Counter("live_handoffs_total", withSession(sid)...),
-		activations:  reg.Counter("live_activations_total", withSession(sid)...),
-		repairServed: reg.Counter("live_repair_packets_served_total", withSession(sid)...),
-		retries:      reg.Counter("live_session_retries_total", withSession(sid, "role", "peer")...),
-		failovers:    reg.Counter("live_session_failovers_total", withSession(sid, "role", "peer")...),
+		sent:          reg.Counter("live_data_packets_sent_total", withSession(sid, "peer", addr)...),
+		handoffs:      reg.Counter("live_handoffs_total", withSession(sid)...),
+		activations:   reg.Counter("live_activations_total", withSession(sid)...),
+		repairServed:  reg.Counter("live_repair_packets_served_total", withSession(sid)...),
+		retries:       reg.Counter("live_session_retries_total", withSession(sid, "role", "peer")...),
+		failovers:     reg.Counter("live_session_failovers_total", withSession(sid, "role", "peer")...),
+		memoEvictions: reg.Counter("live_payload_memo_evictions_total", withSession(sid)...),
+
+		handshakeRTT:   reg.Histogram("live_handshake_rtt_seconds", latencyBounds, withSession(sid)...),
+		commitLatency:  reg.Histogram("live_control_commit_latency_seconds", latencyBounds, withSession(sid)...),
+		retryWaveDepth: reg.Histogram("live_retry_wave_depth", []float64{1, 2, 3, 4, 6, 8}, withSession(sid)...),
 	}
 }
 
@@ -55,6 +71,11 @@ type leafMetrics struct {
 	// peer after a send error (crashed or unknown endpoint).
 	retries   *metrics.Counter
 	failovers *metrics.Counter
+	// timeToFirstPacket observes request→first-data latency;
+	// stallDuration observes how long each detected stall lasted before
+	// the repair round fired (both in seconds).
+	timeToFirstPacket *metrics.Histogram
+	stallDuration     *metrics.Histogram
 }
 
 func newLeafMetrics(reg *metrics.Registry, sid SessionID) leafMetrics {
@@ -66,6 +87,9 @@ func newLeafMetrics(reg *metrics.Registry, sid SessionID) leafMetrics {
 		recovered:      reg.Gauge("live_leaf_recovered_packets", withSession(sid)...),
 		retries:        reg.Counter("live_session_retries_total", withSession(sid, "role", "leaf")...),
 		failovers:      reg.Counter("live_session_failovers_total", withSession(sid, "role", "leaf")...),
+
+		timeToFirstPacket: reg.Histogram("live_time_to_first_packet_seconds", latencyBounds, withSession(sid)...),
+		stallDuration:     reg.Histogram("live_stall_duration_seconds", latencyBounds, withSession(sid)...),
 	}
 }
 

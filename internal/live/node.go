@@ -9,6 +9,7 @@ import (
 	"p2pmss/internal/content"
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/protocol"
+	"p2pmss/internal/span"
 	"p2pmss/internal/transport"
 )
 
@@ -35,6 +36,10 @@ type NodeConfig struct {
 	Seed int64
 	// Metrics, when non-nil, instruments the node and all its sessions.
 	Metrics *metrics.Registry
+	// Spans, when non-nil, collects causal spans for every session this
+	// node participates in; each session gets its own trace, derived
+	// from the session id so all nodes agree.
+	Spans *span.Collector
 }
 
 // Node hosts a content store on one transport endpoint and participates
@@ -160,6 +165,7 @@ func (n *Node) newServingPeerLocked(sid SessionID) *Peer {
 		Retries:          n.cfg.Retries,
 		Seed:             n.sessionSeed(sid),
 		Metrics:          n.cfg.Metrics,
+		Spans:            n.cfg.Spans,
 	}, WithAttach(func(transport.Handler) (transport.Endpoint, error) { return se, nil }))
 	if err != nil {
 		return nil
@@ -245,6 +251,7 @@ func (n *Node) Open(sc SessionConfig) (*LeafSession, error) {
 		Session:     sid,
 		Seed:        seed,
 		Metrics:     n.cfg.Metrics,
+		Spans:       n.cfg.Spans,
 	}, WithAttach(func(transport.Handler) (transport.Endpoint, error) { return se, nil }))
 	if err != nil {
 		return nil, err
@@ -422,6 +429,9 @@ type NodesConfig struct {
 	Seed int64
 	// Metrics instruments all nodes and the transport when non-nil.
 	Metrics *metrics.Registry
+	// Spans, when non-nil, collects causal spans across every node and
+	// session on one shared collector.
+	Spans *span.Collector
 }
 
 // NodeCluster is a running node population.
@@ -484,6 +494,7 @@ func StartNodes(cfg NodesConfig) (*NodeCluster, error) {
 			Retries:          cfg.Retries,
 			Seed:             seed,
 			Metrics:          cfg.Metrics,
+			Spans:            cfg.Spans,
 		}, trs[i])
 		if err != nil {
 			nc.Close()

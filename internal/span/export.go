@@ -1,0 +1,241 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteJSONL writes one JSON object per span. Callers pass the sorted
+// output of Collector.Spans so the file is deterministic.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a span JSONL stream written by WriteJSONL. Blank
+// lines are skipped.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal([]byte(raw), &s); err != nil {
+			return nil, fmt.Errorf("span: line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// perfettoEvent is one Chrome trace-event JSON object. Perfetto (and
+// chrome://tracing) load arrays of these; "X" is a complete duration
+// event, "M" is track metadata. Timestamps and durations are in
+// microseconds.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  uint64         `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WritePerfetto renders spans as Chrome trace-event JSON loadable in
+// Perfetto: one process per trace (session), one thread track per
+// peer (the leaf/driver track, Peer == -1, is shown as tid 0 and real
+// peers as tid = peer+1 so every track ID is non-negative). Span times
+// are scaled from seconds to microseconds; virtual and wall clocks
+// render identically.
+func WritePerfetto(w io.Writer, spans []Span) error {
+	events := make([]perfettoEvent, 0, len(spans)+16)
+
+	// Track metadata first: name every (trace, peer) pair that appears.
+	type track struct {
+		trace TraceID
+		peer  int
+	}
+	seen := map[track]bool{}
+	sorted := append([]Span(nil), spans...)
+	sortSpans(sorted)
+	for _, s := range sorted {
+		t := track{s.Trace, s.Peer}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		name := fmt.Sprintf("peer %d", s.Peer)
+		if s.Peer < 0 {
+			name = "leaf"
+		}
+		events = append(events, perfettoEvent{
+			Name: "thread_name", Ph: "M",
+			Pid: uint64(s.Trace), Tid: tid(s.Peer),
+			Args: map[string]any{"name": name},
+		})
+	}
+	tracesNamed := map[TraceID]bool{}
+	for _, s := range sorted {
+		if tracesNamed[s.Trace] {
+			continue
+		}
+		tracesNamed[s.Trace] = true
+		events = append(events, perfettoEvent{
+			Name: "process_name", Ph: "M",
+			Pid: uint64(s.Trace), Tid: 0,
+			Args: map[string]any{"name": fmt.Sprintf("trace %x", uint64(s.Trace))},
+		})
+	}
+
+	for _, s := range sorted {
+		args := map[string]any{
+			"trace": fmt.Sprintf("%x", uint64(s.Trace)),
+			"id":    uint64(s.ID),
+		}
+		if s.Parent != 0 {
+			args["parent"] = uint64(s.Parent)
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		dur := (s.End - s.Start) * 1e6
+		if dur < 1 {
+			// Perfetto hides zero-width slices; floor at 1 µs so
+			// instant spans (commit, absorb, handoff) stay visible.
+			dur = 1
+		}
+		events = append(events, perfettoEvent{
+			Name: s.Name, Ph: "X",
+			Ts: s.Start * 1e6, Dur: dur,
+			Pid: uint64(s.Trace), Tid: tid(s.Peer),
+			Args: args,
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i := range events {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(&events[i])
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// tid maps a span's peer index to a non-negative Perfetto thread ID.
+func tid(peer int) int64 {
+	if peer < 0 {
+		return 0
+	}
+	return int64(peer) + 1
+}
+
+// SummaryRow aggregates the durations of one span name within one
+// trace: count and latency quantiles, in the trace's clock units
+// (virtual or wall seconds).
+type SummaryRow struct {
+	Trace TraceID `json:"trace"`
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summarize groups spans by (trace, name) and computes duration
+// quantiles per group, sorted by (trace, name) for stable output.
+func Summarize(spans []Span) []SummaryRow {
+	type key struct {
+		trace TraceID
+		name  string
+	}
+	groups := map[key][]float64{}
+	for _, s := range spans {
+		k := key{s.Trace, s.Name}
+		groups[k] = append(groups[k], s.Duration())
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].trace != keys[j].trace {
+			return keys[i].trace < keys[j].trace
+		}
+		return keys[i].name < keys[j].name
+	})
+	rows := make([]SummaryRow, 0, len(keys))
+	for _, k := range keys {
+		ds := groups[k]
+		sort.Float64s(ds)
+		rows = append(rows, SummaryRow{
+			Trace: k.trace, Name: k.name, Count: len(ds),
+			P50: quantile(ds, 0.50),
+			P95: quantile(ds, 0.95),
+			P99: quantile(ds, 0.99),
+			Max: ds[len(ds)-1],
+		})
+	}
+	return rows
+}
+
+// quantile returns the q-quantile of sorted ds (nearest-rank).
+func quantile(ds []float64, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(ds)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ds) {
+		i = len(ds) - 1
+	}
+	return ds[i]
+}
+
+// FprintSummary renders summary rows as an aligned text table.
+func FprintSummary(w io.Writer, rows []SummaryRow) {
+	fmt.Fprintf(w, "%-16s  %-14s  %7s  %12s  %12s  %12s  %12s\n",
+		"trace", "span", "count", "p50", "p95", "p99", "max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16x  %-14s  %7d  %12.6f  %12.6f  %12.6f  %12.6f\n",
+			uint64(r.Trace), r.Name, r.Count, r.P50, r.P95, r.P99, r.Max)
+	}
+}

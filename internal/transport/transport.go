@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -26,16 +27,18 @@ import (
 // endpoints sharing a registry aggregate into the same series.
 type fabricMetrics struct {
 	msgs, bytes, dropped, received *metrics.Counter
+	queueDropped                   *metrics.Counter
 	inflight                       *metrics.Gauge
 }
 
 func newTransportMetrics(reg *metrics.Registry, kind string) fabricMetrics {
 	return fabricMetrics{
-		msgs:     reg.Counter("transport_messages_sent_total", "transport", kind),
-		bytes:    reg.Counter("transport_bytes_sent_total", "transport", kind),
-		dropped:  reg.Counter("transport_messages_dropped_total", "transport", kind),
-		received: reg.Counter("transport_messages_received_total", "transport", kind),
-		inflight: reg.Gauge("transport_inflight_messages", "transport", kind),
+		msgs:         reg.Counter("transport_messages_sent_total", "transport", kind),
+		bytes:        reg.Counter("transport_bytes_sent_total", "transport", kind),
+		dropped:      reg.Counter("transport_messages_dropped_total", "transport", kind),
+		received:     reg.Counter("transport_messages_received_total", "transport", kind),
+		queueDropped: reg.Counter("transport_queue_dropped_total", "transport", kind),
+		inflight:     reg.Gauge("transport_inflight_messages", "transport", kind),
 	}
 }
 
@@ -49,6 +52,13 @@ type Msg struct {
 	// endpoint participates in several concurrently (live.Node); empty
 	// on single-session traffic.
 	Session string `json:"session,omitempty"`
+	// Trace and Span carry the sender's causal span context
+	// (internal/span) so the receiver can parent its own spans under the
+	// coordination step that triggered the message. Zero when tracing is
+	// disabled — omitted from the frame, keeping the wire byte-identical
+	// to an untraced run.
+	Trace uint64 `json:"trace,omitempty"`
+	Span  uint64 `json:"span,omitempty"`
 	// Payload is the JSON-encoded body.
 	Payload json.RawMessage `json:"payload"`
 }
@@ -109,9 +119,34 @@ type Fabric struct {
 	queued  bool
 	queue   []queuedMsg
 	pumping bool
-	wg      sync.WaitGroup
-	met     fabricMetrics
+	// Bounded-queue state (NewBoundedQueuedFabric): queueCap caps the
+	// pending queue, policy picks what a full queue does to new sends,
+	// space wakes blocked senders, pumpID identifies the pump goroutine
+	// (whose own enqueues must never block — they would deadlock the
+	// drain), and queueDrops counts messages lost to QueueDropNewest.
+	queueCap   int
+	policy     QueuePolicy
+	space      *sync.Cond
+	pumpID     uint64
+	queueDrops int64
+	wg         sync.WaitGroup
+	met        fabricMetrics
 }
+
+// QueuePolicy selects what a bounded queued fabric does with a send
+// arriving while the queue is at capacity.
+type QueuePolicy int
+
+const (
+	// QueueBlock applies backpressure: the sender waits until the pump
+	// frees a slot. Sends issued from inside a handler (i.e. on the pump
+	// goroutine itself) are exempt and may transiently exceed the cap,
+	// since blocking them would deadlock the drain.
+	QueueBlock QueuePolicy = iota
+	// QueueDropNewest drops the arriving message, counting it in the
+	// transport_queue_dropped_total metric and QueueDrops.
+	QueueDropNewest
+)
 
 type queuedMsg struct {
 	to string
@@ -136,10 +171,32 @@ func NewFabric() *Fabric {
 // pump goroutine delivers messages in global enqueue order, running each
 // handler to completion before the next delivery. Used by conformance
 // tests that compare a live run against the discrete-event simulator.
+// The queue is unbounded; see NewBoundedQueuedFabric for a capped one.
 func NewQueuedFabric() *Fabric {
 	f := NewFabric()
 	f.queued = true
 	return f
+}
+
+// NewBoundedQueuedFabric is NewQueuedFabric with the pending queue
+// capped at capacity messages. policy selects backpressure (QueueBlock)
+// or loss (QueueDropNewest) when the queue is full; drops are counted
+// in QueueDrops and the transport_queue_dropped_total metric. A
+// capacity <= 0 leaves the queue unbounded.
+func NewBoundedQueuedFabric(capacity int, policy QueuePolicy) *Fabric {
+	f := NewQueuedFabric()
+	f.queueCap = capacity
+	f.policy = policy
+	f.space = sync.NewCond(&f.mu)
+	return f
+}
+
+// QueueDrops reports how many messages a bounded queued fabric dropped
+// because the queue was at capacity.
+func (f *Fabric) QueueDrops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.queueDrops
 }
 
 // Endpoint registers name with the handler and returns its endpoint.
@@ -204,9 +261,26 @@ func (e *memEndpoint) Send(to string, m Msg) error {
 	return nil
 }
 
-// enqueue appends to the FIFO queue and starts the pump if idle.
+// enqueue appends to the FIFO queue and starts the pump if idle. On a
+// bounded fabric a full queue either drops the message (QueueDropNewest)
+// or blocks the sender until the pump frees a slot (QueueBlock) — except
+// when the sender IS the pump (a handler sending mid-delivery), which
+// may exceed the cap rather than deadlock the drain.
 func (f *Fabric) enqueue(to string, m Msg) {
 	f.mu.Lock()
+	if f.queueCap > 0 && len(f.queue) >= f.queueCap {
+		if f.policy == QueueDropNewest {
+			f.queueDrops++
+			f.met.queueDropped.Inc()
+			f.mu.Unlock()
+			return
+		}
+		if f.pumpID != goid() {
+			for len(f.queue) >= f.queueCap {
+				f.space.Wait()
+			}
+		}
+	}
 	f.queue = append(f.queue, queuedMsg{to, m})
 	f.wg.Add(1)
 	f.met.inflight.Add(1)
@@ -222,10 +296,14 @@ func (f *Fabric) enqueue(to string, m Msg) {
 
 // pump drains the queue in order, one delivery at a time.
 func (f *Fabric) pump() {
+	f.mu.Lock()
+	f.pumpID = goid()
+	f.mu.Unlock()
 	for {
 		f.mu.Lock()
 		if len(f.queue) == 0 {
 			f.pumping = false
+			f.pumpID = 0
 			f.mu.Unlock()
 			return
 		}
@@ -234,6 +312,9 @@ func (f *Fabric) pump() {
 		h := f.handlers[qm.to]
 		closed := f.closed[qm.to]
 		met := f.met
+		if f.space != nil {
+			f.space.Broadcast()
+		}
 		f.mu.Unlock()
 		if h != nil && !closed {
 			met.received.Inc()
@@ -244,6 +325,24 @@ func (f *Fabric) pump() {
 		met.inflight.Add(-1)
 		f.wg.Done()
 	}
+}
+
+// goid parses the running goroutine's id from its stack header; used
+// only on the bounded-queue slow path to recognize the pump goroutine.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	// "goroutine 123 [...":  skip "goroutine ", parse digits.
+	const prefix = "goroutine "
+	var id uint64
+	for i := len(prefix); i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			break
+		}
+		id = id*10 + uint64(s[i]-'0')
+	}
+	return id
 }
 
 func (e *memEndpoint) Close() error {

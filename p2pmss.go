@@ -46,6 +46,7 @@ import (
 	"p2pmss/internal/overlay"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/schedule"
+	"p2pmss/internal/span"
 	"p2pmss/internal/trace"
 	"p2pmss/internal/transport"
 )
@@ -205,6 +206,22 @@ func WriteRunRecordsJSONL(w io.Writer, recs []RunRecord) error {
 	return experiment.WriteRecordsJSONL(w, recs)
 }
 
+// Spans concatenates the records' causal spans in grid order (set
+// ExperimentOptions.CollectSpans to collect them).
+func Spans(recs []RunRecord) []Span { return experiment.Spans(recs) }
+
+// SeriesFromRecords aggregates per-run sweep records into the averaged
+// series the figure functions return.
+func SeriesFromRecords(proto Protocol, o ExperimentOptions, recs []RunRecord) Series {
+	return experiment.SeriesFromRecords(proto, o, recs)
+}
+
+// BaselinesFromRecords aggregates per-run baseline records into the
+// comparison table rows.
+func BaselinesFromRecords(o ExperimentOptions, recs []RunRecord) []BaselineRow {
+	return experiment.BaselinesFromRecords(o, recs)
+}
+
 // GossipCoveragePoint is one fanout's mean dissemination coverage.
 type GossipCoveragePoint = experiment.GossipCoveragePoint
 
@@ -218,6 +235,54 @@ func GossipCoverage(n int, fanouts []int, seeds int) ([]GossipCoveragePoint, err
 func PrintGossipCoverage(w io.Writer, n int, pts []GossipCoveragePoint) {
 	experiment.FprintGossipCoverage(w, n, pts)
 }
+
+// ---- causal span tracing --------------------------------------------------
+
+// Span is one causal coordination span (a handshake round, confirmation
+// wave, commit, hand-off, streaming interval, stall, ...) recorded by a
+// simulated or live run.
+type Span = span.Span
+
+// SpanContext is the (trace, span) pair a message carries so its
+// receiver can nest its own spans under the sender's.
+type SpanContext = span.Context
+
+// SpanCollector accumulates spans concurrently; a nil collector is the
+// disabled state, costing nothing on the engine's hot path.
+type SpanCollector = span.Collector
+
+// SpanSummaryRow is one (trace, name) group's latency quantiles.
+type SpanSummaryRow = span.SummaryRow
+
+// SpanTraceID identifies one traced session or run; SimConfig.SpanTrace
+// takes one.
+type SpanTraceID = span.TraceID
+
+// NewSpanCollector returns an empty span collector.
+func NewSpanCollector() *SpanCollector { return span.NewCollector() }
+
+// DeriveTrace deterministically derives a non-zero trace id from a
+// name, so repeated runs of "fig10/H=10/seed=3" share a trace id and
+// distinct names do not collide.
+func DeriveTrace(name string) SpanTraceID { return span.DeriveTrace(name) }
+
+// WriteSpansJSONL writes spans to w as JSON Lines, one span per line.
+func WriteSpansJSONL(w io.Writer, spans []Span) error { return span.WriteJSONL(w, spans) }
+
+// ReadSpansJSONL reads a JSONL span stream written by WriteSpansJSONL.
+func ReadSpansJSONL(r io.Reader) ([]Span, error) { return span.ReadJSONL(r) }
+
+// WriteSpansPerfetto writes spans as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) with one process per trace and one
+// track per peer.
+func WriteSpansPerfetto(w io.Writer, spans []Span) error { return span.WritePerfetto(w, spans) }
+
+// SummarizeSpans groups spans by (trace, name) and computes duration
+// quantiles per group.
+func SummarizeSpans(spans []Span) []SpanSummaryRow { return span.Summarize(spans) }
+
+// PrintSpanSummary writes the per-session latency quantile table.
+func PrintSpanSummary(w io.Writer, rows []SpanSummaryRow) { span.FprintSummary(w, rows) }
 
 // ---- heterogeneous scheduling (§2) ----------------------------------------
 
