@@ -4,6 +4,11 @@
 // coordination protocol, optionally crash-stops peers mid-stream, and
 // reports delivery statistics.
 //
+// With -udp the peers run on UDP sockets instead (real datagram
+// semantics), and with -mem on the in-process fabric; on either, the
+// -loss/-burst/-dup/-reorder flags inject seeded impairment so §3.2
+// parity recovery and stall repair do real work.
+//
 // With -listen the session also serves its observability endpoints over
 // HTTP: Prometheus-format /metrics, /healthz, expvar on /debug/vars and
 // net/http/pprof on /debug/pprof/.
@@ -16,6 +21,7 @@
 // Usage:
 //
 //	mssplay -peers 8 -h 3 -size 65536 -kill 2
+//	mssplay -udp -loss 0.05 -reorder 0.05    # lossy UDP; parity covers the gaps
 //	mssplay -peers 10 -sessions 4 -kill 1
 //	mssplay -listen 127.0.0.1:9090   # then: curl localhost:9090/metrics
 //	mssplay -sessions 4 -trace-out t.jsonl   # then: msstrace perfetto t.jsonl
@@ -49,11 +55,38 @@ func main() {
 		sessions = flag.Int("sessions", 1, "stream this many concurrent sessions over one node population")
 		retries  = flag.Int("retries", 0, "alternate-peer retries per failed child slot (0 = per-peer default H)")
 		hsTime   = flag.Duration("handshake-timeout", 0, "control/confirm handshake deadline (0 = per-peer default)")
+		useUDP   = flag.Bool("udp", false, "run every peer on its own UDP socket (real datagram semantics; default is TCP)")
+		useMem   = flag.Bool("mem", false, "run the session on the in-process fabric instead of sockets")
+		loss     = flag.Float64("loss", 0, "impairment: drop each datagram with this probability (needs -udp or -mem)")
+		burst    = flag.Int("burst", 0, "impairment: drop this many extra datagrams after each loss (bursty loss)")
+		dup      = flag.Float64("dup", 0, "impairment: deliver each datagram twice with this probability")
+		reorder  = flag.Float64("reorder", 0, "impairment: hold each datagram back behind later traffic with this probability")
+		queueCap = flag.Int("queue-cap", 0, "in-process fabric pending-queue capacity (0 = default 4096, negative = unbounded)")
+		queuePol = flag.String("queue-policy", "block", "full in-process queue policy: block (backpressure) or drop (newest)")
 		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof/ on this address (off by default)")
 		traceOut = flag.String("trace-out", "",
 			"write causal coordination spans (JSONL) to this file; convert with msstrace perfetto/summary")
 	)
 	flag.Parse()
+
+	if *useUDP && *useMem {
+		fatal(fmt.Errorf("-udp and -mem are mutually exclusive"))
+	}
+	impair := p2pmss.TransportImpairment{
+		Seed: *seed, Loss: *loss, BurstLen: *burst, Duplicate: *dup, Reorder: *reorder,
+	}
+	if impair.Enabled() && !*useUDP && !*useMem {
+		fatal(fmt.Errorf("impairment flags need -udp or -mem (a TCP stream cannot lose frames)"))
+	}
+	var policy p2pmss.TransportQueuePolicy
+	switch *queuePol {
+	case "block":
+		policy = p2pmss.QueueBlock
+	case "drop":
+		policy = p2pmss.QueueDropNewest
+	default:
+		fatal(fmt.Errorf("-queue-policy %q: want block or drop", *queuePol))
+	}
 
 	var spanCol *p2pmss.SpanCollector
 	if *traceOut != "" {
@@ -73,9 +106,11 @@ func main() {
 		go srv.Serve(ln) //nolint:errcheck // shut down with the process
 	}
 
+	wire := wiring{useUDP: *useUDP, useMem: *useMem, impair: impair, queueCap: *queueCap, policy: policy}
+
 	if *sessions > 1 {
 		runSessions(*nPeers, *sessions, *fanout, *interval, *size, *pktSize, *rate,
-			*kill, *proto, *timeout, *seed, *retries, *hsTime, reg, spanCol, *traceOut)
+			*kill, *proto, *timeout, *seed, *retries, *hsTime, wire, reg, spanCol, *traceOut)
 		return
 	}
 
@@ -93,7 +128,11 @@ func main() {
 		Interval:         *interval,
 		Rate:             *rate,
 		Protocol:         *proto,
-		UseTCP:           true,
+		UseTCP:           !wire.useUDP && !wire.useMem,
+		UseUDP:           wire.useUDP,
+		Impair:           wire.impair,
+		QueueCap:         wire.queueCap,
+		QueuePolicy:      wire.policy,
 		HandshakeTimeout: *hsTime,
 		Retries:          *retries,
 		Seed:             *seed,
@@ -162,9 +201,17 @@ func main() {
 // runSessions streams `sessions` distinct contents concurrently over one
 // node population on TCP loopback, optionally crash-stopping serving
 // nodes mid-stream.
+// wiring bundles the transport selection shared by both demo modes.
+type wiring struct {
+	useUDP, useMem bool
+	impair         p2pmss.TransportImpairment
+	queueCap       int
+	policy         p2pmss.TransportQueuePolicy
+}
+
 func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate float64,
 	kill int, proto string, timeout time.Duration, seed int64,
-	retries int, hsTimeout time.Duration, reg *p2pmss.MetricsRegistry,
+	retries int, hsTimeout time.Duration, wire wiring, reg *p2pmss.MetricsRegistry,
 	spanCol *p2pmss.SpanCollector, traceOut string) {
 	if sessions > nodes {
 		fatal(fmt.Errorf("-sessions %d needs at least as many -peers (have %d)", sessions, nodes))
@@ -184,7 +231,11 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 		H:                fanout,
 		Interval:         interval,
 		Protocol:         proto,
-		UseTCP:           true,
+		UseTCP:           !wire.useUDP && !wire.useMem,
+		UseUDP:           wire.useUDP,
+		Impair:           wire.impair,
+		QueueCap:         wire.queueCap,
+		QueuePolicy:      wire.policy,
 		HandshakeTimeout: hsTimeout,
 		Retries:          retries,
 		Seed:             seed,
@@ -200,15 +251,22 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 	}
 
 	start := time.Now()
+	// Datagram transports can lose the request itself; arm the leaf's
+	// request-retry deadline there.
+	var requestRetry time.Duration
+	if wire.useUDP || wire.impair.Enabled() {
+		requestRetry = 200 * time.Millisecond
+	}
 	leaves := make([]*p2pmss.LiveLeafSession, sessions)
 	for i := 0; i < sessions; i++ {
 		id := fmt.Sprintf("demo%d", i)
 		ls, err := nc.Open(i, p2pmss.LiveSessionConfig{
-			ContentID:   id,
-			ContentSize: size,
-			PacketSize:  pktSize,
-			Rate:        rate,
-			RepairAfter: 400 * time.Millisecond,
+			ContentID:    id,
+			ContentSize:  size,
+			PacketSize:   pktSize,
+			Rate:         rate,
+			RepairAfter:  400 * time.Millisecond,
+			RequestRetry: requestRetry,
 		})
 		if err != nil {
 			fatal(err)

@@ -82,6 +82,12 @@ type Assembler struct {
 	packetSize int
 	numPackets int64
 	recov      *parity.Recoverer
+	// have counts the distinct in-range data packets present, maintained
+	// incrementally from the recoverer's data hook. The leaf consults
+	// Have around every arrival; a per-arrival scan of all l packets
+	// made delivery O(l²) and fell behind the τ(h+1)/h receipt rate on
+	// large contents.
+	have int64
 }
 
 // NewAssembler prepares reassembly of a content with the given byte size
@@ -94,23 +100,24 @@ func NewAssembler(size, packetSize int) *Assembler {
 	if size > 0 {
 		n = int64((size + packetSize - 1) / packetSize)
 	}
-	return &Assembler{size: size, packetSize: packetSize, numPackets: n, recov: parity.NewRecoverer()}
+	a := &Assembler{size: size, packetSize: packetSize, numPackets: n, recov: parity.NewRecoverer()}
+	a.recov.OnData(func(k int64) {
+		// The hook fires once per index; out-of-range indices (a peer
+		// serving a different content) must not count toward completion.
+		if k >= 1 && k <= a.numPackets {
+			a.have++
+		}
+	})
+	return a
 }
 
 // Add feeds one received packet.
 func (a *Assembler) Add(p seq.Packet) { a.recov.Add(p) }
 
 // Have returns how many of the content's data packets are present
-// (received or recovered).
-func (a *Assembler) Have() int64 {
-	var n int64
-	for k := int64(1); k <= a.numPackets; k++ {
-		if a.recov.HasData(k) {
-			n++
-		}
-	}
-	return n
-}
+// (received or recovered). O(1): maintained incrementally as packets
+// arrive or are derived.
+func (a *Assembler) Have() int64 { return a.have }
 
 // Missing lists the content indices still absent.
 func (a *Assembler) Missing() []int64 {

@@ -20,9 +20,40 @@ func seqAt(parts []seq.Sequence, i int) seq.Sequence {
 	return nil
 }
 
+// assignKey identifies one share assignment a parent issued to this
+// peer. A DCoP parent never issues the same (round, child-index) slot
+// twice — dcopSelect only ever picks children outside its view — so two
+// deliveries with equal keys are the same packet duplicated by the
+// network, and the merge pkt_i ∪ pkt_ji must apply once, not once per
+// copy (a re-merge double-counts the child rate and burns a fresh
+// flooding round out of the §3.3 lifetime budget).
+type assignKey struct {
+	parent    PeerID
+	round     int
+	childIdx  int
+	seqOffset int
+	streams   int
+}
+
+// firstDelivery records k and reports whether it was new.
+func (p *Peer) firstDelivery(k assignKey) bool {
+	if p.seenAssign[k] {
+		return false
+	}
+	if p.seenAssign == nil {
+		p.seenAssign = make(map[assignKey]bool)
+	}
+	p.seenAssign[k] = true
+	return true
+}
+
 // dcopOnControl handles a parent's c1: merge when already transmitting,
 // activate otherwise, then keep flooding while the view has holes.
+// Duplicated deliveries of the same control are dropped (see assignKey).
 func (p *Peer) dcopOnControl(m MsgControl, snap Snapshot) []Effect {
+	if !p.firstDelivery(assignKey{parent: m.Parent, round: m.Round, childIdx: m.ChildIdx, seqOffset: m.SeqOffset}) {
+		return nil
+	}
 	p.viewAdd(p.id)
 	p.viewAdd(m.Parent)
 	p.viewAddAll(m.View)
@@ -45,8 +76,13 @@ func (p *Peer) dcopOnControl(m MsgControl, snap Snapshot) []Effect {
 
 // dcopOnCommit handles a mid-stream Join grant (the live layer reuses
 // the commit packet to hand a joiner its slice; there is no handshake
-// in DCoP, so a commit can arrive to an already-active peer too).
+// in DCoP, so a commit can arrive to an already-active peer too). A
+// later, legitimate second grant differs in SeqOffset or Streams, which
+// the dedup key includes; byte-identical re-deliveries merge once.
 func (p *Peer) dcopOnCommit(m MsgCommit, snap Snapshot) []Effect {
+	if !p.firstDelivery(assignKey{parent: m.Parent, round: m.Round, childIdx: m.ChildIdx, seqOffset: m.SeqOffset, streams: m.Streams}) {
+		return nil
+	}
 	p.viewAdd(m.Parent)
 	if p.active {
 		p.noteMerged(m.Round, m.AssignedSeq)

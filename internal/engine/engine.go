@@ -323,6 +323,9 @@ type Peer struct {
 
 	// DCoP: children taken over the peer's lifetime (capped at H, §3.3).
 	childrenTaken int
+	// DCoP: assignments already delivered once, so network-duplicated
+	// controls/commits don't re-merge or re-flood (see assignKey).
+	seenAssign map[assignKey]bool
 
 	// TCoP handshake state.
 	wanted       int

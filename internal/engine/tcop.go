@@ -62,12 +62,20 @@ func (p *Peer) addRestricted(v overlay.View, id PeerID) {
 }
 
 // tcopOnControl handles a prospective parent's c1: accept iff not yet
-// transmitting and not already adopted (first parent wins, §3.5).
+// transmitting and not already adopted (first parent wins, §3.5). A
+// duplicated c1 from the peer's own adopted parent — a datagram network
+// may deliver the control twice — is re-acknowledged with the same
+// Accept verdict instead of a refusal: answering "no" to one's own
+// parent lets a reordered duplicate refusal overtake the original
+// acceptance and cost the child its slot. The re-ack does not re-arm
+// the release deadline, so a parent that truly died still releases the
+// adoption on schedule.
 func (p *Peer) tcopOnControl(m MsgControl) []Effect {
 	p.viewAdd(p.id)
 	p.viewAdd(m.Parent)
 	p.viewAddAll(m.View)
 	accept := !p.active && p.parent < 0
+	redundant := !p.active && p.parent == int(m.Parent)
 	var effs []Effect
 	if accept {
 		p.parent = int(m.Parent)
@@ -82,7 +90,7 @@ func (p *Peer) tcopOnControl(m MsgControl) []Effect {
 		})
 	}
 	return append(effs, Send{To: m.Parent, Msg: MsgConfirm{
-		Child: p.id, Accept: accept, Round: m.Round + 1,
+		Child: p.id, Accept: accept || redundant, Round: m.Round + 1,
 	}})
 }
 

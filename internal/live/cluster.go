@@ -12,7 +12,8 @@ import (
 )
 
 // ClusterConfig wires a whole live session — n contents peers plus one
-// leaf — in one call, over either the in-memory fabric or TCP loopback.
+// leaf — in one call, over the in-memory fabric, TCP loopback, or UDP
+// loopback.
 type ClusterConfig struct {
 	// Content is the content every contents peer holds.
 	Content *content.Content
@@ -27,10 +28,32 @@ type ClusterConfig struct {
 	// UseTCP runs every peer on its own TCP loopback socket instead of
 	// the in-memory fabric.
 	UseTCP bool
+	// UseUDP runs every peer on its own UDP loopback socket: real
+	// datagram semantics — loss, duplication, and reordering are possible
+	// and never reported to the sender. Mutually exclusive with UseTCP.
+	UseUDP bool
+	// Impair, when enabled, injects seeded loss/duplication/reordering
+	// into every send — on the in-memory fabric or on each UDP socket
+	// (TCP cannot be impaired; its stream would desynchronize). See
+	// transport.Impairment.
+	Impair transport.Impairment
+	// QueueCap bounds the in-memory fabric's pending queue (default
+	// 4096; negative leaves it unbounded) and QueuePolicy picks whether
+	// a full queue blocks senders (default) or drops the newest message.
+	// Ignored under TCP/UDP, where the kernel's socket buffers bound the
+	// queue instead.
+	QueueCap    int
+	QueuePolicy transport.QueuePolicy
 	// Delta is the assumed one-way latency for marking (default 10 ms).
 	Delta time.Duration
 	// RepairAfter is the leaf's stall-detection period (default 500 ms).
 	RepairAfter time.Duration
+	// RequestRetry is the leaf's request re-send deadline for requests a
+	// datagram transport may silently lose. Zero defaults to half of
+	// RepairAfter when the session runs on UDP or with impairment
+	// enabled, and disables the retry loop otherwise (the fabric and TCP
+	// report send failures, which Start's failover already handles).
+	RequestRetry time.Duration
 	// HandshakeTimeout and Retries tune the peers' churn tolerance (see
 	// PeerConfig); zero picks the per-peer defaults.
 	HandshakeTimeout time.Duration
@@ -70,6 +93,15 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.RepairAfter == 0 {
 		cfg.RepairAfter = 500 * time.Millisecond
 	}
+	if cfg.UseTCP && cfg.UseUDP {
+		return nil, fmt.Errorf("live: UseTCP and UseUDP are mutually exclusive")
+	}
+	if cfg.UseTCP && cfg.Impair.Enabled() {
+		return nil, fmt.Errorf("live: impairment needs a datagram transport (in-memory fabric or UDP), not TCP")
+	}
+	if cfg.RequestRetry == 0 && (cfg.UseUDP || cfg.Impair.Enabled()) {
+		cfg.RequestRetry = cfg.RepairAfter / 2
+	}
 
 	c := &Cluster{}
 	var roster []string
@@ -105,9 +137,41 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			leafLB.bind(h)
 			return leafLB.ep, nil
 		})
+	} else if cfg.UseUDP {
+		imp := udpImpairment(cfg.Impair, cfg.Delta)
+		for i := range transports {
+			lb := &lateBinder{}
+			ep, err := transport.ListenUDP("127.0.0.1:0", lb.dispatch)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			lb.ep = ep
+			ep.Instrument(cfg.Metrics)
+			ep.SetImpairment(imp)
+			roster = append(roster, ep.Name())
+			transports[i] = WithAttach(func(h transport.Handler) (transport.Endpoint, error) {
+				lb.bind(h)
+				return lb.ep, nil
+			})
+		}
+		leafLB := &lateBinder{}
+		lep, err := transport.ListenUDP("127.0.0.1:0", leafLB.dispatch)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		leafLB.ep = lep
+		lep.Instrument(cfg.Metrics)
+		lep.SetImpairment(imp)
+		leafTransport = WithAttach(func(h transport.Handler) (transport.Endpoint, error) {
+			leafLB.bind(h)
+			return leafLB.ep, nil
+		})
 	} else {
-		c.fabric = transport.NewFabric()
+		c.fabric = clusterFabric(cfg.QueueCap, cfg.QueuePolicy)
 		c.fabric.Instrument(cfg.Metrics)
+		c.fabric.SetImpairment(cfg.Impair)
 		for i := 0; i < cfg.Peers; i++ {
 			name := fmt.Sprintf("cp%d", i)
 			roster = append(roster, name)
@@ -146,16 +210,17 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		leafSeed += 1000003
 	}
 	leaf, err := NewLeaf(LeafConfig{
-		Roster:      roster,
-		H:           cfg.H,
-		Interval:    cfg.Interval,
-		Rate:        cfg.Rate,
-		ContentSize: cfg.Content.Size(),
-		PacketSize:  cfg.Content.PacketSize(),
-		RepairAfter: cfg.RepairAfter,
-		Seed:        leafSeed,
-		Metrics:     cfg.Metrics,
-		Spans:       cfg.Spans,
+		Roster:       roster,
+		H:            cfg.H,
+		Interval:     cfg.Interval,
+		Rate:         cfg.Rate,
+		ContentSize:  cfg.Content.Size(),
+		PacketSize:   cfg.Content.PacketSize(),
+		RepairAfter:  cfg.RepairAfter,
+		RequestRetry: cfg.RequestRetry,
+		Seed:         leafSeed,
+		Metrics:      cfg.Metrics,
+		Spans:        cfg.Spans,
 	}, leafTransport)
 	if err != nil {
 		c.Close()
@@ -206,11 +271,34 @@ func (c *Cluster) Close() {
 	})
 }
 
-// lateBinder lets a TCP listener start before its peer exists: frames
-// arriving before bind are dropped, as a real socket would drop traffic
-// for a process still booting.
+// clusterFabric builds the cluster's default in-process fabric: bounded
+// FIFO queue (backpressure at 4096 pending messages) rather than a
+// goroutine per message, so a runaway sender saturates a queue instead
+// of the scheduler. queueCap <= -1 restores the unbounded queue; 0 picks
+// the default.
+func clusterFabric(queueCap int, policy transport.QueuePolicy) *transport.Fabric {
+	if queueCap == 0 {
+		queueCap = 4096
+	}
+	return transport.NewBoundedQueuedFabric(queueCap, policy)
+}
+
+// udpImpairment adapts an impairment policy for real sockets: a held
+// (reordered) datagram on a link that goes quiet would otherwise never
+// be released, so a wall-clock MaxHold of a few deltas is imposed when
+// the caller left it unset.
+func udpImpairment(imp transport.Impairment, delta time.Duration) transport.Impairment {
+	if imp.Enabled() && imp.MaxHold == 0 {
+		imp.MaxHold = 5 * delta
+	}
+	return imp
+}
+
+// lateBinder lets a listener (TCP or UDP) start before its peer exists:
+// frames arriving before bind are dropped, as a real socket would drop
+// traffic for a process still booting.
 type lateBinder struct {
-	ep *transport.TCPEndpoint
+	ep transport.Endpoint
 
 	mu sync.Mutex
 	h  transport.Handler

@@ -34,6 +34,18 @@ type LeafConfig struct {
 	// asking surviving peers to retransmit missing packets. Zero
 	// disables repair.
 	RepairAfter time.Duration
+	// RequestRetry, when positive, re-sends the initial content request
+	// to every selected peer the leaf has not yet heard a data packet
+	// from, once per interval. Start's send-error failover only covers
+	// connection-oriented transports: a datagram transport loses a
+	// request silently (Send returns nil), leaving the slot's whole
+	// division untransmitted — more loss than parity can absorb.
+	// Re-sent requests are idempotent at the peers (an already-active
+	// peer ignores them). Zero disables the deadline.
+	RequestRetry time.Duration
+	// RequestRetries caps the re-send waves (default 5 when
+	// RequestRetry is positive).
+	RequestRetries int
 	// Session scopes the leaf to one streaming session (see
 	// PeerConfig.Session).
 	Session SessionID
@@ -202,10 +214,64 @@ func (l *Leaf) Start() error {
 			spare = spare[1:]
 		}
 	}
+	if l.cfg.RequestRetry > 0 {
+		go l.requestLoop(sel, root)
+	}
 	if l.cfg.RepairAfter > 0 {
 		go l.repairLoop()
 	}
 	return nil
+}
+
+// requestLoop is the datagram-side counterpart of Start's send-error
+// failover: every RequestRetry it re-sends the content request to each
+// selected peer that has not yet delivered a single data packet, until
+// all have or the retry budget is spent. Without it a lost request
+// datagram silently killed the slot for the whole session (the
+// engine's own deadlines guard the later handshake rounds, but nothing
+// guarded round 1's request).
+func (l *Leaf) requestLoop(sel []string, root span.Context) {
+	retries := l.cfg.RequestRetries
+	if retries <= 0 {
+		retries = 5
+	}
+	tick := time.NewTicker(l.cfg.RequestRetry)
+	defer tick.Stop()
+	for wave := 0; wave < retries; wave++ {
+		select {
+		case <-l.done:
+			return
+		case <-l.stopCh:
+			return
+		case <-tick.C:
+		}
+		quiet := 0
+		for idx, peer := range sel {
+			l.mu.Lock()
+			heard := !l.lastHeard[peer].IsZero()
+			l.mu.Unlock()
+			if heard {
+				continue
+			}
+			quiet++
+			l.met.retries.Inc()
+			body := requestBody{
+				ContentID: l.cfg.ContentID,
+				Rate:      l.cfg.Rate,
+				H:         l.cfg.H,
+				Interval:  l.cfg.Interval,
+				Index:     idx,
+				Selected:  sel,
+				Leaf:      l.Addr(),
+			}
+			// Errors are ignored: on a connected transport Start already
+			// failed over, and on datagrams there is nothing to hear.
+			_ = l.sendCtx(peer, typeRequest, body, root)
+		}
+		if quiet == 0 {
+			return // every slot is streaming
+		}
+	}
 }
 
 // handle processes data packets.

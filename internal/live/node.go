@@ -92,8 +92,13 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A datagram transport can dispatch n.handle the moment open binds
+	// it, concurrently with this constructor; publish the endpoint under
+	// n.mu, which handle acquires before touching node state.
+	n.mu.Lock()
 	n.ep = ep
 	n.met = newNodeMetrics(cfg.Metrics, ep.Name())
+	n.mu.Unlock()
 	return n, nil
 }
 
@@ -110,7 +115,9 @@ func (n *Node) handle(m transport.Msg) {
 		return // node traffic is always session-scoped
 	}
 	n.mu.Lock()
-	if n.closed {
+	if n.closed || n.ep == nil {
+		// ep == nil: the message beat the constructor; drop it like any
+		// datagram for a process still booting.
 		n.mu.Unlock()
 		return
 	}
@@ -190,6 +197,10 @@ type SessionConfig struct {
 	// RepairAfter is the leaf's stall-detection period; zero disables
 	// repair.
 	RepairAfter time.Duration
+	// RequestRetry re-sends the session's content requests whose delivery
+	// was never confirmed by data, for datagram transports that lose a
+	// request without a send error; zero disables the retry loop.
+	RequestRetry time.Duration
 	// Seed overrides the node-derived per-session seed when non-zero.
 	Seed int64
 }
@@ -240,18 +251,19 @@ func (n *Node) Open(sc SessionConfig) (*LeafSession, error) {
 	}
 	se := &sessionEndpoint{n: n, sid: sid, leaf: true}
 	l, err := NewLeaf(LeafConfig{
-		Roster:      roster,
-		H:           h,
-		Interval:    interval,
-		Rate:        sc.Rate,
-		ContentID:   sc.ContentID,
-		ContentSize: sc.ContentSize,
-		PacketSize:  sc.PacketSize,
-		RepairAfter: sc.RepairAfter,
-		Session:     sid,
-		Seed:        seed,
-		Metrics:     n.cfg.Metrics,
-		Spans:       n.cfg.Spans,
+		Roster:       roster,
+		H:            h,
+		Interval:     interval,
+		Rate:         sc.Rate,
+		ContentID:    sc.ContentID,
+		ContentSize:  sc.ContentSize,
+		PacketSize:   sc.PacketSize,
+		RepairAfter:  sc.RepairAfter,
+		RequestRetry: sc.RequestRetry,
+		Session:      sid,
+		Seed:         seed,
+		Metrics:      n.cfg.Metrics,
+		Spans:        n.cfg.Spans,
 	}, WithAttach(func(transport.Handler) (transport.Endpoint, error) { return se, nil }))
 	if err != nil {
 		return nil, err
@@ -409,7 +421,7 @@ func (e *sessionEndpoint) Close() error {
 // ---- node cluster ---------------------------------------------------------
 
 // NodesConfig wires a population of nodes sharing a catalog, over the
-// in-memory fabric or TCP loopback.
+// in-memory fabric, TCP loopback, or UDP loopback.
 type NodesConfig struct {
 	// Nodes is the population size.
 	Nodes int
@@ -425,6 +437,16 @@ type NodesConfig struct {
 	Retries          int
 	// UseTCP runs every node on its own TCP loopback socket.
 	UseTCP bool
+	// UseUDP runs every node on its own UDP loopback socket (real
+	// datagram semantics; mutually exclusive with UseTCP).
+	UseUDP bool
+	// Impair injects seeded loss/duplication/reordering into every send
+	// on the in-memory fabric or the UDP sockets; see transport.Impairment.
+	Impair transport.Impairment
+	// QueueCap and QueuePolicy bound the in-memory fabric's queue; see
+	// ClusterConfig.
+	QueueCap    int
+	QueuePolicy transport.QueuePolicy
 	// Seed seeds all nodes deterministically; 0 uses the clock.
 	Seed int64
 	// Metrics instruments all nodes and the transport when non-nil.
@@ -450,6 +472,12 @@ func StartNodes(cfg NodesConfig) (*NodeCluster, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("live: need at least one node")
 	}
+	if cfg.UseTCP && cfg.UseUDP {
+		return nil, fmt.Errorf("live: UseTCP and UseUDP are mutually exclusive")
+	}
+	if cfg.UseTCP && cfg.Impair.Enabled() {
+		return nil, fmt.Errorf("live: impairment needs a datagram transport (in-memory fabric or UDP), not TCP")
+	}
 	nc := &NodeCluster{}
 	var roster []string
 	trs := make([]Transport, cfg.Nodes)
@@ -469,9 +497,32 @@ func StartNodes(cfg NodesConfig) (*NodeCluster, error) {
 				return lb.ep, nil
 			})
 		}
+	} else if cfg.UseUDP {
+		delta := cfg.Delta
+		if delta == 0 {
+			delta = 10 * time.Millisecond
+		}
+		imp := udpImpairment(cfg.Impair, delta)
+		for i := range trs {
+			lb := &lateBinder{}
+			ep, err := transport.ListenUDP("127.0.0.1:0", lb.dispatch)
+			if err != nil {
+				nc.Close()
+				return nil, err
+			}
+			lb.ep = ep
+			ep.Instrument(cfg.Metrics)
+			ep.SetImpairment(imp)
+			roster = append(roster, ep.Name())
+			trs[i] = WithAttach(func(h transport.Handler) (transport.Endpoint, error) {
+				lb.bind(h)
+				return lb.ep, nil
+			})
+		}
 	} else {
-		nc.fabric = transport.NewFabric()
+		nc.fabric = clusterFabric(cfg.QueueCap, cfg.QueuePolicy)
 		nc.fabric.Instrument(cfg.Metrics)
+		nc.fabric.SetImpairment(cfg.Impair)
 		for i := range trs {
 			name := fmt.Sprintf("node%d", i)
 			roster = append(roster, name)

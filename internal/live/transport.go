@@ -40,6 +40,17 @@ func WithTCP(addr string) Transport {
 	})
 }
 
+// WithUDP attaches the participant to its own UDP socket on addr
+// (e.g. "127.0.0.1:0"); the endpoint's name is the bound address.
+// Datagram semantics apply: sends never report delivery failure, so the
+// participant's liveness rests on its timer deadlines and §3.2 parity,
+// not on transport errors.
+func WithUDP(addr string) Transport {
+	return transportFunc(func(h transport.Handler) (transport.Endpoint, error) {
+		return transport.ListenUDP(addr, h)
+	})
+}
+
 // WithAttach adapts the legacy attach-callback form (the function
 // receives the participant's handler and returns its endpoint). It
 // exists so pre-Transport callers and endpoints bound before their

@@ -107,8 +107,13 @@ type Fabric struct {
 	Latency time.Duration
 	// Drop, when non-nil, decides per message whether to lose it. It may
 	// be invoked concurrently from many sender goroutines and must be
-	// safe for concurrent use.
+	// safe for concurrent use. For seeded deterministic loss, bursts,
+	// duplication, and reordering prefer SetImpairment, which generalizes
+	// this hook.
 	Drop func(from, to string) bool
+	// impair, when set (SetImpairment), applies a seeded Impairment
+	// policy to every send after the Drop hook.
+	impair *Impairer
 	// queued, when set (NewQueuedFabric), delivers messages one at a
 	// time from a single pump goroutine in global enqueue order instead
 	// of spawning a goroutine per message. Handlers run synchronously on
@@ -191,6 +196,24 @@ func NewBoundedQueuedFabric(capacity int, policy QueuePolicy) *Fabric {
 	return f
 }
 
+// SetImpairment installs a seeded Impairment policy applied to every
+// send after the legacy Drop hook. Call before traffic starts; a policy
+// with nothing enabled clears it. On a queued fabric, impairment
+// verdicts and deliveries stay deterministic for a fixed seed because
+// each link consumes its own RNG stream in its own send order. The
+// returned Impairer exposes Stats and Flush; it is nil when the policy
+// was cleared.
+func (f *Fabric) SetImpairment(cfg Impairment) *Impairer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !cfg.Enabled() {
+		f.impair = nil
+		return nil
+	}
+	f.impair = NewImpairer(cfg, f.deliverOne)
+	return f.impair
+}
+
 // QueueDrops reports how many messages a bounded queued fabric dropped
 // because the queue was at capacity.
 func (f *Fabric) QueueDrops() int64 {
@@ -221,10 +244,10 @@ func (e *memEndpoint) Name() string { return e.name }
 func (e *memEndpoint) Send(to string, m Msg) error {
 	f := e.f
 	f.mu.Lock()
-	h, ok := f.handlers[to]
+	_, ok := f.handlers[to]
 	closed := f.closed[to]
 	drop := f.Drop
-	lat := f.Latency
+	imp := f.impair
 	met := f.met
 	f.mu.Unlock()
 	if !ok || closed {
@@ -236,9 +259,38 @@ func (e *memEndpoint) Send(to string, m Msg) error {
 		met.dropped.Inc()
 		return nil // silently lost, like the network would
 	}
+	if imp != nil {
+		due, dropped := imp.Admit(e.name, to, m)
+		if dropped {
+			met.dropped.Inc()
+		}
+		for _, dm := range due {
+			f.deliverOne(to, dm)
+		}
+		return nil
+	}
+	f.deliverOne(to, m)
+	return nil
+}
+
+// deliverOne dispatches one message past the loss/impairment stage:
+// enqueued on a queued fabric, or delivered from a fresh goroutine
+// (after Latency) otherwise. Also the release path for impairment-held
+// messages whose reorder window expires.
+func (f *Fabric) deliverOne(to string, m Msg) {
+	f.mu.Lock()
+	h, ok := f.handlers[to]
+	closed := f.closed[to]
+	lat := f.Latency
+	met := f.met
+	f.mu.Unlock()
+	if !ok || closed {
+		met.dropped.Inc()
+		return
+	}
 	if f.queued {
 		f.enqueue(to, m)
-		return nil
+		return
 	}
 	f.wg.Add(1)
 	met.inflight.Add(1)
@@ -258,7 +310,6 @@ func (e *memEndpoint) Send(to string, m Msg) error {
 		met.received.Inc()
 		h(m)
 	}()
-	return nil
 }
 
 // enqueue appends to the FIFO queue and starts the pump if idle. On a

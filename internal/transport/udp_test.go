@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect returns a handler appending message types to a shared slice.
+func collect() (Handler, func() []string) {
+	var mu sync.Mutex
+	var got []string
+	h := func(m Msg) {
+		mu.Lock()
+		got = append(got, m.Type)
+		mu.Unlock()
+	}
+	return h, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), got...)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Messages round-trip over real UDP sockets in both directions, with
+// payloads intact.
+func TestUDPRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var got []Msg
+	a, err := ListenUDP("127.0.0.1:0", func(Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0", func(m Msg) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	body, _ := json.Marshal(map[string]int{"k": 7})
+	for i := 0; i < 20; i++ {
+		if err := a.Send(b.Name(), Msg{Type: fmt.Sprintf("m%d", i), From: a.Name(), Payload: body}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Loopback UDP is reliable in practice; tolerate stray loss anyway.
+	waitFor(t, "most datagrams", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 15
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range got {
+		if m.From != a.Name() || string(m.Payload) != string(body) {
+			t.Fatalf("corrupted message: %+v", m)
+		}
+	}
+}
+
+// Sending to a vanished peer returns nil: datagram loss is silent, so
+// the engine's SendFailed machinery never fires on UDP and retries must
+// come from timer deadlines instead.
+func TestUDPSendToVanishedPeerIsSilent(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0", func(Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0", func(Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := b.Name()
+	b.Close()
+	for i := 0; i < 10; i++ {
+		if err := a.Send(gone, Msg{Type: "req"}); err != nil {
+			t.Fatalf("send to vanished peer returned error: %v", err)
+		}
+	}
+}
+
+// Oversize messages are rejected locally with an error (there is no
+// fragmentation escape hatch), and resolution failures surface too.
+func TestUDPSendErrors(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0", func(Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	big := Msg{Type: "data", Payload: json.RawMessage(`"` + strings.Repeat("x", MaxDatagram) + `"`)}
+	if err := a.Send(a.Name(), big); err == nil {
+		t.Fatal("oversize datagram accepted")
+	}
+	if err := a.Send("no-such-host-zzz:port", Msg{}); err == nil {
+		t.Fatal("unresolvable address accepted")
+	}
+}
+
+// Foreign and corrupt datagrams on the port are discarded without
+// reaching the handler or killing the read loop.
+func TestUDPIgnoresForeignDatagrams(t *testing.T) {
+	h, got := collect()
+	e, err := ListenUDP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	raw, err := net.Dial("udp", e.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.Write([]byte("not a p2pmss datagram"))
+	raw.Write([]byte{})
+	raw.Write(append(append([]byte{}, udpMagic[:]...), []byte("{garbage")...))
+
+	src, err := ListenUDP("127.0.0.1:0", func(Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Send(e.Name(), Msg{Type: "real"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "the real message", func() bool { return len(got()) >= 1 })
+	for _, typ := range got() {
+		if typ != "real" {
+			t.Fatalf("foreign datagram reached handler as %q", typ)
+		}
+	}
+}
+
+// An Impairment on the UDP endpoint drops outbound datagrams at the
+// configured rate.
+func TestUDPImpairmentDrops(t *testing.T) {
+	h, got := collect()
+	dst, err := ListenUDP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	src, err := ListenUDP("127.0.0.1:0", func(Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	imp := src.SetImpairment(Impairment{Seed: 11, Loss: 0.5})
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := src.Send(dst.Name(), Msg{Type: fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	st := imp.Stats()
+	if st.Dropped < n/4 || st.Dropped > 3*n/4 {
+		t.Fatalf("impairer dropped %d of %d at Loss=0.5", st.Dropped, n)
+	}
+	waitFor(t, "surviving datagrams", func() bool { return int64(len(got())) >= (n-st.Dropped)*3/4 })
+}

@@ -353,13 +353,52 @@ type Fabric = transport.Fabric
 // NewFabric returns an empty in-memory transport fabric.
 func NewFabric() *Fabric { return transport.NewFabric() }
 
+// TransportQueuePolicy selects what a bounded queued fabric does with a
+// send arriving while its queue is full.
+type TransportQueuePolicy = transport.QueuePolicy
+
+// Bounded-queue policies for NewBoundedQueuedFabric.
+const (
+	// QueueBlock applies backpressure: the sender waits for a free slot.
+	QueueBlock = transport.QueueBlock
+	// QueueDropNewest drops the arriving message and counts it.
+	QueueDropNewest = transport.QueueDropNewest
+)
+
+// NewQueuedFabric returns an in-memory fabric with deterministic FIFO
+// delivery from a single pump goroutine.
+func NewQueuedFabric() *Fabric { return transport.NewQueuedFabric() }
+
+// NewBoundedQueuedFabric is NewQueuedFabric with the pending queue capped
+// at capacity messages; policy picks backpressure or loss when full.
+func NewBoundedQueuedFabric(capacity int, policy TransportQueuePolicy) *Fabric {
+	return transport.NewBoundedQueuedFabric(capacity, policy)
+}
+
+// TransportImpairment is a seeded loss/duplication/reordering policy for
+// the in-memory fabric (Fabric.SetImpairment) and UDP endpoints; the
+// zero value disables everything.
+type TransportImpairment = transport.Impairment
+
+// TransportImpairer applies an installed impairment policy and exposes
+// its Stats and Flush.
+type TransportImpairer = transport.Impairer
+
 // ListenTCP starts a TCP transport endpoint on addr (e.g. "127.0.0.1:0").
 func ListenTCP(addr string, h TransportHandler) (TransportEndpoint, error) {
 	return transport.ListenTCP(addr, h)
 }
 
+// ListenUDP starts a UDP transport endpoint on addr (e.g. "127.0.0.1:0").
+// Datagram semantics: a lost message is never reported to the sender, so
+// live participants on UDP rely on timer deadlines and §3.2 parity, not
+// transport errors.
+func ListenUDP(addr string, h TransportHandler) (TransportEndpoint, error) {
+	return transport.ListenUDP(addr, h)
+}
+
 // LiveTransport selects how a live participant attaches to the network;
-// construct one with WithFabric, WithTCP or WithAttach.
+// construct one with WithFabric, WithTCP, WithUDP or WithAttach.
 type LiveTransport = live.Transport
 
 // WithFabric attaches a live participant to the in-memory fabric under
@@ -369,6 +408,10 @@ func WithFabric(f *Fabric, name string) LiveTransport { return live.WithFabric(f
 // WithTCP attaches a live participant to its own TCP listener on addr
 // (e.g. "127.0.0.1:0").
 func WithTCP(addr string) LiveTransport { return live.WithTCP(addr) }
+
+// WithUDP attaches a live participant to its own UDP socket on addr
+// (e.g. "127.0.0.1:0").
+func WithUDP(addr string) LiveTransport { return live.WithUDP(addr) }
 
 // WithAttach adapts a legacy attach callback (the function receives the
 // participant's handler and returns its endpoint) to a LiveTransport.
