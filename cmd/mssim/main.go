@@ -46,6 +46,10 @@ func main() {
 			"control/confirm handshake deadline in virtual seconds (0 = coordination default)")
 		traceOut = flag.String("trace-out", "",
 			"write causal coordination spans (JSONL) to this file; convert with msstrace perfetto/summary")
+		loss = flag.Float64("loss", 0,
+			"independent per-message drop probability in [0,1); stamped into -json records as the run scenario")
+		burst = flag.String("burst", "",
+			"Gilbert–Elliott bursty loss as pGoodToBad,pBadToGood,lossGood,lossBad (e.g. 0.01,0.2,0,0.5)")
 	)
 	flag.Parse()
 
@@ -56,6 +60,14 @@ func main() {
 	o.Parallel = *parallel
 	o.Retries = *retries
 	o.HandshakeTimeout = *hsTimeout
+	o.LossProb = *loss
+	if *burst != "" {
+		bp, err := parseBurst(*burst)
+		if err != nil {
+			fatal(err)
+		}
+		o.Burst = bp
+	}
 	if *hs != "" {
 		o.Hs = nil
 		for _, part := range strings.Split(*hs, ",") {
@@ -247,6 +259,27 @@ func main() {
 	if !run("10") && !run("11") && !run("12") && !run("baselines") && !run("gossip") {
 		fatal(fmt.Errorf("unknown -fig %q (want 10, 11, 12, baselines, gossip, all)", *fig))
 	}
+}
+
+// parseBurst decodes the -burst flag's four comma-separated
+// Gilbert–Elliott parameters.
+func parseBurst(s string) (*p2pmss.BurstParams, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("bad -burst %q: want pGoodToBad,pBadToGood,lossGood,lossBad", s)
+	}
+	vals := make([]float64, 4)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -burst entry %q: %w", part, err)
+		}
+		vals[i] = v
+	}
+	return &p2pmss.BurstParams{
+		PGoodToBad: vals[0], PBadToGood: vals[1],
+		LossGood: vals[2], LossBad: vals[3],
+	}, nil
 }
 
 func fatal(err error) {

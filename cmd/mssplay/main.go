@@ -10,8 +10,11 @@
 // parity recovery and stall repair do real work.
 //
 // With -listen the session also serves its observability endpoints over
-// HTTP: Prometheus-format /metrics, /healthz, expvar on /debug/vars and
-// net/http/pprof on /debug/pprof/.
+// HTTP: Prometheus-format /metrics, /healthz, expvar on /debug/vars,
+// net/http/pprof on /debug/pprof/, the live topology snapshot on
+// /debug/overlay (?format=dot for Graphviz) and the per-peer flight log
+// on /debug/flight. Sending the process SIGUSR1 dumps both to temp
+// files at any time, and -flight-out writes the flight log on exit.
 //
 // With -sessions N the demo switches to the session-oriented node API:
 // a node population shares a catalog of N contents and N leaf sessions
@@ -28,13 +31,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"p2pmss"
@@ -66,6 +73,8 @@ func main() {
 		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof/ on this address (off by default)")
 		traceOut = flag.String("trace-out", "",
 			"write causal coordination spans (JSONL) to this file; convert with msstrace perfetto/summary")
+		flightOut = flag.String("flight-out", "",
+			"write the per-peer flight log (JSONL) to this file on exit; inspect with msstrace flight")
 	)
 	flag.Parse()
 
@@ -93,16 +102,26 @@ func main() {
 		spanCol = p2pmss.NewSpanCollector()
 	}
 
-	// Metrics are registered only when they will be served.
+	// Flight recording is on whenever it has a consumer: an explicit
+	// -flight-out file, the /debug/flight endpoint, or the SIGUSR1 dump
+	// (always armed, so any run can be inspected mid-flight).
+	flightSet := p2pmss.NewFlightSet(0)
+
+	// Metrics are registered only when they will be served. The mux is
+	// late-bound: the server starts before the cluster exists and gains
+	// /debug/overlay + /debug/flight once it does.
 	var reg *p2pmss.MetricsRegistry
+	var mux *lateMux
 	if *listen != "" {
 		reg = p2pmss.NewMetricsRegistry()
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("observability on http://%s/metrics (also /healthz, /debug/vars, /debug/pprof/)\n", ln.Addr())
-		srv := &http.Server{Handler: p2pmss.MetricsDebugMux(reg)}
+		fmt.Printf("observability on http://%s/metrics (also /healthz, /debug/vars, /debug/pprof/, /debug/overlay, /debug/flight)\n", ln.Addr())
+		mux = &lateMux{}
+		mux.Set(p2pmss.MetricsDebugMux(reg))
+		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln) //nolint:errcheck // shut down with the process
 	}
 
@@ -110,7 +129,7 @@ func main() {
 
 	if *sessions > 1 {
 		runSessions(*nPeers, *sessions, *fanout, *interval, *size, *pktSize, *rate,
-			*kill, *proto, *timeout, *seed, *retries, *hsTime, wire, reg, spanCol, *traceOut)
+			*kill, *proto, *timeout, *seed, *retries, *hsTime, wire, reg, mux, flightSet, spanCol, *traceOut, *flightOut)
 		return
 	}
 
@@ -138,10 +157,17 @@ func main() {
 		Seed:             *seed,
 		Metrics:          reg,
 		Spans:            spanCol,
+		Flight:           flightSet,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	if mux != nil {
+		mux.Set(p2pmss.MetricsDebugMux(reg, cl.DebugHandlers()...))
+	}
+	armFlightDump(func() string {
+		return dumpIntrospection(flightSet, func(enc *json.Encoder) error { return enc.Encode(cl.Snapshot()) })
+	})
 	for i, p := range cl.Peers {
 		fmt.Printf("peer %2d listening on %s\n", i, p.Addr())
 	}
@@ -174,6 +200,7 @@ func main() {
 		select {
 		case err := <-doneCh:
 			if err != nil {
+				writeFlight(*flightOut, flightSet)
 				fatal(err)
 			}
 			total, dup, recovered := cl.Leaf.Stats()
@@ -191,6 +218,7 @@ func main() {
 			fmt.Println("content verified byte-for-byte ✓")
 			cl.Close()
 			writeTrace(*traceOut, spanCol)
+			writeFlight(*flightOut, flightSet)
 			return
 		case <-tick.C:
 			fmt.Printf("  %d/%d packets delivered\n", cl.Leaf.Progress(), c.NumPackets())
@@ -212,7 +240,8 @@ type wiring struct {
 func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate float64,
 	kill int, proto string, timeout time.Duration, seed int64,
 	retries int, hsTimeout time.Duration, wire wiring, reg *p2pmss.MetricsRegistry,
-	spanCol *p2pmss.SpanCollector, traceOut string) {
+	mux *lateMux, flightSet *p2pmss.FlightSet,
+	spanCol *p2pmss.SpanCollector, traceOut, flightOut string) {
 	if sessions > nodes {
 		fatal(fmt.Errorf("-sessions %d needs at least as many -peers (have %d)", sessions, nodes))
 	}
@@ -241,11 +270,24 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 		Seed:             seed,
 		Metrics:          reg,
 		Spans:            spanCol,
+		Flight:           flightSet,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer nc.Close()
+	if mux != nil {
+		mux.Set(p2pmss.MetricsDebugMux(reg, nc.DebugHandlers()...))
+	}
+	armFlightDump(func() string {
+		return dumpIntrospection(flightSet, func(enc *json.Encoder) error {
+			all := make(map[string]p2pmss.OverlaySnapshot)
+			for _, sid := range nc.Sessions() {
+				all[string(sid)] = nc.Snapshot(sid)
+			}
+			return enc.Encode(all)
+		})
+	})
 	for i, nd := range nc.Nodes {
 		fmt.Printf("node %2d listening on %s\n", i, nd.Addr())
 	}
@@ -330,6 +372,90 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 	// open span is finalized before the trace is written.
 	nc.Close()
 	writeTrace(traceOut, spanCol)
+	writeFlight(flightOut, flightSet)
+}
+
+// lateMux serves a swappable handler, so the observability server can
+// accept scrapes before the cluster exists and gain /debug/overlay and
+// /debug/flight the moment it does.
+type lateMux struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateMux) Set(h http.Handler) {
+	l.mu.Lock()
+	l.h = h
+	l.mu.Unlock()
+}
+
+func (l *lateMux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "session starting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// armFlightDump makes SIGUSR1 dump the running session's flight log and
+// topology snapshot to temp files, printing their paths — mid-flight
+// forensics without stopping the stream.
+func armFlightDump(dump func() string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		for range ch {
+			fmt.Printf("SIGUSR1: %s\n", dump())
+		}
+	}()
+}
+
+// dumpIntrospection writes the flight log (JSONL) and a topology
+// snapshot (JSON, produced by writeOverlay) to temp files and names
+// them. Failures are reported, never fatal.
+func dumpIntrospection(flightSet *p2pmss.FlightSet, writeOverlay func(*json.Encoder) error) string {
+	var parts []string
+	if f, err := os.CreateTemp("", "mssplay-flight-*.jsonl"); err == nil {
+		if werr := p2pmss.WriteFlightJSONL(f, flightSet.Events()); werr == nil {
+			parts = append(parts, "flight "+f.Name())
+		}
+		f.Close()
+	}
+	if f, err := os.CreateTemp("", "mssplay-overlay-*.json"); err == nil {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if werr := writeOverlay(enc); werr == nil {
+			parts = append(parts, "overlay "+f.Name())
+		}
+		f.Close()
+	}
+	if len(parts) == 0 {
+		return "dump failed"
+	}
+	return "dumped " + strings.Join(parts, ", ")
+}
+
+// writeFlight flushes the flight log as JSONL. No-op when -flight-out
+// is unset.
+func writeFlight(path string, flightSet *p2pmss.FlightSet) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	events := flightSet.Events()
+	if err := p2pmss.WriteFlightJSONL(f, events); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("flight log: %d events -> %s (inspect: msstrace flight %s)\n", len(events), path, path)
 }
 
 // writeTrace flushes the collected spans as JSONL. No-op when tracing is

@@ -8,6 +8,10 @@
 // trace-event JSON (open in https://ui.perfetto.dev, one track per
 // peer), and `msstrace summary` prints per-session latency quantiles.
 //
+// `msstrace flight` inspects per-peer flight logs (mssplay -flight-out,
+// /debug/flight, or a SIGUSR1 dump): filtered event listings or a
+// per-peer summary table.
+//
 // Usage:
 //
 //	msstrace -proto dcop -n 20 -h 4
@@ -15,6 +19,8 @@
 //	msstrace -proto dcop -json | jq .kind
 //	msstrace perfetto trace.jsonl -o trace.json
 //	msstrace summary trace.jsonl
+//	msstrace flight flight.jsonl -summary
+//	msstrace flight flight.jsonl -peer 3 -type send_commit
 package main
 
 import (
@@ -35,6 +41,9 @@ func main() {
 			return
 		case "summary":
 			runSummary(os.Args[2:])
+			return
+		case "flight":
+			runFlight(os.Args[2:])
 			return
 		}
 	}
@@ -119,6 +128,80 @@ func runSummary(args []string) {
 		input = fs.Arg(0)
 	}
 	p2pmss.PrintSpanSummary(os.Stdout, p2pmss.SummarizeSpans(readSpans(input)))
+}
+
+// runFlight lists or summarizes a per-peer flight log (JSONL) written
+// by mssplay -flight-out, /debug/flight, or a SIGUSR1 dump.
+func runFlight(args []string) {
+	fs := flag.NewFlagSet("msstrace flight", flag.ExitOnError)
+	peer := fs.Int("peer", -1, "only events of this peer id (-1 = all)")
+	sess := fs.String("session", "", "only events of this session id")
+	typ := fs.String("type", "", "only events of this type (e.g. send_commit, timer_confirm)")
+	limit := fs.Int("limit", 0, "print at most this many events (0 = all)")
+	summary := fs.Bool("summary", false, "print a per-(peer, type) summary table instead of events")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: msstrace flight [-peer N] [-session S] [-type T] [-limit N] [-summary] [flight.jsonl]")
+		fs.PrintDefaults()
+	}
+	input, rest := splitInput(args)
+	fs.Parse(rest) //nolint:errcheck // ExitOnError
+	if input == "" {
+		input = fs.Arg(0)
+	}
+
+	var r io.Reader = os.Stdin
+	if input != "" && input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	all, err := p2pmss.ReadFlightJSONL(r)
+	if err != nil {
+		fatal(err)
+	}
+	events := all[:0:0]
+	for _, e := range all {
+		if *peer >= 0 && e.Peer != *peer {
+			continue
+		}
+		if *sess != "" && e.Session != *sess {
+			continue
+		}
+		if *typ != "" && e.Type != *typ {
+			continue
+		}
+		events = append(events, e)
+	}
+
+	if *summary {
+		fmt.Printf("%-10s %5s %-4s %-20s %8s %12s %12s\n",
+			"session", "peer", "dir", "type", "count", "first", "last")
+		for _, s := range p2pmss.SummarizeFlight(events) {
+			fmt.Printf("%-10s %5d %-4s %-20s %8d %12.6f %12.6f\n",
+				s.Session, s.Peer, s.Dir, s.Type, s.Count, s.First, s.Last)
+		}
+		fmt.Fprintf(os.Stderr, "msstrace: %d events (%d after filters)\n", len(all), len(events))
+		return
+	}
+
+	shown := 0
+	for _, e := range events {
+		if *limit > 0 && shown >= *limit {
+			fmt.Printf("... %d more (raise -limit)\n", len(events)-shown)
+			break
+		}
+		sessPrefix := ""
+		if e.Session != "" {
+			sessPrefix = e.Session + "/"
+		}
+		fmt.Printf("%12.6f %speer%-3d %-4s %-20s other=%-3d round=%-2d n=%d\n",
+			e.T, sessPrefix, e.Peer, e.Dir, e.Type, e.Other, e.Round, e.N)
+		shown++
+	}
+	fmt.Fprintf(os.Stderr, "msstrace: %d events (%d after filters)\n", len(all), len(events))
 }
 
 func fatal(err error) {

@@ -26,6 +26,7 @@ import (
 	"p2pmss/internal/content"
 	"p2pmss/internal/coord"
 	"p2pmss/internal/engine"
+	"p2pmss/internal/flight"
 	"p2pmss/internal/live"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/transport"
@@ -58,8 +59,9 @@ func outcomeLines(outs []engine.Outcome) string {
 	return strings.Join(lines, "\n")
 }
 
-// simOutcomes runs the simulator and returns its per-peer outcomes.
-func simOutcomes(t *testing.T, proto protocol.Protocol, seed int64) []engine.Outcome {
+// simOutcomes runs the simulator and returns its per-peer outcomes,
+// recording the engine event/effect stream into fl when non-nil.
+func simOutcomes(t *testing.T, proto protocol.Protocol, seed int64, fl *flight.Set) []engine.Outcome {
 	t.Helper()
 	res, err := coord.Run(proto, coord.Config{
 		N: confN, H: confH, Interval: confInterval,
@@ -67,7 +69,8 @@ func simOutcomes(t *testing.T, proto protocol.Protocol, seed int64) []engine.Out
 		LeafShares: true,
 		DataPlane:  true, ContentLen: confPackets,
 		Settle: 1, Window: 1,
-		Seed: seed,
+		Seed:   seed,
+		Flight: fl,
 	})
 	if err != nil {
 		t.Fatalf("sim %s seed %d: %v", proto, seed, err)
@@ -79,8 +82,9 @@ func simOutcomes(t *testing.T, proto protocol.Protocol, seed int64) []engine.Out
 }
 
 // liveOutcomes runs the live runtime on a queued (deterministic FIFO)
-// fabric and returns its per-peer outcomes in roster order.
-func liveOutcomes(t *testing.T, proto protocol.Protocol, seed int64) []engine.Outcome {
+// fabric and returns its per-peer outcomes in roster order, recording
+// the engine event/effect stream into fl when non-nil.
+func liveOutcomes(t *testing.T, proto protocol.Protocol, seed int64, fl *flight.Set) []engine.Outcome {
 	t.Helper()
 	data := make([]byte, confPackets*16)
 	for i := range data {
@@ -103,6 +107,7 @@ func liveOutcomes(t *testing.T, proto protocol.Protocol, seed int64) []engine.Ou
 			Delta:    time.Millisecond,
 			Protocol: proto,
 			Seed:     engine.PeerSeed(seed, engine.PeerID(i)),
+			Flight:   fl.Recorder("", i),
 		}, live.WithFabric(fab, roster[i]))
 		if err != nil {
 			t.Fatalf("live peer %d: %v", i, err)
@@ -138,14 +143,26 @@ func liveOutcomes(t *testing.T, proto protocol.Protocol, seed int64) []engine.Ou
 
 // TestSimLiveConformance runs both drivers from the same seed and
 // requires byte-identical canonical outcomes, for five seeds and both
-// protocols.
+// protocols. Both sides record flight logs, so a mismatch is reported
+// with the first divergent engine event — the offending peer and event,
+// not just two differing outcome dumps.
 func TestSimLiveConformance(t *testing.T) {
 	for _, proto := range []protocol.Protocol{protocol.TCoP, protocol.DCoP} {
 		for seed := int64(1); seed <= 5; seed++ {
-			sim := outcomeLines(simOutcomes(t, proto, seed))
-			lv := outcomeLines(liveOutcomes(t, proto, seed))
+			simFl, liveFl := flight.NewSet(0), flight.NewSet(0)
+			sim := outcomeLines(simOutcomes(t, proto, seed, simFl))
+			lv := outcomeLines(liveOutcomes(t, proto, seed, liveFl))
 			if sim != lv {
-				t.Errorf("%s seed %d: drivers diverged\n--- sim ---\n%s\n--- live ---\n%s", proto, seed, sim, lv)
+				report := "flight logs agree (divergence is in post-coordination state)"
+				if d := flight.FirstDivergence(
+					flight.Log{Label: "sim", Events: simFl.Events()},
+					flight.Log{Label: "live", Events: liveFl.Events()},
+					flight.DiffOptions{},
+				); d != nil {
+					report = d.String()
+				}
+				t.Errorf("%s seed %d: drivers diverged\n%s\n--- sim ---\n%s\n--- live ---\n%s",
+					proto, seed, report, sim, lv)
 			}
 		}
 	}
@@ -156,7 +173,7 @@ func TestSimLiveConformance(t *testing.T) {
 // conformance pass — both sides empty — would slip through the byte
 // comparison).
 func TestSimLiveConformanceCoversContent(t *testing.T) {
-	outs := simOutcomes(t, protocol.TCoP, 1)
+	outs := simOutcomes(t, protocol.TCoP, 1, nil)
 	covered := make(map[string]bool)
 	total := 0
 	for _, o := range outs {

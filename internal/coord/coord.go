@@ -19,6 +19,7 @@ import (
 	"p2pmss/internal/des"
 	"p2pmss/internal/engine"
 	"p2pmss/internal/failure"
+	"p2pmss/internal/flight"
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/overlay"
 	"p2pmss/internal/parity"
@@ -173,12 +174,20 @@ type Config struct {
 	// SpanTrace is the trace (session) ID spans are recorded under.
 	// Zero derives one from the seed.
 	SpanTrace span.TraceID
+	// Flight, when non-nil, records every peer's engine event/effect
+	// stream into per-peer flight rings with virtual-time stamps, for
+	// topology forensics and sim-vs-live divergence diffing. Like Spans,
+	// recording never feeds back into the simulation.
+	Flight *flight.Set
 }
 
 // BurstParams parameterizes the per-channel Gilbert–Elliott loss model.
+// The json tags shape the scenario stamp in experiment JSONL archives.
 type BurstParams struct {
-	PGoodToBad, PBadToGood float64
-	LossGood, LossBad      float64
+	PGoodToBad float64 `json:"p_good_to_bad"`
+	PBadToGood float64 `json:"p_bad_to_good"`
+	LossGood   float64 `json:"loss_good"`
+	LossBad    float64 `json:"loss_bad"`
 }
 
 // DefaultConfig returns the paper's evaluation setting: n = 100 contents
@@ -463,6 +472,9 @@ type peerNode struct {
 	// spans derives causal spans and latency observations from core's
 	// event/effect stream; nil when both spans and metrics are off.
 	spans *engine.SpanTracker
+	// flight records core's event/effect stream; nil when recording is
+	// off.
+	flight *engine.FlightObserver
 
 	// tcopCommitted/tcopConfirmed mirror the engine's outcome after the
 	// run (tree well-formedness assertions in tests).

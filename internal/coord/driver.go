@@ -43,6 +43,7 @@ func (r *runner) initEngine(dcopMode bool) {
 		rng := rand.New(rand.NewSource(engine.PeerSeed(r.cfg.Seed, p.id)))
 		p.core = engine.NewPeer(ecfg, p.id, rng)
 		p.spans = engine.NewSpanTracker(r.cfg.Spans, r.cfg.SpanTrace, int(p.id), sm)
+		p.flight = engine.NewFlightObserver(r.cfg.Flight.Recorder("", int(p.id)))
 	}
 }
 
@@ -95,6 +96,7 @@ func (r *runner) dispatch(p *peerNode, ev engine.Event) {
 func (r *runner) dispatchCtx(p *peerNode, ev engine.Event, parent span.Context) {
 	effs := p.core.Handle(ev, r.snapshot(p))
 	p.spans.Observe(p.core, r.eng.Now(), ev, parent, effs)
+	p.flight.Observe(r.eng.Now(), ev, effs)
 	r.applyEffects(p, effs)
 }
 
@@ -119,6 +121,7 @@ func (r *runner) applyEffects(p *peerNode, effs []engine.Effect) {
 				ev := engine.SendFailed{To: e.To, Msg: e.Msg}
 				fb := p.core.Handle(ev, r.snapshot(p))
 				p.spans.Observe(p.core, r.eng.Now(), ev, msgSpanCtx(e.Msg), fb)
+				p.flight.Observe(r.eng.Now(), ev, fb)
 				queue = append(queue, fb...)
 			}
 		case engine.SetTimer:

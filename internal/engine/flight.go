@@ -1,0 +1,158 @@
+package engine
+
+import "p2pmss/internal/flight"
+
+// FlightObserver records one peer's event/effect stream into a flight
+// ring. Like the SpanTracker it is driver-side instrumentation at the
+// same interception point — the driver calls Observe between
+// Peer.Handle and applying the effects — and the engine core never
+// knows it exists.
+//
+// A nil *FlightObserver is the disabled recorder: Observe returns
+// immediately with zero allocations (benchmarked in
+// bench_flight_test.go, CI-gated like the span path).
+// NewFlightObserver returns nil when the recorder is nil, so drivers
+// keep the call sites unconditional.
+type FlightObserver struct {
+	rec *flight.Recorder
+}
+
+// NewFlightObserver returns an observer recording into rec, or nil —
+// the disabled observer — when rec is nil.
+func NewFlightObserver(rec *flight.Recorder) *FlightObserver {
+	if rec == nil {
+		return nil
+	}
+	return &FlightObserver{rec: rec}
+}
+
+// Observe records the handled event and every returned effect, in
+// order, stamped with the driver's current time. The recorded
+// identities (type, counterpart, round, magnitude) are
+// driver-independent, so a simulated and a live run of the same seed
+// produce diffable tracks (see flight.FirstDivergence).
+func (o *FlightObserver) Observe(now float64, ev Event, effs []Effect) {
+	if o == nil {
+		return
+	}
+	e := flight.Event{T: now, Dir: "ev"}
+	switch v := ev.(type) {
+	case Request:
+		e.Type = "request"
+		e.Other = int(LeafID)
+		e.Round = v.Round
+		e.N = len(v.Assigned)
+	case Control:
+		e.Type = "control"
+		e.Other = int(v.Msg.Parent)
+		e.Round = v.Msg.Round
+		e.N = len(v.Msg.AssignedSeq)
+	case Confirm:
+		if v.Msg.Accept {
+			e.Type = "confirm_ok"
+		} else {
+			e.Type = "confirm_no"
+		}
+		e.Other = int(v.Msg.Child)
+		e.Round = v.Msg.Round
+	case Commit:
+		e.Type = "commit"
+		e.Other = int(v.Msg.Parent)
+		e.Round = v.Msg.Round
+		e.N = len(v.Msg.AssignedSeq)
+	case TimerFired:
+		e.Type = timerType("timer_", v.Timer.Kind)
+		e.Other = int(v.Timer.Peer)
+		e.N = v.Timer.Gen
+	case SendFailed:
+		e.Type = "send_failed" + msgSuffix(v.Msg)
+		e.Other = int(v.To)
+	case Join:
+		e.Type = "join"
+		e.Other = int(v.Joiner)
+	case Repair:
+		e.Type = "repair"
+		e.Other = int(LeafID)
+		e.N = len(v.Indices)
+	default:
+		e.Type = "unknown"
+	}
+	o.rec.Record(e)
+
+	for _, eff := range effs {
+		f := flight.Event{T: now, Dir: "eff"}
+		switch v := eff.(type) {
+		case Send:
+			f.Other = int(v.To)
+			switch m := v.Msg.(type) {
+			case MsgControl:
+				f.Type = "send_control"
+				f.Round = m.Round
+				f.N = len(m.AssignedSeq)
+			case MsgConfirm:
+				if m.Accept {
+					f.Type = "send_confirm_ok"
+				} else {
+					f.Type = "send_confirm_no"
+				}
+				f.Round = m.Round
+			case MsgCommit:
+				f.Type = "send_commit"
+				f.Round = m.Round
+				f.N = len(m.AssignedSeq)
+			default:
+				f.Type = "send"
+			}
+		case SetTimer:
+			f.Type = timerType("set_timer_", v.ID.Kind)
+			f.Other = int(v.ID.Peer)
+			f.N = v.ID.Gen
+		case Activate:
+			f.Type = "activate"
+			f.Round = v.Round
+			f.N = len(v.Seq)
+		case Merge:
+			f.Type = "merge"
+			f.Round = v.Round
+			f.N = len(v.Seq)
+		case Handoff:
+			f.Type = "handoff"
+			f.Other = v.Mark
+			f.N = len(v.Given)
+		case Absorb:
+			f.Type = "absorb"
+			f.N = len(v.Seq)
+		case ServeRepair:
+			f.Type = "serve_repair"
+			f.Other = int(LeafID)
+			f.N = len(v.Indices)
+		default:
+			f.Type = "unknown"
+		}
+		o.rec.Record(f)
+	}
+}
+
+// timerType names a timer kind under the given prefix.
+func timerType(prefix string, k TimerKind) string {
+	switch k {
+	case TimerConfirm:
+		return prefix + "confirm"
+	case TimerRelease:
+		return prefix + "release"
+	}
+	return prefix + "other"
+}
+
+// msgSuffix names the message kind a SendFailed carried.
+func msgSuffix(m any) string {
+	switch m.(type) {
+	case MsgControl:
+		return "_control"
+	case MsgConfirm:
+		return "_confirm"
+	case MsgCommit:
+		return "_commit"
+	}
+	return ""
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"p2pmss/internal/coord"
+	"p2pmss/internal/failure"
 	"p2pmss/internal/gossip"
 	"p2pmss/internal/stats"
 )
@@ -35,6 +36,13 @@ type Options struct {
 	// (see coord.Config); zero keeps the coordination defaults.
 	Retries          int
 	HandshakeTimeout float64
+	// LossProb, Burst, and Churn impair every run of the sweep (see the
+	// same-named coord.Config fields). When any is set, the scenario is
+	// stamped into each RunRecord so a JSONL archive is self-describing
+	// — a record read months later says what loss/churn it ran under.
+	LossProb float64
+	Burst    *coord.BurstParams
+	Churn    *failure.ChurnSchedule
 	// Parallel is the number of worker goroutines sweep points fan out
 	// over: 0 or 1 runs serially, a negative value selects
 	// runtime.NumCPU(). Every run is an isolated deterministic DES
@@ -126,6 +134,9 @@ func (o Options) pointConfig(H, seed int, dataPlane bool) coord.Config {
 	if o.HandshakeTimeout != 0 {
 		cfg.HandshakeTimeout = o.HandshakeTimeout
 	}
+	cfg.LossProb = o.LossProb
+	cfg.Burst = o.Burst
+	cfg.Churn = o.Churn
 	if dataPlane {
 		cfg.DataPlane = true
 		cfg.Rate = o.Rate

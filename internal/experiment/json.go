@@ -19,9 +19,45 @@ type RunRecord struct {
 	Protocol string            `json:"protocol"`
 	H        int               `json:"h"`
 	Seed     int64             `json:"seed"`
+	Scenario *Scenario         `json:"scenario,omitempty"`
 	Result   coord.Result      `json:"result"`
 	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
 	Spans    []span.Span       `json:"-"`
+}
+
+// Scenario stamps a run's impairment and churn configuration into its
+// record, so a JSONL archive is self-describing: a record produced
+// under 5% loss or a churn schedule says so without needing the command
+// line that produced it. Nil (omitted) for unimpaired runs, keeping
+// their byte output identical to before scenarios existed.
+type Scenario struct {
+	// LossProb is the independent per-message drop probability.
+	LossProb float64 `json:"loss_prob,omitempty"`
+	// Burst echoes the Gilbert–Elliott parameters when bursty loss was on.
+	Burst *coord.BurstParams `json:"burst,omitempty"`
+	// ChurnEvents is how many crash/join events the churn schedule held.
+	ChurnEvents int `json:"churn_events,omitempty"`
+	// Retries and HandshakeTimeout echo the churn-tolerance tuning.
+	Retries          int     `json:"retries,omitempty"`
+	HandshakeTimeout float64 `json:"handshake_timeout,omitempty"`
+}
+
+// scenarioFor derives a run's scenario stamp from its resolved config,
+// or nil when nothing deviates from the reliable-network default.
+func scenarioFor(cfg coord.Config) *Scenario {
+	s := Scenario{
+		LossProb:         cfg.LossProb,
+		Burst:            cfg.Burst,
+		Retries:          cfg.Retries,
+		HandshakeTimeout: cfg.HandshakeTimeout,
+	}
+	if cfg.Churn != nil {
+		s.ChurnEvents = len(cfg.Churn.Events)
+	}
+	if s == (Scenario{}) {
+		return nil
+	}
+	return &s
 }
 
 // runRecords executes the jobs (optionally with a fresh per-run registry
@@ -59,6 +95,7 @@ func runRecords(jobs []runJob, workers int, instrument, collectSpans bool) ([]Ru
 			Protocol: j.protocol,
 			H:        j.cfg.H,
 			Seed:     j.cfg.Seed,
+			Scenario: scenarioFor(j.cfg),
 			Result:   results[i],
 		}
 		if regs[i] != nil {

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/flight"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/protocol"
 	"p2pmss/internal/span"
 	"p2pmss/internal/transport"
 )
@@ -67,6 +69,10 @@ type ClusterConfig struct {
 	// Spans, when non-nil, collects the session's causal spans on one
 	// shared collector, ready to export via span.WritePerfetto.
 	Spans *span.Collector
+	// Flight, when non-nil, records every peer's engine event/effect
+	// stream into per-peer flight rings (see internal/flight), dumpable
+	// via Cluster.DumpFlight and served on /debug/flight.
+	Flight *flight.Set
 }
 
 // Cluster is a running live session.
@@ -74,6 +80,15 @@ type Cluster struct {
 	Peers  []*Peer
 	Leaf   *Leaf
 	fabric *transport.Fabric
+
+	// Introspection state: the roster (peer id -> address), the run
+	// labels, and the optional flight set, for Snapshot/DumpFlight and
+	// the /debug/overlay and /debug/flight handlers.
+	roster     []string
+	protoName  string
+	contentLen int
+	flight     *flight.Set
+	metrics    *metrics.Registry
 
 	closeOnce sync.Once
 }
@@ -180,6 +195,15 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		leafTransport = WithFabric(c.fabric, "leaf")
 	}
 
+	c.roster = roster
+	c.flight = cfg.Flight
+	c.metrics = cfg.Metrics
+	c.protoName = string(cfg.Protocol)
+	if c.protoName == "" {
+		c.protoName = string(protocol.TCoP)
+	}
+	c.contentLen = int(cfg.Content.NumPackets())
+
 	for i := 0; i < cfg.Peers; i++ {
 		seed := cfg.Seed
 		if seed != 0 {
@@ -197,6 +221,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Seed:             seed,
 			Metrics:          cfg.Metrics,
 			Spans:            cfg.Spans,
+			Flight:           cfg.Flight.Recorder("", i),
 		}, transports[i])
 		if err != nil {
 			c.Close()
@@ -221,6 +246,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		Seed:         leafSeed,
 		Metrics:      cfg.Metrics,
 		Spans:        cfg.Spans,
+		Introspect:   c.introspect,
 	}, leafTransport)
 	if err != nil {
 		c.Close()

@@ -61,6 +61,11 @@ type LeafConfig struct {
 	// SpanTrace identifies the session's trace; zero derives it from the
 	// Session id (matching the peers' derivation).
 	SpanTrace span.TraceID
+	// Introspect, when non-nil, is invoked on a Wait timeout; whatever
+	// it returns is appended to the timeout error. StartCluster wires it
+	// to an automatic flight+topology dump so a stalled session
+	// self-diagnoses.
+	Introspect func() string
 }
 
 // Leaf is a live leaf peer LP_s: it requests a content from H contents
@@ -468,8 +473,14 @@ func (l *Leaf) Wait(timeout time.Duration) error {
 		if len(who) > 0 {
 			served = strings.Join(who, "; ")
 		}
-		return fmt.Errorf("live: timeout with %d/%d packets (%d arrivals, %d dup); missing %s; sources: %s",
+		err := fmt.Errorf("live: timeout with %d/%d packets (%d arrivals, %d dup); missing %s; sources: %s",
 			l.asm.Have(), want, l.total, l.dup, formatRanges(missing, 6), served)
+		if l.cfg.Introspect != nil {
+			if extra := l.cfg.Introspect(); extra != "" {
+				err = fmt.Errorf("%w; %s", err, extra)
+			}
+		}
+		return err
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 
 	"p2pmss/internal/content"
 	"p2pmss/internal/engine"
+	"p2pmss/internal/flight"
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/parity"
 	"p2pmss/internal/protocol"
@@ -204,6 +205,10 @@ type PeerConfig struct {
 	// SpanTrace identifies the session's trace; zero derives it from the
 	// Session id so every member agrees without coordination.
 	SpanTrace span.TraceID
+	// Flight, when non-nil, records the peer's engine event/effect
+	// stream into the given flight ring with wall-clock (seconds since
+	// process start) stamps; nil disables recording at zero cost.
+	Flight *flight.Recorder
 	// PayloadMemoCap bounds the derived-payload memo (entries); the memo
 	// is LRU-evicted past the cap. Zero means 4096.
 	PayloadMemoCap int
@@ -270,6 +275,8 @@ type Peer struct {
 	// spans derives causal spans from the engine's event/effect stream;
 	// nil (tracing and latency metrics both off) is the no-op tracker.
 	spans *engine.SpanTracker
+	// flight records the engine's event/effect stream; nil when off.
+	flight *engine.FlightObserver
 	// names/ids map engine peer ids to transport addresses and back.
 	// Roster order defines ids 0..N-1; out-of-roster senders (mid-stream
 	// joiners) get ephemeral ids >= N, which the engine tracks but never
@@ -353,6 +360,7 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 		CommitLatency:  p.met.commitLatency,
 		RetryWaveDepth: p.met.retryWaveDepth,
 	})
+	p.flight = engine.NewFlightObserver(cfg.Flight)
 	p.mu.Unlock()
 	go p.streamLoop()
 	return p, nil
@@ -613,6 +621,7 @@ func (p *Peer) dispatchCtx(ev engine.Event, parent span.Context) {
 	snap := engine.Snapshot{Offset: p.pos, Stream: p.stream, Rate: p.rate, Pending: p.pending != nil}
 	effs := p.core.Handle(ev, snap)
 	p.spans.Observe(p.core, liveNow(), ev, parent, effs)
+	p.flight.Observe(liveNow(), ev, effs)
 	sends := p.applyLocked(effs)
 	p.mu.Unlock()
 	for _, s := range sends {

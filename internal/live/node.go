@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/flight"
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/span"
@@ -40,6 +41,10 @@ type NodeConfig struct {
 	// node participates in; each session gets its own trace, derived
 	// from the session id so all nodes agree.
 	Spans *span.Collector
+	// Flight, when non-nil, records every serving peer's engine
+	// event/effect stream into per-(session, peer) flight rings; all
+	// nodes of a population share one set.
+	Flight *flight.Set
 }
 
 // Node hosts a content store on one transport endpoint and participates
@@ -144,6 +149,19 @@ func (n *Node) handle(m transport.Msg) {
 	}
 }
 
+// rosterIndex returns this node's position in the roster — the engine
+// peer id its serving peers run under — or -1 when the node is not on
+// its own roster.
+func (n *Node) rosterIndex() int {
+	self := n.ep.Name()
+	for i, a := range n.cfg.Roster {
+		if a == self {
+			return i
+		}
+	}
+	return -1
+}
+
 // sessionSeed derives a deterministic per-session seed.
 func (n *Node) sessionSeed(sid SessionID) int64 {
 	if n.cfg.Seed == 0 {
@@ -173,6 +191,7 @@ func (n *Node) newServingPeerLocked(sid SessionID) *Peer {
 		Seed:             n.sessionSeed(sid),
 		Metrics:          n.cfg.Metrics,
 		Spans:            n.cfg.Spans,
+		Flight:           n.cfg.Flight.Recorder(string(sid), n.rosterIndex()),
 	}, WithAttach(func(transport.Handler) (transport.Endpoint, error) { return se, nil }))
 	if err != nil {
 		return nil
@@ -454,12 +473,17 @@ type NodesConfig struct {
 	// Spans, when non-nil, collects causal spans across every node and
 	// session on one shared collector.
 	Spans *span.Collector
+	// Flight, when non-nil, records every serving peer's engine
+	// event/effect stream across all nodes and sessions on one shared
+	// set, served on /debug/flight via DebugHandlers.
+	Flight *flight.Set
 }
 
 // NodeCluster is a running node population.
 type NodeCluster struct {
 	Nodes  []*Node
 	fabric *transport.Fabric
+	flight *flight.Set
 
 	closeOnce sync.Once
 }
@@ -478,7 +502,7 @@ func StartNodes(cfg NodesConfig) (*NodeCluster, error) {
 	if cfg.UseTCP && cfg.Impair.Enabled() {
 		return nil, fmt.Errorf("live: impairment needs a datagram transport (in-memory fabric or UDP), not TCP")
 	}
-	nc := &NodeCluster{}
+	nc := &NodeCluster{flight: cfg.Flight}
 	var roster []string
 	trs := make([]Transport, cfg.Nodes)
 	if cfg.UseTCP {
@@ -546,6 +570,7 @@ func StartNodes(cfg NodesConfig) (*NodeCluster, error) {
 			Seed:             seed,
 			Metrics:          cfg.Metrics,
 			Spans:            cfg.Spans,
+			Flight:           cfg.Flight,
 		}, trs[i])
 		if err != nil {
 			nc.Close()

@@ -16,6 +16,15 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// DebugHandler is one extra endpoint to mount on a DebugMux — the hook
+// the live layer uses to add /debug/overlay and /debug/flight without
+// the metrics package knowing about overlays or flight logs.
+type DebugHandler struct {
+	// Pattern is the mux pattern, e.g. "/debug/overlay".
+	Pattern string
+	Handler http.Handler
+}
+
 // DebugMux builds the live runtime's observability endpoint set:
 //
 //	/metrics       Prometheus text exposition of the registry
@@ -23,10 +32,11 @@ func (r *Registry) Handler() http.Handler {
 //	/debug/vars    expvar (cmdline, memstats, anything published)
 //	/debug/pprof/  the standard pprof index, profiles and traces
 //
-// The mux is self-contained (nothing is registered on
-// http.DefaultServeMux), so callers can serve it on a dedicated
+// plus any extra handlers (the live layer mounts /debug/overlay and
+// /debug/flight here). The mux is self-contained (nothing is registered
+// on http.DefaultServeMux), so callers can serve it on a dedicated
 // listener without inheriting global handlers.
-func DebugMux(r *Registry) *http.ServeMux {
+func DebugMux(r *Registry, extras ...DebugHandler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
@@ -39,5 +49,10 @@ func DebugMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extras {
+		if e.Handler != nil {
+			mux.Handle(e.Pattern, e.Handler)
+		}
+	}
 	return mux
 }

@@ -1,0 +1,162 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SnapshotVersion is the schema version stamped on every Snapshot, so
+// dumps written by one build remain identifiable to readers from
+// another.
+const SnapshotVersion = 1
+
+// Snapshot is a versioned point-in-time picture of the coordination
+// overlay: which peers hold which transmission slots, the parent/child
+// edges the hand-offs created, and the tree-health summary. Drivers
+// build snapshots from engine outcomes (engine.TopologySnapshot); this
+// package owns the schema and the renderers so any layer can consume a
+// snapshot without importing the engine.
+type Snapshot struct {
+	Version  int    `json:"version"`
+	Protocol string `json:"protocol,omitempty"`
+	Session  string `json:"session,omitempty"`
+	// Time is the capturing driver's clock: virtual time in the
+	// simulator, seconds since process start in the live runtime.
+	Time   float64 `json:"time"`
+	Nodes  []Node  `json:"nodes"`
+	Edges  []Edge  `json:"edges"`
+	Health Health  `json:"health"`
+}
+
+// Node is one contents peer's place in the overlay.
+type Node struct {
+	ID int `json:"id"`
+	// Addr is the live transport address (empty in the simulator).
+	Addr   string `json:"addr,omitempty"`
+	Active bool   `json:"active"`
+	// Committed reports a completed TCoP adoption.
+	Committed bool `json:"committed,omitempty"`
+	// Parent is the adopting parent (TCoP), the peer itself when
+	// leaf-rooted, or -1 (none; DCoP peers never record one).
+	Parent int `json:"parent"`
+	// Children lists the peers this peer handed shares to, in hand-off
+	// order.
+	Children []int `json:"children,omitempty"`
+	// Depth is the activation round (leaf-selected peers are depth 1).
+	Depth int `json:"depth"`
+	// Assigned is the size of the peer's transmission slot: how many
+	// packets (data + parity) were ever assigned to it.
+	Assigned int `json:"assigned_packets"`
+	// Covered is how many distinct content (data) packets the slot
+	// covers.
+	Covered int `json:"covered_packets,omitempty"`
+	// Retried and Absorbed mirror the engine's churn-tolerance counters.
+	Retried  int `json:"retried,omitempty"`
+	Absorbed int `json:"absorbed,omitempty"`
+}
+
+// Edge is one hand-off edge: Parent delegated a division to Child.
+type Edge struct {
+	Parent int `json:"parent"`
+	Child  int `json:"child"`
+}
+
+// Health summarizes tree shape — the gauges published as
+// overlay_depth, overlay_fanout, overlay_orphaned_leaves and
+// overlay_coverage_ratio.
+type Health struct {
+	// ActivePeers counts activated peers.
+	ActivePeers int `json:"active_peers"`
+	// Depth is the maximum activation round among active peers.
+	Depth int `json:"depth"`
+	// MaxFanout is the widest child list.
+	MaxFanout int `json:"max_fanout"`
+	// OrphanedLeaves counts active peers of depth > 1 with no surviving
+	// incoming edge: they activated via a parent that has since crashed,
+	// absorbed the share back, or vanished.
+	OrphanedLeaves int `json:"orphaned_leaves"`
+	// Coverage is the division coverage ratio: distinct content packets
+	// assigned across active peers over the content length (0 when the
+	// content length is unknown).
+	Coverage float64 `json:"coverage"`
+}
+
+// ComputeHealth fills the structural health fields (ActivePeers, Depth,
+// MaxFanout, OrphanedLeaves) from Nodes and Edges. Coverage is left
+// untouched — only the snapshot builder holds the assigned sequences.
+func (s *Snapshot) ComputeHealth() {
+	h := Health{Coverage: s.Health.Coverage}
+	hasParent := make(map[int]bool, len(s.Edges))
+	for _, e := range s.Edges {
+		hasParent[e.Child] = true
+	}
+	for _, n := range s.Nodes {
+		if len(n.Children) > h.MaxFanout {
+			h.MaxFanout = len(n.Children)
+		}
+		if !n.Active {
+			continue
+		}
+		h.ActivePeers++
+		if n.Depth > h.Depth {
+			h.Depth = n.Depth
+		}
+		if n.Depth > 1 && !hasParent[n.ID] {
+			h.OrphanedLeaves++
+		}
+	}
+	s.Health = h
+}
+
+// DOT renders the snapshot as a Graphviz digraph: one box per peer
+// (label: id/addr, slot size, depth), solid edges for hand-offs, with
+// inactive peers dimmed and orphaned active peers outlined red. The
+// output is deterministic: nodes ascend by id, edges by (parent,
+// child).
+func (s *Snapshot) DOT() string {
+	nodes := append([]Node(nil), s.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	edges := append([]Edge(nil), s.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Parent != edges[j].Parent {
+			return edges[i].Parent < edges[j].Parent
+		}
+		return edges[i].Child < edges[j].Child
+	})
+	hasParent := make(map[int]bool, len(edges))
+	for _, e := range edges {
+		hasParent[e.Child] = true
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph overlay {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	title := s.Protocol
+	if s.Session != "" {
+		title += " " + s.Session
+	}
+	fmt.Fprintf(&b, "  label=%q;\n", strings.TrimSpace(fmt.Sprintf("%s t=%.3f depth=%d coverage=%.2f",
+		title, s.Time, s.Health.Depth, s.Health.Coverage)))
+	for _, n := range nodes {
+		label := fmt.Sprintf("cp%d", n.ID)
+		if n.Addr != "" {
+			label = fmt.Sprintf("cp%d\\n%s", n.ID, n.Addr)
+		}
+		label += fmt.Sprintf("\\nslot=%d depth=%d", n.Assigned, n.Depth)
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		switch {
+		case !n.Active:
+			attrs += ", style=dashed, color=gray"
+		case n.Depth > 1 && !hasParent[n.ID]:
+			attrs += ", color=red" // orphaned: parent edge lost
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, attrs)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e.Parent, e.Child)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

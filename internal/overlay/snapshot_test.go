@@ -1,0 +1,87 @@
+package overlay
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureSnapshot is a small TCoP-shaped overlay: peer 0 leaf-rooted
+// with children 1 and 2, peer 3 orphaned (active at depth 2, incoming
+// edge gone), peer 4 inactive.
+func fixtureSnapshot() Snapshot {
+	return Snapshot{
+		Version:  SnapshotVersion,
+		Protocol: "TCoP",
+		Time:     1.5,
+		Nodes: []Node{
+			{ID: 0, Addr: "127.0.0.1:9000", Active: true, Parent: 0, Children: []int{1, 2}, Depth: 1, Assigned: 20, Covered: 13},
+			{ID: 1, Active: true, Committed: true, Parent: 0, Depth: 2, Assigned: 7, Covered: 5},
+			{ID: 2, Active: true, Committed: true, Parent: 0, Depth: 2, Assigned: 6, Covered: 4},
+			{ID: 3, Active: true, Depth: 2, Assigned: 4, Covered: 3},
+			{ID: 4, Active: false, Parent: -1, Depth: 0},
+		},
+		Edges:  []Edge{{Parent: 0, Child: 1}, {Parent: 0, Child: 2}},
+		Health: Health{Coverage: 0.75},
+	}
+}
+
+func TestComputeHealth(t *testing.T) {
+	s := fixtureSnapshot()
+	s.ComputeHealth()
+	want := Health{ActivePeers: 4, Depth: 2, MaxFanout: 2, OrphanedLeaves: 1, Coverage: 0.75}
+	if s.Health != want {
+		t.Errorf("health = %+v, want %+v", s.Health, want)
+	}
+}
+
+func TestComputeHealthIgnoresDepthOneWithoutEdge(t *testing.T) {
+	// Leaf-selected peers (depth 1) have no incoming hand-off edge by
+	// construction; they must not count as orphans.
+	s := Snapshot{Nodes: []Node{{ID: 0, Active: true, Depth: 1}}}
+	s.ComputeHealth()
+	if s.Health.OrphanedLeaves != 0 {
+		t.Errorf("depth-1 peer counted as orphan: %+v", s.Health)
+	}
+}
+
+// TestDOTGolden pins the renderer's exact output: deterministic node
+// and edge order, dimmed inactive peers, red orphans. A deliberate
+// change here means updating the golden string.
+func TestDOTGolden(t *testing.T) {
+	s := fixtureSnapshot()
+	s.ComputeHealth()
+	got := s.DOT()
+	want := `digraph overlay {
+  rankdir=TB;
+  node [shape=box, fontsize=10];
+  label="TCoP t=1.500 depth=2 coverage=0.75";
+  n0 [label="cp0\n127.0.0.1:9000\nslot=20 depth=1"];
+  n1 [label="cp1\nslot=7 depth=2"];
+  n2 [label="cp2\nslot=6 depth=2"];
+  n3 [label="cp3\nslot=4 depth=2", color=red];
+  n4 [label="cp4\nslot=0 depth=0", style=dashed, color=gray];
+  n0 -> n1;
+  n0 -> n2;
+}
+`
+	if got != want {
+		t.Errorf("DOT output changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestDOTDeterministicUnderShuffledInput(t *testing.T) {
+	s := fixtureSnapshot()
+	s.ComputeHealth()
+	want := s.DOT()
+	// Reverse nodes and edges; the renderer must sort them back.
+	for i, j := 0, len(s.Nodes)-1; i < j; i, j = i+1, j-1 {
+		s.Nodes[i], s.Nodes[j] = s.Nodes[j], s.Nodes[i]
+	}
+	s.Edges[0], s.Edges[1] = s.Edges[1], s.Edges[0]
+	if got := s.DOT(); got != want {
+		t.Errorf("DOT depends on input order:\n%s", got)
+	}
+	if !strings.HasPrefix(want, "digraph overlay {") {
+		t.Error("not a digraph")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"p2pmss/internal/metrics"
 )
 
 // Impairment configures deterministic network-impairment injection:
@@ -85,6 +87,37 @@ type Impairer struct {
 	mu    sync.Mutex
 	links map[string]*linkState
 	stats ImpairStats
+	met   impairMetrics
+}
+
+// impairMetrics are the transport_impaired_total{verdict=...} counters,
+// one per verdict the policy can hand down. Nil counters (no registry)
+// are no-ops.
+type impairMetrics struct {
+	drop, dup, reorder, burst *metrics.Counter
+}
+
+// newImpairMetrics registers the verdict counters on reg, labeled by
+// transport kind so fabric and UDP impairment stay distinguishable.
+func newImpairMetrics(reg *metrics.Registry, kind string) impairMetrics {
+	c := func(verdict string) *metrics.Counter {
+		return reg.Counter("transport_impaired_total", "transport", kind, "verdict", verdict)
+	}
+	return impairMetrics{drop: c("drop"), dup: c("dup"), reorder: c("reorder"), burst: c("burst")}
+}
+
+// Instrument registers the impairer's per-verdict counters
+// (transport_impaired_total{verdict=drop|dup|reorder|burst}) on reg,
+// labeled with the transport kind. Call before traffic starts; the
+// fabric and UDP endpoints call it for their own impairers when both an
+// impairment and a registry are installed.
+func (im *Impairer) Instrument(reg *metrics.Registry, kind string) {
+	if im == nil {
+		return
+	}
+	im.mu.Lock()
+	im.met = newImpairMetrics(reg, kind)
+	im.mu.Unlock()
 }
 
 type linkState struct {
@@ -155,13 +188,16 @@ func (im *Impairer) Admit(from, to string, m Msg) (deliver []Msg, dropped bool) 
 	case l.burstLeft > 0:
 		l.burstLeft--
 		dropped = true
+		im.met.burst.Inc()
 	case im.cfg.Loss > 0 && l.rng.Float64() < im.cfg.Loss:
 		l.burstLeft = im.cfg.BurstLen
 		dropped = true
+		im.met.drop.Inc()
 	case im.cfg.Reorder > 0 && l.rng.Float64() < im.cfg.Reorder:
 		h := &heldMsg{remaining: 1 + l.rng.Intn(im.cfg.window()), to: to, m: m}
 		l.held = append(l.held, h)
 		im.stats.Held++
+		im.met.reorder.Inc()
 		if im.cfg.MaxHold > 0 {
 			time.AfterFunc(im.cfg.MaxHold, func() { im.expire(h) })
 		}
@@ -170,6 +206,7 @@ func (im *Impairer) Admit(from, to string, m Msg) (deliver []Msg, dropped bool) 
 		if im.cfg.Duplicate > 0 && l.rng.Float64() < im.cfg.Duplicate {
 			deliver = append(deliver, m)
 			im.stats.Duplicated++
+			im.met.dup.Inc()
 		}
 	}
 	if dropped {

@@ -136,6 +136,9 @@ type Fabric struct {
 	queueDrops int64
 	wg         sync.WaitGroup
 	met        fabricMetrics
+	// reg is retained from Instrument so an impairment installed later
+	// gets its verdict counters on the same registry.
+	reg *metrics.Registry
 }
 
 // QueuePolicy selects what a bounded queued fabric does with a send
@@ -160,11 +163,16 @@ type queuedMsg struct {
 
 // Instrument registers the fabric's traffic counters (messages/bytes
 // sent, drops, deliveries, in-flight queue depth) on reg. Call before
-// traffic starts; a nil registry leaves the fabric uninstrumented.
+// traffic starts; a nil registry leaves the fabric uninstrumented. The
+// registry is retained so an impairment installed later (or already
+// installed) gets its verdict counters too.
 func (f *Fabric) Instrument(reg *metrics.Registry) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.met = newTransportMetrics(reg, "mem")
+	f.reg = reg
+	imp := f.impair
+	f.mu.Unlock()
+	imp.Instrument(reg, "mem")
 }
 
 // NewFabric returns an empty in-memory fabric.
@@ -205,13 +213,17 @@ func NewBoundedQueuedFabric(capacity int, policy QueuePolicy) *Fabric {
 // was cleared.
 func (f *Fabric) SetImpairment(cfg Impairment) *Impairer {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if !cfg.Enabled() {
 		f.impair = nil
+		f.mu.Unlock()
 		return nil
 	}
-	f.impair = NewImpairer(cfg, f.deliverOne)
-	return f.impair
+	imp := NewImpairer(cfg, f.deliverOne)
+	f.impair = imp
+	reg := f.reg
+	f.mu.Unlock()
+	imp.Instrument(reg, "mem")
+	return imp
 }
 
 // QueueDrops reports how many messages a bounded queued fabric dropped

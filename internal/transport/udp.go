@@ -45,6 +45,9 @@ type UDPEndpoint struct {
 	closed bool
 	wg     sync.WaitGroup
 	met    fabricMetrics
+	// reg is retained from Instrument so an impairment installed later
+	// gets its verdict counters on the same registry.
+	reg *metrics.Registry
 }
 
 // ListenUDP binds an endpoint to addr (e.g. "127.0.0.1:0"); its Name is
@@ -81,8 +84,11 @@ func (e *UDPEndpoint) Name() string { return e.name }
 // transport_*{transport="udp"} series. Call before traffic starts.
 func (e *UDPEndpoint) Instrument(reg *metrics.Registry) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.met = newTransportMetrics(reg, "udp")
+	e.reg = reg
+	imp := e.impair
+	e.mu.Unlock()
+	imp.Instrument(reg, "udp")
 }
 
 // SetImpairment installs a seeded Impairment policy on the endpoint's
@@ -93,12 +99,12 @@ func (e *UDPEndpoint) Instrument(reg *metrics.Registry) {
 // MaxHold on UDP so a quiet link cannot strand them forever.
 func (e *UDPEndpoint) SetImpairment(cfg Impairment) *Impairer {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if !cfg.Enabled() {
 		e.impair = nil
+		e.mu.Unlock()
 		return nil
 	}
-	e.impair = NewImpairer(cfg, func(to string, m Msg) {
+	imp := NewImpairer(cfg, func(to string, m Msg) {
 		e.mu.Lock()
 		ua := e.addrs[to]
 		closed := e.closed
@@ -109,7 +115,11 @@ func (e *UDPEndpoint) SetImpairment(cfg Impairment) *Impairer {
 		}
 		_ = e.write(ua, m, met)
 	})
-	return e.impair
+	e.impair = imp
+	reg := e.reg
+	e.mu.Unlock()
+	imp.Instrument(reg, "udp")
+	return imp
 }
 
 // Send encodes m as one datagram and fires it at the named address. Only

@@ -41,6 +41,7 @@ import (
 	"p2pmss/internal/content"
 	"p2pmss/internal/coord"
 	"p2pmss/internal/experiment"
+	"p2pmss/internal/flight"
 	"p2pmss/internal/live"
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/overlay"
@@ -125,10 +126,17 @@ type MetricsSnapshot = metrics.Snapshot
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
 
+// DebugHandler is an extra endpoint to mount on MetricsDebugMux, e.g.
+// a live cluster's /debug/overlay and /debug/flight handlers.
+type DebugHandler = metrics.DebugHandler
+
 // MetricsDebugMux returns an http.Handler serving the registry's
 // Prometheus text on /metrics plus /healthz, expvar on /debug/vars and
-// net/http/pprof on /debug/pprof/.
-func MetricsDebugMux(r *MetricsRegistry) http.Handler { return metrics.DebugMux(r) }
+// net/http/pprof on /debug/pprof/. Extra handlers (e.g.
+// LiveCluster.DebugHandlers) are mounted after the built-ins.
+func MetricsDebugMux(r *MetricsRegistry, extras ...DebugHandler) http.Handler {
+	return metrics.DebugMux(r, extras...)
+}
 
 // DefaultSimConfig returns the paper's evaluation setting (n = 100
 // contents peers, reliable links, δ = 1).
@@ -520,3 +528,76 @@ type LiveNodesConfig = live.NodesConfig
 func StartLiveNodes(cfg LiveNodesConfig) (*LiveNodeCluster, error) {
 	return live.StartNodes(cfg)
 }
+
+// ---- overlay introspection & flight recording -----------------------------
+
+// OverlaySnapshot is a versioned point-in-time view of an overlay:
+// per-peer slot assignments, parent/child streaming edges, division
+// coverage, and tree-health gauges. Produced by LiveCluster.Snapshot
+// and LiveNodeCluster.Snapshot, served on /debug/overlay, rendered to
+// Graphviz with its DOT method.
+type OverlaySnapshot = overlay.Snapshot
+
+// OverlayNode is one peer's entry in an overlay snapshot.
+type OverlayNode = overlay.Node
+
+// OverlayEdge is one parent→child streaming edge in a snapshot.
+type OverlayEdge = overlay.Edge
+
+// OverlayHealth summarizes a snapshot's tree health (depth, fanout,
+// orphaned leaves, division coverage).
+type OverlayHealth = overlay.Health
+
+// FlightRecorder is one peer's bounded in-memory ring of coordination
+// events and effects — a crash-forensics flight recorder. A nil
+// recorder is the disabled state and costs nothing on the hot path.
+type FlightRecorder = flight.Recorder
+
+// FlightSet is a population of per-peer flight recorders sharing one
+// capacity, attachable to SimConfig.Flight, LiveClusterConfig.Flight
+// and LiveNodesConfig.Flight.
+type FlightSet = flight.Set
+
+// FlightEvent is one recorded engine event or effect.
+type FlightEvent = flight.Event
+
+// FlightLog labels a flight-event stream for divergence diffing.
+type FlightLog = flight.Log
+
+// FlightDivergence names the first event where two flight logs
+// disagree: the peer, the per-peer event index, and both sides' events.
+type FlightDivergence = flight.Divergence
+
+// FlightDiffOptions tunes FirstFlightDivergence (timer-event handling,
+// session filtering).
+type FlightDiffOptions = flight.DiffOptions
+
+// NewFlightSet returns a recorder population holding up to perPeerCap
+// events per peer (0 picks the 512-event default).
+func NewFlightSet(perPeerCap int) *FlightSet { return flight.NewSet(perPeerCap) }
+
+// WriteFlightJSONL writes flight events to w as JSON Lines.
+func WriteFlightJSONL(w io.Writer, events []FlightEvent) error {
+	return flight.WriteJSONL(w, events)
+}
+
+// ReadFlightJSONL reads a JSONL flight log written by WriteFlightJSONL
+// or FlightSet.DumpJSONL.
+func ReadFlightJSONL(r io.Reader) ([]FlightEvent, error) { return flight.ReadJSONL(r) }
+
+// FirstFlightDivergence aligns two flight logs — e.g. a simulated run
+// and its live conformance twin — per (session, peer) and returns the
+// first event where they disagree, or nil when the logs agree.
+// Timestamps are never compared (one side counts virtual time, the
+// other wall time); identity is (peer, direction, type, counterpart,
+// round, size).
+func FirstFlightDivergence(a, b FlightLog, opt FlightDiffOptions) *FlightDivergence {
+	return flight.FirstDivergence(a, b, opt)
+}
+
+// SummarizeFlight groups flight events by (session, peer, direction,
+// type) with counts and first/last timestamps.
+func SummarizeFlight(events []FlightEvent) []flight.Summary { return flight.Summarize(events) }
+
+// FlightSummary is one SummarizeFlight group.
+type FlightSummary = flight.Summary
