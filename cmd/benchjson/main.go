@@ -7,9 +7,16 @@
 // benchmark whose name starts with PREFIX reports a non-zero allocs/op
 // — the CI gate keeping the disabled-tracing path allocation-free.
 //
+// With -assert-max-allocs PREFIX=N[,PREFIX=N...] it fails (exit 1) if
+// any benchmark whose name starts with PREFIX reports more than N
+// allocs/op — the CI gate keeping the pooled coordination round
+// near-zero-alloc without demanding literal zero.
+//
 //	go test -run='^$' -bench=. -benchmem ./internal/engine | benchjson -o BENCH_engine.json
 //	go test -run='^$' -bench=SpanDisabled -benchmem ./internal/engine | \
 //	    benchjson -assert-zero-allocs BenchmarkSpanDisabled -o BENCH_span.json
+//	go test -run='^$' -bench='^BenchmarkEngine' -benchmem ./internal/engine | \
+//	    benchjson -assert-max-allocs BenchmarkEngine=100 -o BENCH_engine.json
 package main
 
 import (
@@ -78,11 +85,45 @@ func parse(lines []string) Report {
 	return rep
 }
 
+// allocCap is one parsed -assert-max-allocs entry.
+type allocCap struct {
+	prefix string
+	max    int64
+}
+
+// parseMaxAllocs parses "PREFIX=N[,PREFIX=N...]" (empty input → none).
+func parseMaxAllocs(s string) ([]allocCap, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var caps []allocCap
+	for _, part := range strings.Split(s, ",") {
+		prefix, limit, ok := strings.Cut(part, "=")
+		if !ok || prefix == "" {
+			return nil, fmt.Errorf("bad -assert-max-allocs entry %q (want PREFIX=N)", part)
+		}
+		max, err := strconv.ParseInt(limit, 10, 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("bad -assert-max-allocs limit in %q (want a non-negative integer)", part)
+		}
+		caps = append(caps, allocCap{prefix: prefix, max: max})
+	}
+	return caps, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	zeroAllocs := flag.String("assert-zero-allocs", "",
 		"fail if any benchmark with this name prefix reports allocs/op > 0")
+	maxAllocs := flag.String("assert-max-allocs", "",
+		"PREFIX=N[,PREFIX=N...]: fail if any benchmark with a listed name prefix reports allocs/op > N")
 	flag.Parse()
+
+	caps, err := parseMaxAllocs(*maxAllocs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
 
 	var lines []string
 	sc := bufio.NewScanner(os.Stdin)
@@ -117,6 +158,27 @@ func main() {
 		}
 		if matched == 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -assert-zero-allocs %q\n", *zeroAllocs)
+			os.Exit(1)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	}
+	for _, cap := range caps {
+		matched, failed := 0, 0
+		for _, b := range rep.Benchmarks {
+			if !strings.HasPrefix(b.Name, cap.prefix) {
+				continue
+			}
+			matched++
+			if b.AllocsPerOp > cap.max {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchjson: %s allocates: %d allocs/op (max %d)\n",
+					b.Name, b.AllocsPerOp, cap.max)
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -assert-max-allocs prefix %q\n", cap.prefix)
 			os.Exit(1)
 		}
 		if failed > 0 {

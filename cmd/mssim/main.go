@@ -7,7 +7,8 @@
 //	mssim -fig 11              # TCoP rounds & control packets vs H
 //	mssim -fig 12              # leaf receipt rate vs H (DCoP and TCoP)
 //	mssim -fig baselines       # §3.1 baseline comparison at -h-fixed
-//	mssim -fig all             # everything
+//	mssim -fig scale -data-plane fluid   # receipt rate & rounds vs n up to 10⁵ peers
+//	mssim -fig all             # everything (scale excluded; run it explicitly)
 //	mssim -fig 10 -csv         # machine-readable output (averaged points)
 //	mssim -fig 10 -json        # one JSON line per (H, seed) run, with metrics
 //	mssim -fig 10 -n 100 -seeds 5 -hs 2,10,60,100
@@ -50,6 +51,10 @@ func main() {
 			"independent per-message drop probability in [0,1); stamped into -json records as the run scenario")
 		burst = flag.String("burst", "",
 			"Gilbert–Elliott bursty loss as pGoodToBad,pBadToGood,lossGood,lossBad (e.g. 0.01,0.2,0,0.5)")
+		dataPlane = flag.String("data-plane", "packet",
+			"data-plane mode for data-plane figures (12, scale, baselines): packet (per-packet DES events) or fluid (closed-form flow rates; required for -fig scale ceilings)")
+		ns = flag.String("ns", "10000,20000,50000,100000",
+			"comma-separated overlay sizes for -fig scale")
 	)
 	flag.Parse()
 
@@ -67,6 +72,14 @@ func main() {
 			fatal(err)
 		}
 		o.Burst = bp
+	}
+	switch *dataPlane {
+	case "", "packet":
+		o.PlaneMode = p2pmss.PlanePacket
+	case "fluid":
+		o.PlaneMode = p2pmss.PlaneFluid
+	default:
+		fatal(fmt.Errorf("unknown -data-plane %q (want packet or fluid)", *dataPlane))
 	}
 	if *hs != "" {
 		o.Hs = nil
@@ -256,9 +269,47 @@ func main() {
 		p2pmss.PrintGossipCoverage(os.Stdout, o.N, pts)
 		fmt.Println()
 	}
-	if !run("10") && !run("11") && !run("12") && !run("baselines") && !run("gossip") {
-		fatal(fmt.Errorf("unknown -fig %q (want 10, 11, 12, baselines, gossip, all)", *fig))
+	// The scale sweep is explicitly requested, never part of -fig all: at
+	// its default ceiling (n = 10⁵) a point takes tens of seconds even on
+	// the fluid plane, and on the packet plane it is intentionally
+	// unreachable.
+	if *fig == "scale" {
+		sizes, err := parseNs(*ns)
+		if err != nil {
+			fatal(err)
+		}
+		for _, proto := range []p2pmss.Protocol{p2pmss.DCoP, p2pmss.TCoP} {
+			pts, err := p2pmss.ScaleCurve(proto, o, *hFixed, sizes)
+			if err != nil {
+				fatal(err)
+			}
+			if *csv {
+				fmt.Print(p2pmss.ScaleCurveCSV(proto, pts))
+			} else {
+				p2pmss.PrintScaleCurve(os.Stdout,
+					fmt.Sprintf("Scale sweep (%s, H=%d, %s plane): coordination and receipt rate vs n",
+						proto, *hFixed, o.PlaneMode), pts)
+				fmt.Println()
+			}
+		}
+		return
 	}
+	if !run("10") && !run("11") && !run("12") && !run("baselines") && !run("gossip") {
+		fatal(fmt.Errorf("unknown -fig %q (want 10, 11, 12, baselines, gossip, scale, all)", *fig))
+	}
+}
+
+// parseNs decodes the -ns flag's comma-separated overlay sizes.
+func parseNs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -ns entry %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // parseBurst decodes the -burst flag's four comma-separated

@@ -56,7 +56,7 @@ func main() {
 		pktSize  = flag.Int("pkt", 256, "packet payload size in bytes")
 		rate     = flag.Float64("rate", 800, "content rate in packets/second")
 		kill     = flag.Int("kill", 0, "crash this many active peers mid-stream")
-		proto    = flag.String("proto", p2pmss.LiveTCoP, "live coordination protocol: tcop or dcop")
+		proto    = flag.String("proto", p2pmss.TCoP, "live coordination protocol: tcop or dcop")
 		timeout  = flag.Duration("timeout", 60*time.Second, "delivery deadline")
 		seed     = flag.Int64("seed", 1, "random seed")
 		sessions = flag.Int("sessions", 1, "stream this many concurrent sessions over one node population")
@@ -155,9 +155,11 @@ func main() {
 		HandshakeTimeout: *hsTime,
 		Retries:          *retries,
 		Seed:             *seed,
-		Metrics:          reg,
-		Spans:            spanCol,
-		Flight:           flightSet,
+		Obs: p2pmss.Observability{
+			Metrics: reg,
+			Spans:   spanCol,
+			Flight:  flightSet,
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -268,9 +270,11 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 		HandshakeTimeout: hsTimeout,
 		Retries:          retries,
 		Seed:             seed,
-		Metrics:          reg,
-		Spans:            spanCol,
-		Flight:           flightSet,
+		Obs: p2pmss.Observability{
+			Metrics: reg,
+			Spans:   spanCol,
+			Flight:  flightSet,
+		},
 	})
 	if err != nil {
 		fatal(err)

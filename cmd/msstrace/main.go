@@ -232,7 +232,7 @@ func runTimeline() {
 	cfg.N = *n
 	cfg.H = *fanout
 	cfg.Seed = *seed
-	cfg.Trace = tr
+	cfg.Obs.Trace = tr
 
 	res, err := p2pmss.Simulate(*proto, cfg)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"p2pmss/internal/engine"
 	"p2pmss/internal/flight"
 	"p2pmss/internal/live"
+	"p2pmss/internal/obs"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/transport"
 )
@@ -69,8 +70,8 @@ func simOutcomes(t *testing.T, proto protocol.Protocol, seed int64, fl *flight.S
 		LeafShares: true,
 		DataPlane:  true, ContentLen: confPackets,
 		Settle: 1, Window: 1,
-		Seed:   seed,
-		Flight: fl,
+		Seed: seed,
+		Obs:  obs.Observability{Flight: fl},
 	})
 	if err != nil {
 		t.Fatalf("sim %s seed %d: %v", proto, seed, err)
@@ -107,7 +108,7 @@ func liveOutcomes(t *testing.T, proto protocol.Protocol, seed int64, fl *flight.
 			Delta:    time.Millisecond,
 			Protocol: proto,
 			Seed:     engine.PeerSeed(seed, engine.PeerID(i)),
-			Flight:   fl.Recorder("", i),
+			Obs:      obs.Observability{Flight: fl},
 		}, live.WithFabric(fab, roster[i]))
 		if err != nil {
 			t.Fatalf("live peer %d: %v", i, err)

@@ -20,7 +20,9 @@ import (
 	"p2pmss/internal/engine"
 	"p2pmss/internal/failure"
 	"p2pmss/internal/flight"
+	"p2pmss/internal/fluid"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/obs"
 	"p2pmss/internal/overlay"
 	"p2pmss/internal/parity"
 	"p2pmss/internal/protocol"
@@ -81,6 +83,18 @@ type Config struct {
 	// DataPlane enables per-packet data transmission so receipt rate and
 	// delivery can be measured. Figures 10 and 11 run with it off.
 	DataPlane bool
+	// PlaneMode selects how the data plane is simulated when DataPlane is
+	// on: PlanePacket (the default, also selected by the empty string)
+	// schedules one DES event per data packet; PlaneFluid models each
+	// transmitter as a closed-form slot grid (internal/fluid), so run
+	// cost scales with coordination events instead of rate × time and a
+	// sweep can reach n = 10⁵ peers. Fluid runs require Loop and reject
+	// the per-packet-only features (TrackDelivery, Playback, Repair,
+	// LeafMaxRate, Burst); at zero Jitter and LossProb their control
+	// trajectory is event-identical to the packet plane's and the receipt
+	// rate agrees up to floating-point slot drift, with impairments the
+	// fluid rate is the expectation. See DESIGN.md §11.
+	PlaneMode DataPlaneMode
 	// ContentLen is the content length in packets (data plane only).
 	ContentLen int64
 	// Loop makes transmitters wrap around at the end of their sequence,
@@ -154,8 +168,15 @@ type Config struct {
 	RepairInterval float64
 	// RepairMaxRounds bounds repair attempts (default 20).
 	RepairMaxRounds int
+	// Obs bundles the run's observers (metrics, trace, spans, flight
+	// rings) in the struct shared with the live runtime. Non-nil
+	// members override the corresponding legacy fields below during
+	// normalization. Prefer Obs for new code.
+	Obs obs.Observability
 	// Trace, when non-nil, records activations, control packets and
 	// hand-offs.
+	//
+	// Deprecated: set via Obs.Trace.
 	Trace *trace.Tracer
 	// Metrics, when non-nil, registers and updates the run's counters,
 	// gauges and histograms (control packets by type, activations,
@@ -163,6 +184,8 @@ type Config struct {
 	// back into the simulation: an instrumented run is event-for-event
 	// identical to a bare one, and the snapshot of a seeded run is
 	// itself deterministic.
+	//
+	// Deprecated: set via Obs.Metrics.
 	Metrics *metrics.Registry
 	// Spans, when non-nil, collects causal spans (handshake rounds,
 	// confirmation waves, commits, hand-offs, streaming, leaf stalls)
@@ -170,16 +193,35 @@ type Config struct {
 	// feeds back into the simulation, and because the DES is
 	// single-threaded, span IDs are allocated in event order — the
 	// trace of a seeded run is byte-identical across repetitions.
+	//
+	// Deprecated: set via Obs.Spans.
 	Spans *span.Collector
 	// SpanTrace is the trace (session) ID spans are recorded under.
 	// Zero derives one from the seed.
+	//
+	// Deprecated: set via Obs.SpanTrace.
 	SpanTrace span.TraceID
 	// Flight, when non-nil, records every peer's engine event/effect
 	// stream into per-peer flight rings with virtual-time stamps, for
 	// topology forensics and sim-vs-live divergence diffing. Like Spans,
 	// recording never feeds back into the simulation.
+	//
+	// Deprecated: set via Obs.Flight.
 	Flight *flight.Set
 }
+
+// DataPlaneMode selects the data-plane simulation strategy.
+type DataPlaneMode string
+
+const (
+	// PlanePacket schedules one DES event per data packet (the default).
+	PlanePacket DataPlaneMode = "packet"
+	// PlaneFluid evaluates per-flow packet counts in closed form.
+	PlaneFluid DataPlaneMode = "fluid"
+)
+
+// fluid reports whether the run uses the flow-level data plane.
+func (c *Config) fluid() bool { return c.DataPlane && c.PlaneMode == PlaneFluid }
 
 // BurstParams parameterizes the per-channel Gilbert–Elliott loss model.
 // The json tags shape the scenario stamp in experiment JSONL archives.
@@ -239,6 +281,28 @@ func (c *Config) normalize() error {
 			return fmt.Errorf("coord: Window %v must be positive with DataPlane", c.Window)
 		}
 	}
+	switch c.PlaneMode {
+	case "", PlanePacket:
+		c.PlaneMode = PlanePacket
+	case PlaneFluid:
+		if !c.DataPlane {
+			return fmt.Errorf("coord: PlaneMode fluid requires DataPlane")
+		}
+		if !c.Loop {
+			return fmt.Errorf("coord: PlaneMode fluid requires Loop (steady-state streams)")
+		}
+		if c.TrackDelivery || c.Playback || c.Repair {
+			return fmt.Errorf("coord: PlaneMode fluid models flow rates, not packet identities; TrackDelivery/Playback/Repair need the packet plane")
+		}
+		if c.LeafMaxRate > 0 {
+			return fmt.Errorf("coord: PlaneMode fluid does not model the leaf buffer; LeafMaxRate needs the packet plane")
+		}
+		if c.Burst != nil {
+			return fmt.Errorf("coord: PlaneMode fluid folds loss in as a thinning factor; Burst needs the packet plane")
+		}
+	default:
+		return fmt.Errorf("coord: unknown PlaneMode %q (want %q or %q)", c.PlaneMode, PlanePacket, PlaneFluid)
+	}
 	if len(c.Bandwidths) > 0 {
 		if len(c.Bandwidths) != c.N {
 			return fmt.Errorf("coord: %d bandwidths for %d peers", len(c.Bandwidths), c.N)
@@ -254,6 +318,23 @@ func (c *Config) normalize() error {
 	}
 	if c.Retries < 0 {
 		c.Retries = 0
+	}
+	// Fold the consolidated observability bundle into the legacy
+	// per-observer fields, which stay the internally-consumed ones.
+	if c.Obs.Metrics != nil {
+		c.Metrics = c.Obs.Metrics
+	}
+	if c.Obs.Trace != nil {
+		c.Trace = c.Obs.Trace
+	}
+	if c.Obs.Spans != nil {
+		c.Spans = c.Obs.Spans
+	}
+	if c.Obs.SpanTrace != 0 && c.SpanTrace == 0 {
+		c.SpanTrace = c.Obs.SpanTrace
+	}
+	if c.Obs.Flight != nil {
+		c.Flight = c.Obs.Flight
 	}
 	if c.Spans != nil && c.SpanTrace == 0 {
 		c.SpanTrace = span.DeriveTrace(fmt.Sprintf("coord/seed=%d", c.Seed))
@@ -446,6 +527,16 @@ type runner struct {
 	measureOpen  bool
 	quiesceRound int
 
+	// fl is the flow ledger of a fluid run (Config.PlaneMode); nil on
+	// the packet plane. winStart/winEnd record when the measurement
+	// window actually opened and closed, so the fluid result can
+	// integrate arrivals over exactly the window the packet plane counts.
+	fl               *fluid.Ledger
+	winStart, winEnd float64
+
+	// batchBuf is applyEffects' reusable worklist of effect batches.
+	batchBuf [][]engine.Effect
+
 	// Root "session" span (engine-backed protocols with Config.Spans).
 	sessionSpan  span.SpanID
 	sessionStart float64
@@ -503,7 +594,11 @@ func newRunner(cfg Config) (*runner, error) {
 	nw.Instrument(cfg.Metrics)
 	r := &runner{cfg: cfg, eng: eng, nw: nw, met: newCoordMetrics(cfg.Metrics)}
 	r.res.Protocol = "?"
-	if cfg.DataPlane {
+	if cfg.fluid() {
+		// The fluid plane never materializes the content: assignments are
+		// rates, not sequences, which is what makes n = 10⁵ sweeps cheap.
+		r.fl = fluid.NewLedger(cfg.N)
+	} else if cfg.DataPlane {
 		r.content = seq.Range(1, cfg.ContentLen)
 	}
 	if cfg.Burst != nil {
@@ -521,6 +616,10 @@ func newRunner(cfg Config) (*runner, error) {
 				return
 			}
 			r.impl.deliver(p, from, m)
+			// The message is fully consumed (the engine copies what it
+			// keeps); pooled engine messages go back to their sender,
+			// baseline value messages and reqMsg are no-ops.
+			engine.ReleaseMsg(m)
 		})
 	}
 	r.leaf = newLeaf(r)
@@ -530,6 +629,11 @@ func newRunner(cfg Config) (*runner, error) {
 			cp := cp
 			eng.At(cfg.CrashAt, func() {
 				nw.Crash(simnet.NodeID(cp))
+				if r.fl != nil {
+					// The transmitter's slot grid keeps ticking, but the
+					// network drops sends from a crashed node.
+					r.fl.Mask(int(cp), eng.Now())
+				}
 				r.trace(int(cp), "crash", "crash-stop")
 			})
 		} else {
@@ -541,6 +645,13 @@ func newRunner(cfg Config) (*runner, error) {
 			what := "crash-stop"
 			if e.Join {
 				what = "rejoin"
+			}
+			if r.fl != nil {
+				if e.Join {
+					r.fl.Unmask(int(e.Peer), eng.Now())
+				} else {
+					r.fl.Mask(int(e.Peer), eng.Now())
+				}
 			}
 			r.trace(int(e.Peer), "churn", what)
 		})
@@ -619,11 +730,13 @@ func (r *runner) scheduleMeasurement() {
 	r.measureOpen = false
 	r.measureEv[0] = r.eng.After(r.cfg.Settle, func() {
 		r.measureOpen = true
+		r.winStart = r.eng.Now()
 		r.leaf.resetWindow()
 	})
 	r.measureEv[1] = r.eng.After(r.cfg.Settle+r.cfg.Window, func() {
 		r.measureOpen = false
 		r.measureDone = true
+		r.winEnd = r.eng.Now()
 		r.leaf.closeWindow()
 	})
 }
@@ -633,7 +746,7 @@ func (r *runner) scheduleMeasurement() {
 // machine; the baselines serve directly.
 func (r *runner) onRepair(p *peerNode, m repairMsg) {
 	if p.core != nil {
-		r.dispatch(p, engine.Repair{Indices: m.Indices})
+		r.dispatch(p, &engine.Repair{Indices: m.Indices})
 		return
 	}
 	r.serveRepair(p, m.Indices)
@@ -667,7 +780,17 @@ func (r *runner) run() Result {
 	r.res.NetStats = r.nw.Stats()
 	r.closeSpans()
 	r.mirrorOutcomes()
-	if r.cfg.DataPlane {
+	if r.fl != nil {
+		now := r.eng.Now()
+		r.res.PeerSent = make([]int64, r.cfg.N)
+		var total int64
+		for i := range r.peers {
+			n := r.fl.Sends(i, now)
+			r.res.PeerSent[i] = n
+			total += n
+		}
+		r.met.dataSent.Add(total)
+	} else if r.cfg.DataPlane {
 		r.res.PeerSent = make([]int64, r.cfg.N)
 		for i, p := range r.peers {
 			r.res.PeerSent[i] = p.tx.sentTotal
@@ -680,7 +803,16 @@ func (r *runner) run() Result {
 		r.res.DeliveredData = int64(r.leaf.recov.DataPresent())
 		r.res.RecoveredData = int64(r.leaf.recov.Recovered())
 	}
-	if r.cfg.DataPlane && r.measureDone && r.cfg.Window > 0 {
+	if r.fl != nil {
+		if r.measureDone && r.cfg.Window > 0 {
+			// Expected arrivals over the same window the packet plane
+			// counts: each send arrives one mean latency later, and
+			// Bernoulli loss thins the flow. The data/parity/dup breakdown
+			// needs packet identities and stays zero on the fluid plane.
+			arr := r.fl.Arrivals(r.winStart, r.winEnd, r.cfg.Delta+r.cfg.Jitter/2, 1-r.cfg.LossProb)
+			r.res.ReceiptRate = arr / r.cfg.Window / r.cfg.Rate
+		}
+	} else if r.cfg.DataPlane && r.measureDone && r.cfg.Window > 0 {
 		r.res.ReceiptRate = float64(r.leaf.winTotal) / r.cfg.Window / r.cfg.Rate
 		r.res.DataPackets = r.leaf.winData
 		r.res.ParityPackets = r.leaf.winParity
@@ -743,7 +875,7 @@ func (r *runner) initialAssignment(idx int, selected []overlay.PeerID) (seq.Sequ
 		return r.heterogeneousAssignment(idx, selected)
 	}
 	rate := parity.PerPeerRate(r.cfg.Rate, r.cfg.Interval, r.cfg.H)
-	if !r.cfg.DataPlane {
+	if !r.cfg.DataPlane || r.cfg.fluid() {
 		return nil, rate
 	}
 	return seq.Div(r.enhancedContent(), r.cfg.H, idx), rate
@@ -762,7 +894,7 @@ func (r *runner) heterogeneousAssignment(idx int, selected []overlay.PeerID) (se
 	}
 	share := r.cfg.Bandwidths[selected[idx]] / total
 	rate := parity.ReceiptRate(r.cfg.Rate, r.cfg.Interval) * share
-	if !r.cfg.DataPlane {
+	if !r.cfg.DataPlane || r.cfg.fluid() {
 		return nil, rate
 	}
 	e := r.enhancedContent()
@@ -802,9 +934,12 @@ func markOffset(sentOffset int, delta, rate float64) int {
 // currentOffset estimates how many packets a transmitter has sent, for
 // filling c.SEQ when the data plane is off.
 func (tx *transmitter) currentOffset() int {
-	if tx.r.cfg.DataPlane {
+	if tx.r.cfg.DataPlane && !tx.r.cfg.fluid() {
 		return tx.pos
 	}
+	// Control-plane-only and fluid runs estimate the offset from the rate
+	// — there is no per-packet position to read. The offset only fills
+	// c.SEQ in outgoing controls; no protocol decision branches on it.
 	return int((tx.r.eng.Now() - tx.startedAt) * tx.rate)
 }
 

@@ -32,8 +32,13 @@ func newTransmitter(r *runner, node simnet.NodeID) *transmitter {
 	return &transmitter{r: r, node: node}
 }
 
-// assign replaces the transmitter's stream and rate.
+// assign replaces the transmitter's stream and rate. On the fluid plane
+// the sequence is always nil and the assignment routes to the ledger.
 func (tx *transmitter) assign(s seq.Sequence, rate float64) {
+	if tx.r.cfg.fluid() {
+		tx.fluidAssign(rate)
+		return
+	}
 	tx.gen++
 	if tx.ev != nil {
 		tx.ev.Cancel()
@@ -60,6 +65,22 @@ func (tx *transmitter) assign(s seq.Sequence, rate float64) {
 	})
 }
 
+// fluidAssign is assign on the fluid plane: no sequence, no per-packet
+// events — the flow ledger records a new slot grid. The first-slot
+// phase draw mirrors the packet plane's, so a fluid run consumes
+// eng.Rand() at exactly the same points and (at zero jitter and loss)
+// replays the identical control trajectory.
+func (tx *transmitter) fluidAssign(rate float64) {
+	now := tx.r.eng.Now()
+	tx.rate, tx.startedAt = rate, now
+	if rate <= 0 {
+		tx.r.fl.Cut(int(tx.node), now)
+		return
+	}
+	phase := tx.r.eng.Rand().Float64() / rate
+	tx.r.fl.Start(int(tx.node), now, phase, 1/rate)
+}
+
 // merge unions an additional subsequence into the not-yet-sent remainder
 // (DCoP's pkt_i := pkt_i ∪ pkt_ji for redundantly selected peers) and adds
 // the new stream's rate.
@@ -81,6 +102,18 @@ func (tx *transmitter) merge(s seq.Sequence, rate float64) {
 // otherwise the parent would keep retransmitting its entire delegated
 // subtree (massive duplication) or drop merged assignments (gaps).
 func (tx *transmitter) planShare(keep seq.Sequence, given []seq.Sequence, oldRate, newRate, delta float64) {
+	if tx.r.cfg.fluid() {
+		// Same δ-deferred switch, same rate algebra, and the reassignment
+		// draws its phase exactly where the packet plane's assign would.
+		tx.r.eng.After(delta, func() {
+			rate := tx.rate - oldRate + newRate
+			if rate <= 0 {
+				rate = newRate
+			}
+			tx.fluidAssign(rate)
+		})
+		return
+	}
 	if tx.s == nil {
 		// Control-plane-only mode: just record the rate change.
 		tx.r.eng.After(delta, func() {

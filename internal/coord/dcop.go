@@ -24,10 +24,10 @@ func (d *dcop) deliver(p *peerNode, from simnet.NodeID, m simnet.Message) {
 	switch msg := m.(type) {
 	case reqMsg:
 		s, rate := d.r.initialAssignment(msg.Index, msg.Selected)
-		d.r.dispatchCtx(p, engine.Request{Assigned: s, Rate: rate, Selected: msg.Selected, Round: msg.Round}, msg.Span)
-	case ctlMsg:
-		d.r.dispatchCtx(p, engine.Control{Msg: msg}, msg.Span)
-	case commitMsg:
-		d.r.dispatchCtx(p, engine.Commit{Msg: msg}, msg.Span)
+		d.r.dispatchCtx(p, &engine.Request{Assigned: s, Rate: rate, Selected: msg.Selected, Round: msg.Round}, msg.Span)
+	case *ctlMsg:
+		d.r.dispatchCtx(p, &engine.Control{Msg: msg}, msg.Span)
+	case *commitMsg:
+		d.r.dispatchCtx(p, &engine.Commit{Msg: msg}, msg.Span)
 	}
 }

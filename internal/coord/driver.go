@@ -101,51 +101,61 @@ func (r *runner) dispatchCtx(p *peerNode, ev engine.Event, parent span.Context) 
 }
 
 // applyEffects executes the engine's effects in order. Sends to crashed
-// peers feed SendFailed back into the engine (queued behind the
-// remaining effects); the hand-off is buffered so that Absorb effects
-// produced by those failures fold into it before it is planned.
+// peers feed SendFailed back into the engine (its feedback batch is
+// queued behind the remaining effects); the hand-off is buffered
+// (copied out — the node is recycled) so that Absorb effects produced
+// by those failures fold into it before it is planned. Every consumed
+// batch goes back to the peer's free lists via Release; the messages
+// themselves stay alive until simnet delivers (or discards) them.
 func (r *runner) applyEffects(p *peerNode, effs []engine.Effect) {
-	var handoff *engine.Handoff
-	queue := effs
-	for len(queue) > 0 {
-		eff := queue[0]
-		queue = queue[1:]
-		switch e := eff.(type) {
-		case engine.Send:
-			to := simnet.NodeID(e.To)
-			r.sendCtl(simnet.NodeID(p.id), to, e.Msg, msgRound(e.Msg))
-			if r.nw.Crashed(to) {
-				// The message is counted (it was transmitted) but will be
-				// discarded at delivery; tell the engine now so it can
-				// fail over or re-absorb deterministically.
-				ev := engine.SendFailed{To: e.To, Msg: e.Msg}
-				fb := p.core.Handle(ev, r.snapshot(p))
-				p.spans.Observe(p.core, r.eng.Now(), ev, msgSpanCtx(e.Msg), fb)
-				p.flight.Observe(r.eng.Now(), ev, fb)
-				queue = append(queue, fb...)
+	var handoff engine.Handoff
+	haveHandoff := false
+	batches := append(r.batchBuf[:0], effs)
+	for bi := 0; bi < len(batches); bi++ {
+		for _, eff := range batches[bi] {
+			switch e := eff.(type) {
+			case *engine.Send:
+				to := simnet.NodeID(e.To)
+				r.sendCtl(simnet.NodeID(p.id), to, e.Msg, msgRound(e.Msg))
+				if r.nw.Crashed(to) {
+					// The message is counted (it was transmitted) but will be
+					// discarded at delivery; tell the engine now so it can
+					// fail over or re-absorb deterministically.
+					ev := &engine.SendFailed{To: e.To, Msg: e.Msg}
+					fb := p.core.Handle(ev, r.snapshot(p))
+					p.spans.Observe(p.core, r.eng.Now(), ev, msgSpanCtx(e.Msg), fb)
+					p.flight.Observe(r.eng.Now(), ev, fb)
+					if fb != nil {
+						batches = append(batches, fb)
+					}
+				}
+			case *engine.SetTimer:
+				id := e.ID
+				r.eng.After(e.Delay, func() { r.dispatch(p, &engine.TimerFired{Timer: id}) })
+			case *engine.Activate:
+				p.activate(e.Round, e.Seq, e.Rate)
+			case *engine.Merge:
+				p.activate(e.Round, e.Seq, e.Rate)
+			case *engine.Handoff:
+				handoff = *e
+				haveHandoff = true
+			case *engine.Absorb:
+				if haveHandoff {
+					handoff.Keep = seq.Union(handoff.Keep, e.Seq)
+					handoff.NewRate += e.RateDelta
+				} else if p.active {
+					p.activate(p.depth, e.Seq, e.RateDelta)
+				}
+			case *engine.ServeRepair:
+				r.serveRepair(p, e.Indices)
 			}
-		case engine.SetTimer:
-			id := e.ID
-			r.eng.After(e.Delay, func() { r.dispatch(p, engine.TimerFired{Timer: id}) })
-		case engine.Activate:
-			p.activate(e.Round, e.Seq, e.Rate)
-		case engine.Merge:
-			p.activate(e.Round, e.Seq, e.Rate)
-		case engine.Handoff:
-			h := e
-			handoff = &h
-		case engine.Absorb:
-			if handoff != nil {
-				handoff.Keep = seq.Union(handoff.Keep, e.Seq)
-				handoff.NewRate += e.RateDelta
-			} else if p.active {
-				p.activate(p.depth, e.Seq, e.RateDelta)
-			}
-		case engine.ServeRepair:
-			r.serveRepair(p, e.Indices)
 		}
 	}
-	if handoff != nil {
+	for _, b := range batches {
+		p.core.Release(b)
+	}
+	r.batchBuf = batches[:0]
+	if haveHandoff {
 		p.tx.planShare(handoff.Keep, handoff.Given, handoff.OldRate, handoff.NewRate, r.cfg.Delta)
 	}
 }
@@ -155,11 +165,11 @@ func msgRound(m any) int {
 	switch msg := m.(type) {
 	case reqMsg:
 		return msg.Round
-	case ctlMsg:
+	case *ctlMsg:
 		return msg.Round
-	case confirmMsg:
+	case *confirmMsg:
 		return msg.Round
-	case commitMsg:
+	case *commitMsg:
 		return msg.Round
 	}
 	return 0
@@ -170,11 +180,11 @@ func msgSpanCtx(m any) span.Context {
 	switch msg := m.(type) {
 	case reqMsg:
 		return msg.Span
-	case ctlMsg:
+	case *ctlMsg:
 		return msg.Span
-	case confirmMsg:
+	case *confirmMsg:
 		return msg.Span
-	case commitMsg:
+	case *commitMsg:
 		return msg.Span
 	}
 	return span.Context{}

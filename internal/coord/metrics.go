@@ -41,11 +41,11 @@ func ctlTypeName(m simnet.Message) string {
 	switch m.(type) {
 	case reqMsg:
 		return "request"
-	case ctlMsg:
+	case *ctlMsg, ctlMsg:
 		return "control"
-	case confirmMsg:
+	case *confirmMsg, confirmMsg:
 		return "confirm"
-	case commitMsg:
+	case *commitMsg, commitMsg:
 		return "commit"
 	case stateMsg:
 		return "state"

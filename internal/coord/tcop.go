@@ -25,12 +25,12 @@ func (t *tcop) deliver(p *peerNode, from simnet.NodeID, m simnet.Message) {
 	switch msg := m.(type) {
 	case reqMsg:
 		s, rate := t.r.initialAssignment(msg.Index, msg.Selected)
-		t.r.dispatchCtx(p, engine.Request{Assigned: s, Rate: rate, Selected: msg.Selected, Round: msg.Round}, msg.Span)
-	case ctlMsg:
-		t.r.dispatchCtx(p, engine.Control{Msg: msg}, msg.Span)
-	case confirmMsg:
-		t.r.dispatchCtx(p, engine.Confirm{Msg: msg}, msg.Span)
-	case commitMsg:
-		t.r.dispatchCtx(p, engine.Commit{Msg: msg}, msg.Span)
+		t.r.dispatchCtx(p, &engine.Request{Assigned: s, Rate: rate, Selected: msg.Selected, Round: msg.Round}, msg.Span)
+	case *ctlMsg:
+		t.r.dispatchCtx(p, &engine.Control{Msg: msg}, msg.Span)
+	case *confirmMsg:
+		t.r.dispatchCtx(p, &engine.Confirm{Msg: msg}, msg.Span)
+	case *commitMsg:
+		t.r.dispatchCtx(p, &engine.Commit{Msg: msg}, msg.Span)
 	}
 }

@@ -22,13 +22,13 @@ func BenchmarkFlightDisabledObserve(b *testing.B) {
 		b.Fatal("observer with nil recorder must be nil")
 	}
 	effs := []engine.Effect{
-		engine.Send{To: 1, Msg: engine.MsgControl{Children: 3, ChildIdx: 1}},
-		engine.Send{To: 2, Msg: engine.MsgControl{Children: 3, ChildIdx: 2}},
-		engine.SetTimer{ID: engine.TimerID{Kind: engine.TimerConfirm}, Delay: 1},
+		&engine.Send{To: 1, Msg: &engine.MsgControl{Children: 3, ChildIdx: 1}},
+		&engine.Send{To: 2, Msg: &engine.MsgControl{Children: 3, ChildIdx: 2}},
+		&engine.SetTimer{ID: engine.TimerID{Kind: engine.TimerConfirm}, Delay: 1},
 	}
 	// Box the event once, as the drivers do (events arrive as interface
 	// values); the loop must measure Observe, not interface conversion.
-	var ev engine.Event = engine.TimerFired{}
+	var ev engine.Event = &engine.TimerFired{}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		o.Observe(0, ev, effs)

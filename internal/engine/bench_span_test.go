@@ -29,13 +29,13 @@ func BenchmarkSpanDisabledObserve(b *testing.B) {
 		b.Fatal("tracker with nil collector and no metrics must be nil")
 	}
 	effs := []engine.Effect{
-		engine.Send{To: 1, Msg: engine.MsgControl{Children: 3, ChildIdx: 1}},
-		engine.Send{To: 2, Msg: engine.MsgControl{Children: 3, ChildIdx: 2}},
-		engine.SetTimer{ID: engine.TimerID{Kind: engine.TimerConfirm}, Delay: 1},
+		&engine.Send{To: 1, Msg: &engine.MsgControl{Children: 3, ChildIdx: 1}},
+		&engine.Send{To: 2, Msg: &engine.MsgControl{Children: 3, ChildIdx: 2}},
+		&engine.SetTimer{ID: engine.TimerID{Kind: engine.TimerConfirm}, Delay: 1},
 	}
 	// Box the event once, as the drivers do (events arrive as interface
 	// values); the loop must measure Observe, not interface conversion.
-	var ev engine.Event = engine.TimerFired{}
+	var ev engine.Event = &engine.TimerFired{}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr.Observe(p, 0, ev, span.Context{}, effs)
@@ -56,7 +56,7 @@ func BenchmarkSpanDisabledFinish(b *testing.B) {
 // run on every failed send.
 func BenchmarkSpanDisabledMsgSpan(b *testing.B) {
 	// Boxed once: drivers hold the message as `any` (Send.Msg) already.
-	var m any = engine.MsgControl{Children: 3}
+	var m any = &engine.MsgControl{Children: 3}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if ctx := engine.MsgSpan(m); ctx.Valid() {

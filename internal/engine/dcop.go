@@ -50,26 +50,26 @@ func (p *Peer) firstDelivery(k assignKey) bool {
 // dcopOnControl handles a parent's c1: merge when already transmitting,
 // activate otherwise, then keep flooding while the view has holes.
 // Duplicated deliveries of the same control are dropped (see assignKey).
-func (p *Peer) dcopOnControl(m MsgControl, snap Snapshot) []Effect {
+func (p *Peer) dcopOnControl(m *MsgControl, snap Snapshot) []Effect {
 	if !p.firstDelivery(assignKey{parent: m.Parent, round: m.Round, childIdx: m.ChildIdx, seqOffset: m.SeqOffset}) {
 		return nil
 	}
 	p.viewAdd(p.id)
 	p.viewAdd(m.Parent)
 	p.viewAddAll(m.View)
-	var effs []Effect
+	effs := p.pl.slice()
 	var cur Snapshot
 	if p.active {
 		p.noteMerged(m.Round, m.AssignedSeq)
-		effs = append(effs, Merge{Seq: m.AssignedSeq, Rate: m.ChildRate, Round: m.Round})
+		effs = append(effs, p.pl.merge(m.AssignedSeq, m.ChildRate, m.Round))
 		cur = afterMerge(snap, m.AssignedSeq, m.ChildRate)
 	} else {
 		p.noteActivated(m.Round, m.AssignedSeq)
-		effs = append(effs, Activate{Seq: m.AssignedSeq, Rate: m.ChildRate, Round: m.Round})
+		effs = append(effs, p.pl.activate(m.AssignedSeq, m.ChildRate, m.Round))
 		cur = afterActivate(m.AssignedSeq, m.ChildRate)
 	}
 	if !p.view.Full() {
-		effs = append(effs, p.dcopSelect(p.cfg.H, m.Round+1, cur)...)
+		effs = p.dcopSelect(effs, p.cfg.H, m.Round+1, cur)
 	}
 	return effs
 }
@@ -79,20 +79,21 @@ func (p *Peer) dcopOnControl(m MsgControl, snap Snapshot) []Effect {
 // in DCoP, so a commit can arrive to an already-active peer too). A
 // later, legitimate second grant differs in SeqOffset or Streams, which
 // the dedup key includes; byte-identical re-deliveries merge once.
-func (p *Peer) dcopOnCommit(m MsgCommit, snap Snapshot) []Effect {
+func (p *Peer) dcopOnCommit(m *MsgCommit, snap Snapshot) []Effect {
 	if !p.firstDelivery(assignKey{parent: m.Parent, round: m.Round, childIdx: m.ChildIdx, seqOffset: m.SeqOffset, streams: m.Streams}) {
 		return nil
 	}
 	p.viewAdd(m.Parent)
+	effs := p.pl.slice()
 	if p.active {
 		p.noteMerged(m.Round, m.AssignedSeq)
-		return []Effect{Merge{Seq: m.AssignedSeq, Rate: m.Rate, Round: m.Round}}
+		return append(effs, p.pl.merge(m.AssignedSeq, m.Rate, m.Round))
 	}
 	p.noteActivated(m.Round, m.AssignedSeq)
-	effs := []Effect{Activate{Seq: m.AssignedSeq, Rate: m.Rate, Round: m.Round}}
+	effs = append(effs, p.pl.activate(m.AssignedSeq, m.Rate, m.Round))
 	cur := afterActivate(m.AssignedSeq, m.Rate)
 	if !p.view.Full() {
-		effs = append(effs, p.dcopSelect(p.cfg.H, m.Round+1, cur)...)
+		effs = p.dcopSelect(effs, p.cfg.H, m.Round+1, cur)
 	}
 	return effs
 }
@@ -100,36 +101,38 @@ func (p *Peer) dcopOnCommit(m MsgCommit, snap Snapshot) []Effect {
 // dcopSelect floods one selection round: pick up to fanout children
 // outside the view (bounded by the lifetime cap), divide the remaining
 // stream into len+1 parity-enhanced parts, send each child its part,
-// and hand own transmission off to part 0.
-func (p *Peer) dcopSelect(fanout, round int, cur Snapshot) []Effect {
+// and hand own transmission off to part 0. Effects append to effs.
+func (p *Peer) dcopSelect(effs []Effect, fanout, round int, cur Snapshot) []Effect {
 	if remaining := p.cfg.H - p.childrenTaken; fanout > remaining {
 		fanout = remaining // §3.3: at most H children over a lifetime
 	}
 	if fanout <= 0 {
-		return nil
+		return effs
 	}
-	children := overlay.Select(p.rng, p.view, fanout)
+	children, _ := overlay.SelectWithSparesInto(p.rng, p.view, fanout, p.selBuf, false)
+	if children != nil {
+		p.selBuf = children[:0] // recapture the (possibly regrown) scratch array
+	}
 	if len(children) == 0 {
-		return nil
+		return effs
 	}
 	p.childrenTaken += len(children)
 	p.view.AddAll(children)
 
 	mark := MarkOffset(cur.Offset, p.cfg.MarkDelta, cur.Rate)
 	parts, childRate := ShareOut(cur.Stream, mark, cur.Rate, p.cfg.Interval, len(children)+1)
-	vm := p.view.Members()
-	effs := make([]Effect, 0, len(children)+1)
+	p.membersBuf = p.view.MembersInto(p.membersBuf[:0])
 	for i, c := range children {
 		assigned := seqAt(parts, i+1)
 		p.noteShare(c, assigned, childRate)
-		effs = append(effs, Send{To: c, Msg: MsgControl{
-			Parent: p.id, View: vm, SeqOffset: cur.Offset, Rate: cur.Rate,
-			ChildRate: childRate, Children: len(children), ChildIdx: i + 1,
-			AssignedSeq: assigned, Round: round,
-		}})
+		m := p.pl.msgControl()
+		m.Parent = p.id
+		m.View = append(m.View[:0], p.membersBuf...)
+		m.SeqOffset, m.Rate = cur.Offset, cur.Rate
+		m.ChildRate, m.Children, m.ChildIdx = childRate, len(children), i+1
+		m.AssignedSeq, m.Round = assigned, round
+		effs = append(effs, p.pl.send(c, m))
 	}
 	keep, given := SplitParts(parts)
-	return append(effs, Handoff{
-		Keep: keep, Given: given, OldRate: cur.Rate, NewRate: childRate, Mark: mark,
-	})
+	return append(effs, p.pl.handoff(keep, given, cur.Rate, childRate, mark))
 }

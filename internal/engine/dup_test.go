@@ -23,9 +23,9 @@ func newTestPeer(t *testing.T, cfg engine.Config, id engine.PeerID) *engine.Peer
 func confirmsOf(effs []engine.Effect) []engine.MsgConfirm {
 	var out []engine.MsgConfirm
 	for _, e := range effs {
-		if s, ok := e.(engine.Send); ok {
-			if m, ok := s.Msg.(engine.MsgConfirm); ok {
-				out = append(out, m)
+		if s, ok := e.(*engine.Send); ok {
+			if m, ok := s.Msg.(*engine.MsgConfirm); ok {
+				out = append(out, *m)
 			}
 		}
 	}
@@ -35,7 +35,7 @@ func confirmsOf(effs []engine.Effect) []engine.MsgConfirm {
 func countTimers(effs []engine.Effect, kind engine.TimerKind) int {
 	n := 0
 	for _, e := range effs {
-		if st, ok := e.(engine.SetTimer); ok && st.ID.Kind == kind {
+		if st, ok := e.(*engine.SetTimer); ok && st.ID.Kind == kind {
 			n++
 		}
 	}
@@ -51,7 +51,7 @@ func countTimers(effs []engine.Effect, kind engine.TimerKind) int {
 func TestTCoPDuplicateControlReconfirms(t *testing.T) {
 	cfg := baseConfig(8, 2, false)
 	p := newTestPeer(t, cfg, 1)
-	c1 := engine.Control{Msg: engine.MsgControl{Parent: 0, Round: 1, Rate: 4, Children: 2}}
+	c1 := &engine.Control{Msg: &engine.MsgControl{Parent: 0, Round: 1, Rate: 4, Children: 2}}
 
 	first := confirmsOf(p.Handle(c1, engine.Snapshot{}))
 	if len(first) != 1 || !first[0].Accept {
@@ -69,7 +69,7 @@ func TestTCoPDuplicateControlReconfirms(t *testing.T) {
 
 	// First-parent-wins is untouched: a c1 from a different parent is
 	// still refused.
-	other := confirmsOf(p.Handle(engine.Control{Msg: engine.MsgControl{Parent: 3, Round: 1, Rate: 4, Children: 2}}, engine.Snapshot{}))
+	other := confirmsOf(p.Handle(&engine.Control{Msg: &engine.MsgControl{Parent: 3, Round: 1, Rate: 4, Children: 2}}, engine.Snapshot{}))
 	if len(other) != 1 || other[0].Accept {
 		t.Fatalf("rival parent's c1 answered %+v, want refusal", other)
 	}
@@ -81,19 +81,19 @@ func TestTCoPDuplicateControlReconfirms(t *testing.T) {
 func TestDCoPDuplicateControlIgnored(t *testing.T) {
 	cfg := baseConfig(8, 2, true)
 	p := newTestPeer(t, cfg, 1)
-	m := engine.MsgControl{
+	m := &engine.MsgControl{
 		Parent: 0, Round: 1, ChildIdx: 1, Rate: 4, ChildRate: 2,
 		Children: 2, AssignedSeq: seq.Range(1, 6),
 	}
 
-	first := p.Handle(engine.Control{Msg: m}, engine.Snapshot{})
+	first := p.Handle(&engine.Control{Msg: m}, engine.Snapshot{})
 	if len(first) == 0 {
 		t.Fatal("original c1 produced no effects")
 	}
 	taken := p.ChildrenTaken()
 
 	snap := engine.Snapshot{Stream: m.AssignedSeq, Rate: m.ChildRate}
-	if dup := p.Handle(engine.Control{Msg: m}, snap); len(dup) != 0 {
+	if dup := p.Handle(&engine.Control{Msg: m}, snap); len(dup) != 0 {
 		t.Fatalf("duplicated c1 produced effects: %+v", dup)
 	}
 	if p.ChildrenTaken() != taken {
@@ -101,12 +101,12 @@ func TestDCoPDuplicateControlIgnored(t *testing.T) {
 	}
 
 	// A genuinely new assignment from another parent still merges.
-	m2 := m
+	m2 := *m
 	m2.Parent = 3
 	m2.Round = 2
 	merged := false
-	for _, e := range p.Handle(engine.Control{Msg: m2}, snap) {
-		if _, ok := e.(engine.Merge); ok {
+	for _, e := range p.Handle(&engine.Control{Msg: &m2}, snap) {
+		if _, ok := e.(*engine.Merge); ok {
 			merged = true
 		}
 	}
@@ -121,30 +121,30 @@ func TestDCoPDuplicateCommitIgnored(t *testing.T) {
 	cfg := baseConfig(8, 2, true)
 	p := newTestPeer(t, cfg, 1)
 	// Activate the peer first so commits take the merge path.
-	act := engine.MsgControl{Parent: 0, Round: 1, ChildIdx: 1, Rate: 4, ChildRate: 2, Children: 2, AssignedSeq: seq.Range(1, 6)}
-	p.Handle(engine.Control{Msg: act}, engine.Snapshot{})
+	act := &engine.MsgControl{Parent: 0, Round: 1, ChildIdx: 1, Rate: 4, ChildRate: 2, Children: 2, AssignedSeq: seq.Range(1, 6)}
+	p.Handle(&engine.Control{Msg: act}, engine.Snapshot{})
 	snap := engine.Snapshot{Stream: act.AssignedSeq, Rate: act.ChildRate}
 
-	grant := engine.MsgCommit{Parent: 2, Streams: 2, SeqOffset: 4, Rate: 1, ChildIdx: 1, AssignedSeq: seq.Range(7, 10), Round: 3}
+	grant := &engine.MsgCommit{Parent: 2, Streams: 2, SeqOffset: 4, Rate: 1, ChildIdx: 1, AssignedSeq: seq.Range(7, 10), Round: 3}
 	merges := func(effs []engine.Effect) int {
 		n := 0
 		for _, e := range effs {
-			if _, ok := e.(engine.Merge); ok {
+			if _, ok := e.(*engine.Merge); ok {
 				n++
 			}
 		}
 		return n
 	}
-	if n := merges(p.Handle(engine.Commit{Msg: grant}, snap)); n != 1 {
+	if n := merges(p.Handle(&engine.Commit{Msg: grant}, snap)); n != 1 {
 		t.Fatalf("original grant merged %d times, want 1", n)
 	}
-	if effs := p.Handle(engine.Commit{Msg: grant}, snap); len(effs) != 0 {
+	if effs := p.Handle(&engine.Commit{Msg: grant}, snap); len(effs) != 0 {
 		t.Fatalf("duplicated grant produced effects: %+v", effs)
 	}
-	later := grant
+	later := *grant
 	later.SeqOffset = 9
 	later.AssignedSeq = seq.Range(11, 14)
-	if n := merges(p.Handle(engine.Commit{Msg: later}, snap)); n != 1 {
+	if n := merges(p.Handle(&engine.Commit{Msg: &later}, snap)); n != 1 {
 		t.Fatalf("later grant at a new offset merged %d times, want 1", n)
 	}
 }

@@ -12,12 +12,19 @@
 // encoding, transports, clocks and the data plane. No goroutines, no
 // clocks, no I/O: all randomness comes from the injected *rand.Rand, so
 // a driver that replays the same events observes the same effects.
+//
+// Events, effects and messages are pointer types drawn from per-peer
+// free lists (see pool.go): a driver that returns batches via
+// Peer.Release and message nodes via ReleaseMsg runs a steady-state
+// coordination round with (amortized) zero engine allocations. Both
+// calls are optional — uncollected nodes fall back to the GC.
 package engine
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"p2pmss/internal/overlay"
 	"p2pmss/internal/parity"
@@ -108,7 +115,9 @@ type Snapshot struct {
 
 // ---- events -------------------------------------------------------------
 
-// Event is an input to Peer.Handle.
+// Event is an input to Peer.Handle. All events are pointer types; the
+// engine never retains an event past the Handle call, so drivers may
+// reuse scratch event structs between calls.
 type Event interface{ isEvent() }
 
 // Request is the leaf peer's content request c (§3.4 step 1). The
@@ -124,21 +133,21 @@ type Request struct {
 }
 
 // Control delivers a control packet c1.
-type Control struct{ Msg MsgControl }
+type Control struct{ Msg *MsgControl }
 
 // Confirm delivers a TCoP confirmation cc1.
-type Confirm struct{ Msg MsgConfirm }
+type Confirm struct{ Msg *MsgConfirm }
 
 // Commit delivers a TCoP commit c2 (also used for mid-stream Join
 // grants under either protocol).
-type Commit struct{ Msg MsgCommit }
+type Commit struct{ Msg *MsgCommit }
 
 // TimerFired delivers a timer previously requested via SetTimer.
 type TimerFired struct{ Timer TimerID }
 
 // SendFailed reports that a Send effect could not be delivered (crashed
 // or unreachable peer). TCoP controls fail over to alternates; assigned
-// shares (DCoP controls, TCoP commits) are re-absorbed by the parent.
+// shares (DCoP controls, TCoP commits) are re-absorbed.
 type SendFailed struct {
 	To  PeerID
 	Msg any
@@ -153,14 +162,14 @@ type Join struct{ Joiner PeerID }
 // driven repair protocol); the driver materializes the packets.
 type Repair struct{ Indices []int64 }
 
-func (Request) isEvent()    {}
-func (Control) isEvent()    {}
-func (Confirm) isEvent()    {}
-func (Commit) isEvent()     {}
-func (TimerFired) isEvent() {}
-func (SendFailed) isEvent() {}
-func (Join) isEvent()       {}
-func (Repair) isEvent()     {}
+func (*Request) isEvent()    {}
+func (*Control) isEvent()    {}
+func (*Confirm) isEvent()    {}
+func (*Commit) isEvent()     {}
+func (*TimerFired) isEvent() {}
+func (*SendFailed) isEvent() {}
+func (*Join) isEvent()       {}
+func (*Repair) isEvent()     {}
 
 // ---- messages -----------------------------------------------------------
 
@@ -171,6 +180,10 @@ func (Repair) isEvent()     {}
 // (known) δ, the engine precomputes the division at the parent and
 // carries the child's share in AssignedSeq (nil in control-plane-only
 // mode; DCoP only — TCoP assigns at commit time).
+//
+// Message nodes created by the engine are pool-owned (see ReleaseMsg);
+// nodes constructed by hand or decoded from the wire are plain GC'd
+// values.
 type MsgControl struct {
 	Parent      overlay.PeerID
 	View        []overlay.PeerID // c.VW
@@ -185,6 +198,8 @@ type MsgControl struct {
 	// is disabled). Stamped by the driver-side SpanTracker, never by the
 	// protocol logic.
 	Span span.Context
+
+	pl *pool
 }
 
 // MsgConfirm is TCoP's (positive or negative) confirmation cc1.
@@ -193,6 +208,8 @@ type MsgConfirm struct {
 	Accept bool
 	Round  int
 	Span   span.Context
+
+	pl *pool
 }
 
 // MsgCommit is TCoP's second control packet c2.
@@ -205,6 +222,8 @@ type MsgCommit struct {
 	AssignedSeq seq.Sequence
 	Round       int
 	Span        span.Context
+
+	pl *pool
 }
 
 // ---- timers -------------------------------------------------------------
@@ -234,10 +253,11 @@ type TimerID struct {
 // ---- effects ------------------------------------------------------------
 
 // Effect is an output of Peer.Handle, applied by the driver in order.
+// All effects are pool-owned pointer types; see Peer.Release.
 type Effect interface{ isEffect() }
 
-// Send transmits Msg (a MsgControl, MsgConfirm or MsgCommit) to peer To.
-// If delivery fails the driver feeds back a SendFailed event.
+// Send transmits Msg (a *MsgControl, *MsgConfirm or *MsgCommit) to peer
+// To. If delivery fails the driver feeds back a SendFailed event.
 type Send struct {
 	To  PeerID
 	Msg any
@@ -274,6 +294,10 @@ type Merge struct {
 // the rate by NewRate-OldRate. Keep/Given are nil in control-plane-only
 // mode (rate change only). Absorb effects arriving before the switch is
 // applied fold back into it.
+//
+// A driver that buffers the hand-off past the Handle batch (both
+// shipped drivers do) must copy the fields out: the node itself is
+// recycled by Release.
 type Handoff struct {
 	Keep             seq.Sequence
 	Given            []seq.Sequence
@@ -293,18 +317,19 @@ type Absorb struct {
 // to the requesting leaf.
 type ServeRepair struct{ Indices []int64 }
 
-func (Send) isEffect()        {}
-func (SetTimer) isEffect()    {}
-func (Activate) isEffect()    {}
-func (Merge) isEffect()       {}
-func (Handoff) isEffect()     {}
-func (Absorb) isEffect()      {}
-func (ServeRepair) isEffect() {}
+func (*Send) isEffect()        {}
+func (*SetTimer) isEffect()    {}
+func (*Activate) isEffect()    {}
+func (*Merge) isEffect()       {}
+func (*Handoff) isEffect()     {}
+func (*Absorb) isEffect()      {}
+func (*ServeRepair) isEffect() {}
 
 // ---- peer ---------------------------------------------------------------
 
 // pendShare is an assigned child share still absorbable on send failure.
 type pendShare struct {
+	to   PeerID
 	s    seq.Sequence
 	rate float64
 }
@@ -327,26 +352,41 @@ type Peer struct {
 	// controls/commits don't re-merge or re-flood (see assignKey).
 	seenAssign map[assignKey]bool
 
-	// TCoP handshake state.
-	wanted       int
-	outstanding  map[PeerID]bool
-	candQueue    []PeerID
-	retryLeft    int
-	confirmed    []PeerID
-	ctlRound     int
-	final        bool
-	gen          int // confirmation-round generation
-	relGen       int // adoption-release generation
-	confirmDelay float64
+	// TCoP handshake state. outstanding is a small slice (≤ H entries)
+	// scanned linearly; outstandingOpen distinguishes "no round in
+	// flight" from "round open with every control answered".
+	wanted          int
+	outstanding     []PeerID
+	outstandingOpen bool
+	candQueue       []PeerID
+	retryLeft       int
+	confirmed       []PeerID
+	ctlRound        int
+	final           bool
+	gen             int // confirmation-round generation
+	relGen          int // adoption-release generation
+	confirmDelay    float64
 
 	// Open hand-off shares, absorbable while their send can still fail.
-	shares map[PeerID]pendShare
+	// A slice, not a map: a peer hands out at most H+joins shares.
+	shares []pendShare
 
-	// Outcome bookkeeping.
+	// Outcome bookkeeping. assigned is the interned union of every
+	// subsequence ever assigned (pkt_i), so repeated DCoP merges are
+	// integer set unions instead of packet-slice copies.
 	children []PeerID
-	assigned seq.Sequence
+	tbl      *seq.Table
+	assigned seq.Set
 	retried  int
 	absorbed int
+
+	// Free lists and scratch buffers (selection, view membership,
+	// restricted views) reused across Handle calls.
+	pl         pool
+	selBuf     []PeerID
+	membersBuf []PeerID
+	rviewBuf   []PeerID
+	one        [1]PeerID
 }
 
 // NewPeer returns the state machine of contents peer id. The caller
@@ -361,62 +401,96 @@ func NewPeer(cfg Config, id PeerID, rng *rand.Rand) *Peer {
 	}
 }
 
+// Reset rewinds the state machine to its just-constructed state while
+// keeping every internal capacity — view words, scratch buffers, free
+// lists — so a harness can rerun rounds on the same peers without
+// reallocating. The caller owns reseeding the injected rng.
+func (p *Peer) Reset() {
+	p.view.Clear()
+	p.active = false
+	p.parent = -1
+	p.committed = false
+	p.round = 0
+	p.childrenTaken = 0
+	clear(p.seenAssign)
+	p.wanted = 0
+	p.outstanding = p.outstanding[:0]
+	p.outstandingOpen = false
+	p.candQueue = nil
+	p.retryLeft = 0
+	p.confirmed = p.confirmed[:0]
+	p.ctlRound = 0
+	p.final = false
+	p.gen = 0
+	p.relGen = 0
+	p.confirmDelay = 0
+	p.shares = p.shares[:0]
+	p.children = p.children[:0]
+	p.tbl = nil
+	p.assigned.Clear()
+	p.retried = 0
+	p.absorbed = 0
+}
+
 // Handle advances the state machine by one event and returns the
 // effects for the driver to apply, in order. snap is the driver's
-// data-plane state at this instant.
+// data-plane state at this instant. The returned batch is pool-owned:
+// apply it, then (optionally) give it back via Release.
 func (p *Peer) Handle(ev Event, snap Snapshot) []Effect {
 	switch e := ev.(type) {
-	case Request:
+	case *Request:
 		return p.handleRequest(e, snap)
-	case Control:
+	case *Control:
 		if p.cfg.DCoP {
 			return p.dcopOnControl(e.Msg, snap)
 		}
 		return p.tcopOnControl(e.Msg)
-	case Confirm:
+	case *Confirm:
 		if p.cfg.DCoP {
 			return nil
 		}
 		return p.tcopOnConfirm(e.Msg, snap)
-	case Commit:
+	case *Commit:
 		if p.cfg.DCoP {
 			return p.dcopOnCommit(e.Msg, snap)
 		}
 		return p.tcopOnCommit(e.Msg, snap)
-	case TimerFired:
+	case *TimerFired:
 		return p.onTimer(e.Timer, snap)
-	case SendFailed:
+	case *SendFailed:
 		return p.onSendFailed(e, snap)
-	case Join:
+	case *Join:
 		return p.handleJoin(e, snap)
-	case Repair:
-		return []Effect{ServeRepair{Indices: e.Indices}}
+	case *Repair:
+		effs := p.pl.slice()
+		return append(effs, p.pl.serveRepair(e.Indices))
 	}
 	return nil
 }
 
 // handleRequest is activation by the leaf peer (§3.4/§3.5 step 2).
-func (p *Peer) handleRequest(ev Request, snap Snapshot) []Effect {
+func (p *Peer) handleRequest(ev *Request, snap Snapshot) []Effect {
 	if p.active {
 		return nil
 	}
 	p.viewAdd(p.id)
 	p.viewAddAll(ev.Selected)
 	p.noteActivated(ev.Round, ev.Assigned)
-	effs := []Effect{Activate{Seq: ev.Assigned, Rate: ev.Rate, Round: ev.Round}}
+	effs := p.pl.slice()
+	effs = append(effs, p.pl.activate(ev.Assigned, ev.Rate, ev.Round))
 	cur := afterActivate(ev.Assigned, ev.Rate)
 	if p.cfg.DCoP {
-		return append(effs, p.dcopSelect(p.cfg.FirstFanout, ev.Round+1, cur)...)
+		return p.dcopSelect(effs, p.cfg.FirstFanout, ev.Round+1, cur)
 	}
 	p.parent = int(p.id) // leaf-rooted: no contents-peer parent to adopt
-	return append(effs, p.tcopSelect(ev.Round+1, cur)...)
+	return p.tcopSelect(effs, ev.Round+1, cur)
 }
 
 // handleJoin hands a mid-stream joiner a slice: the remaining stream is
 // divided in two at a mark (plain split, no added parity), the joiner is
 // committed the second half, and this peer keeps the first. Declined
 // when inactive or when a hand-off is already pending.
-func (p *Peer) handleJoin(ev Join, snap Snapshot) []Effect {
+func (p *Peer) handleJoin(ev *Join, snap Snapshot) []Effect {
 	if !p.active || snap.Pending || ev.Joiner == p.id || snap.Stream == nil {
 		return nil
 	}
@@ -427,35 +501,34 @@ func (p *Peer) handleJoin(ev Join, snap Snapshot) []Effect {
 	parts, rate := ShareOut(snap.Stream, mark, snap.Rate, 0, 2)
 	p.viewAdd(ev.Joiner)
 	p.noteShare(ev.Joiner, parts[1], rate)
+	m := p.pl.msgCommit()
+	m.Parent, m.Streams, m.SeqOffset = p.id, 2, snap.Offset
+	m.Rate, m.ChildIdx, m.AssignedSeq, m.Round = rate, 1, parts[1], p.round+1
 	keep, given := SplitParts(parts)
-	return []Effect{
-		Send{To: ev.Joiner, Msg: MsgCommit{
-			Parent: p.id, Streams: 2, SeqOffset: snap.Offset,
-			Rate: rate, ChildIdx: 1, AssignedSeq: parts[1], Round: p.round + 1,
-		}},
-		Handoff{Keep: keep, Given: given, OldRate: snap.Rate, NewRate: rate, Mark: mark},
-	}
+	effs := p.pl.slice()
+	effs = append(effs, p.pl.send(ev.Joiner, m))
+	return append(effs, p.pl.handoff(keep, given, snap.Rate, rate, mark))
 }
 
 // onSendFailed reacts to an undeliverable message: TCoP controls fail
 // over to an alternate candidate (budget permitting); messages that
 // carried an assigned share (DCoP controls, commits) are re-absorbed.
-func (p *Peer) onSendFailed(ev SendFailed, snap Snapshot) []Effect {
+func (p *Peer) onSendFailed(ev *SendFailed, snap Snapshot) []Effect {
 	switch ev.Msg.(type) {
-	case MsgControl:
+	case *MsgControl:
 		if p.cfg.DCoP {
 			return p.absorb(ev.To)
 		}
-		if p.final || p.outstanding == nil || !p.outstanding[ev.To] {
+		if p.final || !p.outstandingOpen || !p.outstandingDrop(ev.To) {
 			return nil
 		}
-		delete(p.outstanding, ev.To)
 		if repl, ok := p.pullAlternate(); ok {
-			p.outstanding[repl] = true
-			return []Effect{Send{To: repl, Msg: p.retryControl(snap, repl)}}
+			p.outstanding = append(p.outstanding, repl)
+			effs := p.pl.slice()
+			return append(effs, p.pl.send(repl, p.retryControl(snap, repl)))
 		}
-		return p.maybeFinalize(snap)
-	case MsgCommit:
+		return p.maybeFinalize(nil, snap)
+	case *MsgCommit:
 		return p.absorb(ev.To)
 	}
 	return nil
@@ -463,14 +536,20 @@ func (p *Peer) onSendFailed(ev SendFailed, snap Snapshot) []Effect {
 
 // absorb returns an undeliverable child's share to this peer.
 func (p *Peer) absorb(to PeerID) []Effect {
-	sh, ok := p.shares[to]
-	if !ok {
-		return nil
+	for i := len(p.shares) - 1; i >= 0; i-- {
+		if p.shares[i].to != to {
+			continue
+		}
+		sh := p.shares[i]
+		p.shares[i] = p.shares[len(p.shares)-1]
+		p.shares[len(p.shares)-1] = pendShare{}
+		p.shares = p.shares[:len(p.shares)-1]
+		p.dropChild(to)
+		p.absorbed++
+		effs := p.pl.slice()
+		return append(effs, p.pl.absorbEff(sh.s, sh.rate))
 	}
-	delete(p.shares, to)
-	p.dropChild(to)
-	p.absorbed++
-	return []Effect{Absorb{Seq: sh.s, RateDelta: sh.rate}}
+	return nil
 }
 
 // onTimer dispatches a timer firing; stale generations are ignored.
@@ -505,13 +584,26 @@ func (p *Peer) viewAddAll(ids []PeerID) {
 	}
 }
 
+// outstandingDrop removes id from the outstanding set, reporting
+// whether it was present.
+func (p *Peer) outstandingDrop(id PeerID) bool {
+	for i, o := range p.outstanding {
+		if o == id {
+			p.outstanding[i] = p.outstanding[len(p.outstanding)-1]
+			p.outstanding = p.outstanding[:len(p.outstanding)-1]
+			return true
+		}
+	}
+	return false
+}
+
 // noteActivated records a (first) activation for the outcome.
 func (p *Peer) noteActivated(round int, s seq.Sequence) {
 	p.active = true
 	if round > p.round {
 		p.round = round
 	}
-	p.assigned = seq.Union(p.assigned, s)
+	p.noteAssigned(s)
 }
 
 // noteMerged records an additional assignment for the outcome.
@@ -519,15 +611,35 @@ func (p *Peer) noteMerged(round int, s seq.Sequence) {
 	if round > p.round {
 		p.round = round
 	}
-	p.assigned = seq.Union(p.assigned, s)
+	p.noteAssigned(s)
+}
+
+// noteAssigned interns s into the peer's assigned set (pkt_i ∪= s).
+func (p *Peer) noteAssigned(s seq.Sequence) {
+	if len(s) == 0 {
+		return
+	}
+	if p.tbl == nil {
+		p.tbl = seq.NewTable()
+	}
+	p.assigned.AddSeq(p.tbl, s)
 }
 
 // noteShare records a handed-off share while its send may still fail.
+// A re-share to the same peer (a joiner asking twice) replaces the open
+// entry, mirroring the historical map semantics.
 func (p *Peer) noteShare(to PeerID, s seq.Sequence, rate float64) {
-	if p.shares == nil {
-		p.shares = make(map[PeerID]pendShare)
+	replaced := false
+	for i := range p.shares {
+		if p.shares[i].to == to {
+			p.shares[i] = pendShare{to: to, s: s, rate: rate}
+			replaced = true
+			break
+		}
 	}
-	p.shares[to] = pendShare{s: s, rate: rate}
+	if !replaced {
+		p.shares = append(p.shares, pendShare{to: to, s: s, rate: rate})
+	}
 	p.children = append(p.children, to)
 }
 
@@ -539,6 +651,20 @@ func (p *Peer) dropChild(c PeerID) {
 			return
 		}
 	}
+}
+
+// restrictedView builds the sorted c1 view restricted to the sender and
+// the given children in the peer's scratch buffer (valid until the next
+// call). Out-of-range sender ids (live-layer ephemeral joiners) are
+// skipped, like viewAdd.
+func (p *Peer) restrictedView(children []PeerID) []PeerID {
+	p.rviewBuf = p.rviewBuf[:0]
+	if p.id >= 0 && int(p.id) < p.cfg.N {
+		p.rviewBuf = append(p.rviewBuf, p.id)
+	}
+	p.rviewBuf = append(p.rviewBuf, children...)
+	slices.Sort(p.rviewBuf)
+	return p.rviewBuf
 }
 
 // afterActivate is the data-plane snapshot right after an Activate
@@ -595,7 +721,7 @@ func (p *Peer) Outcome() Outcome {
 		Parent:    p.parent,
 		Committed: p.committed,
 		Children:  append([]PeerID(nil), p.children...),
-		Assigned:  p.assigned.Clone(),
+		Assigned:  p.assigned.Materialize(p.tbl),
 		Round:     p.round,
 		Retried:   p.retried,
 		Absorbed:  p.absorbed,
@@ -613,7 +739,7 @@ func (p *Peer) ParentID() int { return p.parent }
 func (p *Peer) Committed() bool { return p.committed }
 
 // Confirmed returns the children confirmed in the peer's most recent
-// handshake round.
+// handshake round. The slice is reused across rounds; copy to retain.
 func (p *Peer) Confirmed() []PeerID { return p.confirmed }
 
 // ChildrenTaken returns how many children the peer has taken over its

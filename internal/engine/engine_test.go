@@ -19,13 +19,27 @@ import (
 type harness struct {
 	cfg     engine.Config
 	peers   []*engine.Peer
+	sources []rand.Source
 	streams []seq.Sequence
 	rates   []float64
 	crashed map[engine.PeerID]bool
 
 	queue  []delivery
+	qHead  int
 	timers []timerEntry
 	now    float64
+
+	// Scratch reused across dispatches so a steady-state round through
+	// the harness allocates (amortized) nothing: leaf requests, the
+	// worklist of effect batches, and one scratch struct per event kind
+	// (the engine never retains an event past Handle).
+	reqBuf   []engine.Request
+	batchBuf [][]engine.Effect
+	evCtl    engine.Control
+	evConf   engine.Confirm
+	evCommit engine.Commit
+	evTimer  engine.TimerFired
+	evSF     engine.SendFailed
 
 	// dropWhen, when non-nil, silently loses a delivery (message loss
 	// without a crash); crashWhen marks a peer crashed just before a
@@ -38,9 +52,11 @@ type harness struct {
 	afterHandle func(to engine.PeerID)
 }
 
+// delivery is one queued message (msg set) or direct event (ev set).
 type delivery struct {
-	to engine.PeerID
-	ev engine.Event
+	to  engine.PeerID
+	msg any
+	ev  engine.Event
 }
 
 type timerEntry struct {
@@ -56,54 +72,109 @@ func newHarness(cfg engine.Config, seed int64) *harness {
 	h := &harness{cfg: cfg, crashed: make(map[engine.PeerID]bool)}
 	for i := 0; i < cfg.N; i++ {
 		id := engine.PeerID(i)
-		rng := rand.New(rand.NewSource(engine.PeerSeed(seed, id)))
-		h.peers = append(h.peers, engine.NewPeer(cfg, id, rng))
+		src := rand.NewSource(engine.PeerSeed(seed, id))
+		h.sources = append(h.sources, src)
+		h.peers = append(h.peers, engine.NewPeer(cfg, id, rand.New(src)))
 		h.streams = append(h.streams, nil)
 		h.rates = append(h.rates, 0)
 	}
 	return h
 }
 
+// reset rewinds the harness — peers, clocks, queues — to a fresh run
+// of the given seed while keeping every capacity (the benchmark hot
+// loop reruns rounds through one harness).
+func (h *harness) reset(seed int64) {
+	h.now = 0
+	h.queue = h.queue[:0]
+	h.qHead = 0
+	h.timers = h.timers[:0]
+	clear(h.crashed)
+	for i, p := range h.peers {
+		p.Reset()
+		h.sources[i].Seed(engine.PeerSeed(seed, engine.PeerID(i)))
+		h.streams[i] = nil
+		h.rates[i] = 0
+	}
+}
+
 func (h *harness) snap(id engine.PeerID) engine.Snapshot {
 	return engine.Snapshot{Offset: 0, Stream: h.streams[id], Rate: h.rates[id]}
 }
 
-// start performs the leaf's step 1 over the given content sequence.
+// start performs the leaf's step 1 over the given content sequence
+// (nil content = control-plane-only mode, rates without divisions).
 func (h *harness) start(content seq.Sequence, rate float64, leafSeed int64) {
-	enhanced := parity.Enhance(content, h.cfg.Interval)
+	var enhanced seq.Sequence
+	if content != nil {
+		enhanced = parity.Enhance(content, h.cfg.Interval)
+	}
 	perPeer := parity.PerPeerRate(rate, h.cfg.Interval, h.cfg.H)
 	lr := rand.New(rand.NewSource(engine.PeerSeed(leafSeed, engine.LeafID)))
 	sel, _ := engine.SelectInitial(lr, h.cfg.N, h.cfg.H)
-	for u, cp := range sel {
-		h.queue = append(h.queue, delivery{to: cp, ev: engine.Request{
-			Assigned: seq.Div(enhanced, h.cfg.H, u),
+	h.reqBuf = h.reqBuf[:0]
+	for u := range sel {
+		var assigned seq.Sequence
+		if enhanced != nil {
+			assigned = seq.Div(enhanced, h.cfg.H, u)
+		}
+		h.reqBuf = append(h.reqBuf, engine.Request{
+			Assigned: assigned,
 			Rate:     perPeer,
 			Selected: sel,
 			Round:    1,
-		}})
+		})
+	}
+	for u, cp := range sel {
+		h.queue = append(h.queue, delivery{to: cp, ev: &h.reqBuf[u]})
 	}
 }
 
 // run drains messages FIFO, then fires the earliest timer, until quiet.
 func (h *harness) run() {
-	for len(h.queue) > 0 || len(h.timers) > 0 {
-		if len(h.queue) == 0 {
-			best := 0
-			for i, t := range h.timers {
-				if t.at < h.timers[best].at {
-					best = i
-				}
-			}
-			t := h.timers[best]
-			h.timers = append(h.timers[:best], h.timers[best+1:]...)
-			h.now = t.at
-			h.deliver(t.to, engine.TimerFired{Timer: t.id})
+	for {
+		if h.qHead < len(h.queue) {
+			d := h.queue[h.qHead]
+			h.qHead++
+			h.dispatch(d)
 			continue
 		}
-		d := h.queue[0]
-		h.queue = h.queue[1:]
-		h.deliver(d.to, d.ev)
+		h.queue = h.queue[:0]
+		h.qHead = 0
+		if len(h.timers) == 0 {
+			return
+		}
+		best := 0
+		for i, t := range h.timers {
+			if t.at < h.timers[best].at {
+				best = i
+			}
+		}
+		t := h.timers[best]
+		h.timers = append(h.timers[:best], h.timers[best+1:]...)
+		h.now = t.at
+		h.evTimer = engine.TimerFired{Timer: t.id}
+		h.deliver(t.to, &h.evTimer)
 	}
+}
+
+// dispatch wraps a queued message in its (scratch) event, delivers it,
+// and returns the consumed message node to its pool.
+func (h *harness) dispatch(d delivery) {
+	ev := d.ev
+	switch m := d.msg.(type) {
+	case *engine.MsgControl:
+		h.evCtl.Msg = m
+		ev = &h.evCtl
+	case *engine.MsgConfirm:
+		h.evConf.Msg = m
+		ev = &h.evConf
+	case *engine.MsgCommit:
+		h.evCommit.Msg = m
+		ev = &h.evCommit
+	}
+	h.deliver(d.to, ev)
+	engine.ReleaseMsg(d.msg)
 }
 
 func (h *harness) deliver(to engine.PeerID, ev engine.Event) {
@@ -126,69 +197,83 @@ func (h *harness) deliver(to engine.PeerID, ev engine.Event) {
 
 // apply executes effects exactly as the real drivers do: sends to
 // crashed peers feed SendFailed back behind the remaining effects, the
-// hand-off is buffered so Absorb folds into it, then applied.
+// hand-off is buffered (copied out — the node is recycled) so Absorb
+// folds into it, then applied. Every consumed batch is given back to
+// the peer via Release.
 func (h *harness) apply(to engine.PeerID, effs []engine.Effect) {
 	p := h.peers[to]
-	var handoff *engine.Handoff
-	queue := effs
-	for len(queue) > 0 {
-		eff := queue[0]
-		queue = queue[1:]
-		switch e := eff.(type) {
-		case engine.Send:
-			if h.crashed[e.To] {
-				queue = append(queue, p.Handle(engine.SendFailed{To: e.To, Msg: e.Msg}, h.snap(to))...)
-				continue
-			}
-			switch m := e.Msg.(type) {
-			case engine.MsgControl:
-				h.queue = append(h.queue, delivery{e.To, engine.Control{Msg: m}})
-			case engine.MsgConfirm:
-				h.queue = append(h.queue, delivery{e.To, engine.Confirm{Msg: m}})
-			case engine.MsgCommit:
-				h.queue = append(h.queue, delivery{e.To, engine.Commit{Msg: m}})
-			}
-		case engine.SetTimer:
-			h.timers = append(h.timers, timerEntry{at: h.now + e.Delay, to: to, id: e.ID})
-		case engine.Activate:
-			h.streams[to] = e.Seq
-			h.rates[to] = e.Rate
-		case engine.Merge:
-			h.streams[to] = seq.Union(h.streams[to], e.Seq)
-			h.rates[to] += e.Rate
-		case engine.Handoff:
-			cp := e
-			handoff = &cp
-		case engine.Absorb:
-			if handoff != nil {
-				handoff.Keep = seq.Union(handoff.Keep, e.Seq)
-				handoff.NewRate += e.RateDelta
-			} else {
+	var handoff engine.Handoff
+	haveHandoff := false
+	batches := append(h.batchBuf[:0], effs)
+	for bi := 0; bi < len(batches); bi++ {
+		for _, eff := range batches[bi] {
+			switch e := eff.(type) {
+			case *engine.Send:
+				if h.crashed[e.To] {
+					h.evSF = engine.SendFailed{To: e.To, Msg: e.Msg}
+					if fb := p.Handle(&h.evSF, h.snap(to)); fb != nil {
+						batches = append(batches, fb)
+					}
+					engine.ReleaseMsg(e.Msg)
+					continue
+				}
+				h.queue = append(h.queue, delivery{to: e.To, msg: e.Msg})
+			case *engine.SetTimer:
+				h.timers = append(h.timers, timerEntry{at: h.now + e.Delay, to: to, id: e.ID})
+			case *engine.Activate:
+				h.streams[to] = e.Seq
+				h.rates[to] = e.Rate
+			case *engine.Merge:
 				h.streams[to] = seq.Union(h.streams[to], e.Seq)
-				h.rates[to] += e.RateDelta
+				h.rates[to] += e.Rate
+			case *engine.Handoff:
+				handoff = *e
+				haveHandoff = true
+			case *engine.Absorb:
+				if haveHandoff {
+					handoff.Keep = seq.Union(handoff.Keep, e.Seq)
+					handoff.NewRate += e.RateDelta
+				} else {
+					h.streams[to] = seq.Union(h.streams[to], e.Seq)
+					h.rates[to] += e.RateDelta
+				}
 			}
 		}
 	}
-	if handoff != nil {
-		given := make(map[string]bool)
-		for _, g := range handoff.Given {
-			for _, pkt := range g {
-				given[pkt.Key()] = true
-			}
-		}
-		var rest seq.Sequence
-		for _, pkt := range h.streams[to] {
-			if !given[pkt.Key()] {
-				rest = append(rest, pkt)
-			}
-		}
-		h.streams[to] = seq.Union(rest, handoff.Keep)
+	for _, b := range batches {
+		p.Release(b)
+	}
+	h.batchBuf = batches[:0]
+	if !haveHandoff {
+		return
+	}
+	if len(handoff.Given) == 0 && handoff.Keep == nil && h.streams[to] == nil {
+		// Control-plane-only: the hand-off is a rate change.
 		rate := h.rates[to] - handoff.OldRate + handoff.NewRate
 		if rate <= 0 {
 			rate = handoff.NewRate
 		}
 		h.rates[to] = rate
+		return
 	}
+	given := make(map[string]bool)
+	for _, g := range handoff.Given {
+		for _, pkt := range g {
+			given[pkt.Key()] = true
+		}
+	}
+	var rest seq.Sequence
+	for _, pkt := range h.streams[to] {
+		if !given[pkt.Key()] {
+			rest = append(rest, pkt)
+		}
+	}
+	h.streams[to] = seq.Union(rest, handoff.Keep)
+	rate := h.rates[to] - handoff.OldRate + handoff.NewRate
+	if rate <= 0 {
+		rate = handoff.NewRate
+	}
+	h.rates[to] = rate
 }
 
 func (h *harness) outcomes() []engine.Outcome {
@@ -378,7 +463,7 @@ func TestEngineTCoPCommitAbsorb(t *testing.T) {
 	h := newHarness(cfg, 1)
 	crashedOne := false
 	h.crashWhen = func(to engine.PeerID, ev engine.Event) engine.PeerID {
-		if c, ok := ev.(engine.Confirm); ok && c.Msg.Accept && !crashedOne {
+		if c, ok := ev.(*engine.Confirm); ok && c.Msg.Accept && !crashedOne {
 			crashedOne = true
 			return c.Msg.Child
 		}
@@ -425,7 +510,7 @@ func TestEngineTCoPCommitLostReleasesAdoption(t *testing.T) {
 	h := newHarness(cfg, 1)
 	var victim engine.PeerID = -1
 	h.dropWhen = func(to engine.PeerID, ev engine.Event) bool {
-		if _, ok := ev.(engine.Commit); ok && victim < 0 {
+		if _, ok := ev.(*engine.Commit); ok && victim < 0 {
 			victim = to
 			return true
 		}
@@ -454,7 +539,7 @@ func TestEngineTCoPConfirmTimeoutRetryWave(t *testing.T) {
 	h := newHarness(cfg, 1)
 	dropped := false
 	h.dropWhen = func(to engine.PeerID, ev engine.Event) bool {
-		if _, ok := ev.(engine.Control); ok && !dropped {
+		if _, ok := ev.(*engine.Control); ok && !dropped {
 			dropped = true
 			return true
 		}

@@ -37,17 +37,17 @@ func (o *FlightObserver) Observe(now float64, ev Event, effs []Effect) {
 	}
 	e := flight.Event{T: now, Dir: "ev"}
 	switch v := ev.(type) {
-	case Request:
+	case *Request:
 		e.Type = "request"
 		e.Other = int(LeafID)
 		e.Round = v.Round
 		e.N = len(v.Assigned)
-	case Control:
+	case *Control:
 		e.Type = "control"
 		e.Other = int(v.Msg.Parent)
 		e.Round = v.Msg.Round
 		e.N = len(v.Msg.AssignedSeq)
-	case Confirm:
+	case *Confirm:
 		if v.Msg.Accept {
 			e.Type = "confirm_ok"
 		} else {
@@ -55,22 +55,22 @@ func (o *FlightObserver) Observe(now float64, ev Event, effs []Effect) {
 		}
 		e.Other = int(v.Msg.Child)
 		e.Round = v.Msg.Round
-	case Commit:
+	case *Commit:
 		e.Type = "commit"
 		e.Other = int(v.Msg.Parent)
 		e.Round = v.Msg.Round
 		e.N = len(v.Msg.AssignedSeq)
-	case TimerFired:
+	case *TimerFired:
 		e.Type = timerType("timer_", v.Timer.Kind)
 		e.Other = int(v.Timer.Peer)
 		e.N = v.Timer.Gen
-	case SendFailed:
+	case *SendFailed:
 		e.Type = "send_failed" + msgSuffix(v.Msg)
 		e.Other = int(v.To)
-	case Join:
+	case *Join:
 		e.Type = "join"
 		e.Other = int(v.Joiner)
-	case Repair:
+	case *Repair:
 		e.Type = "repair"
 		e.Other = int(LeafID)
 		e.N = len(v.Indices)
@@ -82,47 +82,47 @@ func (o *FlightObserver) Observe(now float64, ev Event, effs []Effect) {
 	for _, eff := range effs {
 		f := flight.Event{T: now, Dir: "eff"}
 		switch v := eff.(type) {
-		case Send:
+		case *Send:
 			f.Other = int(v.To)
 			switch m := v.Msg.(type) {
-			case MsgControl:
+			case *MsgControl:
 				f.Type = "send_control"
 				f.Round = m.Round
 				f.N = len(m.AssignedSeq)
-			case MsgConfirm:
+			case *MsgConfirm:
 				if m.Accept {
 					f.Type = "send_confirm_ok"
 				} else {
 					f.Type = "send_confirm_no"
 				}
 				f.Round = m.Round
-			case MsgCommit:
+			case *MsgCommit:
 				f.Type = "send_commit"
 				f.Round = m.Round
 				f.N = len(m.AssignedSeq)
 			default:
 				f.Type = "send"
 			}
-		case SetTimer:
+		case *SetTimer:
 			f.Type = timerType("set_timer_", v.ID.Kind)
 			f.Other = int(v.ID.Peer)
 			f.N = v.ID.Gen
-		case Activate:
+		case *Activate:
 			f.Type = "activate"
 			f.Round = v.Round
 			f.N = len(v.Seq)
-		case Merge:
+		case *Merge:
 			f.Type = "merge"
 			f.Round = v.Round
 			f.N = len(v.Seq)
-		case Handoff:
+		case *Handoff:
 			f.Type = "handoff"
 			f.Other = v.Mark
 			f.N = len(v.Given)
-		case Absorb:
+		case *Absorb:
 			f.Type = "absorb"
 			f.N = len(v.Seq)
-		case ServeRepair:
+		case *ServeRepair:
 			f.Type = "serve_repair"
 			f.Other = int(LeafID)
 			f.N = len(v.Indices)
@@ -147,11 +147,11 @@ func timerType(prefix string, k TimerKind) string {
 // msgSuffix names the message kind a SendFailed carried.
 func msgSuffix(m any) string {
 	switch m.(type) {
-	case MsgControl:
+	case *MsgControl:
 		return "_control"
-	case MsgConfirm:
+	case *MsgConfirm:
 		return "_confirm"
-	case MsgCommit:
+	case *MsgCommit:
 		return "_commit"
 	}
 	return ""

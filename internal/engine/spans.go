@@ -132,14 +132,14 @@ func (t *SpanTracker) Observe(p *Peer, now float64, ev Event, parent span.Contex
 	hasReleaseTimer := false
 	for _, e := range effs {
 		switch eff := e.(type) {
-		case Send:
+		case *Send:
 			switch eff.Msg.(type) {
-			case MsgControl:
+			case *MsgControl:
 				nCtl++
-			case MsgCommit:
+			case *MsgCommit:
 				nCommit++
 			}
-		case SetTimer:
+		case *SetTimer:
 			switch eff.ID.Kind {
 			case TimerConfirm:
 				hasConfirmTimer = true
@@ -154,13 +154,13 @@ func (t *SpanTracker) Observe(p *Peer, now float64, ev Event, parent span.Contex
 	var ctlCtx, commitCtx, confirmCtx span.Context
 	for _, e := range effs {
 		switch e.(type) {
-		case Activate:
+		case *Activate:
 			local = t.instant(now, "activate", local).Span
 			if !t.streaming {
 				t.streaming = true
 				t.streamStart = now
 			}
-		case Merge:
+		case *Merge:
 			local = t.instant(now, "merge", local).Span
 		}
 	}
@@ -206,18 +206,17 @@ func (t *SpanTracker) Observe(p *Peer, now float64, ev Event, parent span.Contex
 		t.closeHandshake(now)
 	}
 
-	// Remaining instants and message stamping.
-	for i, e := range effs {
+	// Remaining instants and message stamping (in place: message nodes
+	// are unique per send, never shared across effects).
+	for _, e := range effs {
 		switch eff := e.(type) {
-		case Send:
+		case *Send:
 			switch m := eff.Msg.(type) {
-			case MsgControl:
+			case *MsgControl:
 				m.Span = ctlCtx
-				effs[i] = Send{To: eff.To, Msg: m}
-			case MsgCommit:
+			case *MsgCommit:
 				m.Span = commitCtx
-				effs[i] = Send{To: eff.To, Msg: m}
-			case MsgConfirm:
+			case *MsgConfirm:
 				if confirmCtx == (span.Context{}) {
 					if m.Accept && hasReleaseTimer {
 						// Adoption: the child accepted a prospective
@@ -228,13 +227,12 @@ func (t *SpanTracker) Observe(p *Peer, now float64, ev Event, parent span.Contex
 					}
 				}
 				m.Span = confirmCtx
-				effs[i] = Send{To: eff.To, Msg: m}
 			}
-		case Handoff:
+		case *Handoff:
 			t.instant(now, "handoff", local)
-		case Absorb:
+		case *Absorb:
 			t.instant(now, "absorb", local)
-		case ServeRepair:
+		case *ServeRepair:
 			t.instant(now, "repair_serve", local)
 		}
 	}
@@ -254,11 +252,11 @@ func (t *SpanTracker) Observe(p *Peer, now float64, ev Event, parent span.Contex
 // event.
 func MsgSpan(m any) span.Context {
 	switch msg := m.(type) {
-	case MsgControl:
+	case *MsgControl:
 		return msg.Span
-	case MsgConfirm:
+	case *MsgConfirm:
 		return msg.Span
-	case MsgCommit:
+	case *MsgCommit:
 		return msg.Span
 	}
 	return span.Context{}

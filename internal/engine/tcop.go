@@ -14,21 +14,22 @@ import "p2pmss/internal/overlay"
 // tcopSelect begins a handshake round: pick up to H prospective
 // children from outside the view, send each a restricted-view control
 // packet, and arm the confirmation deadline. cur is the data-plane
-// snapshot the controls should advertise.
-func (p *Peer) tcopSelect(round int, cur Snapshot) []Effect {
-	wave, spares := overlay.SelectWithSpares(p.rng, p.view, p.cfg.H)
+// snapshot the controls should advertise; effects are appended to effs.
+func (p *Peer) tcopSelect(effs []Effect, round int, cur Snapshot) []Effect {
+	wave, spares := overlay.SelectWithSparesInto(p.rng, p.view, p.cfg.H, p.selBuf, true)
+	if wave != nil {
+		p.selBuf = wave[:0] // recapture the (possibly regrown) scratch array
+	}
 	if len(wave) == 0 {
-		return nil // view full: re-enhancement ends here
+		return effs // view full: re-enhancement ends here
 	}
 	p.view.AddAll(wave)
 	p.wanted = len(wave)
-	p.outstanding = make(map[PeerID]bool, len(wave))
-	for _, c := range wave {
-		p.outstanding[c] = true
-	}
+	p.outstanding = append(p.outstanding[:0], wave...)
+	p.outstandingOpen = true
 	p.candQueue = spares
 	p.retryLeft = p.cfg.Retries
-	p.confirmed = nil
+	p.confirmed = p.confirmed[:0]
 	p.ctlRound = round
 	p.final = false
 	p.confirmDelay = p.cfg.HandshakeTimeout
@@ -36,29 +37,18 @@ func (p *Peer) tcopSelect(round int, cur Snapshot) []Effect {
 	// c1 carries a restricted view — only the sender and the selected
 	// children — so children's own selections overlap and the flooding
 	// stays redundant (§3.5).
-	cv := overlay.NewView(p.cfg.N)
-	p.addRestricted(cv, p.id)
+	rv := p.restrictedView(wave)
 	for _, c := range wave {
-		p.addRestricted(cv, c)
-	}
-	effs := make([]Effect, 0, len(wave)+1)
-	for _, c := range wave {
-		effs = append(effs, Send{To: c, Msg: MsgControl{
-			Parent: p.id, View: cv.Members(), SeqOffset: cur.Offset,
-			Rate: cur.Rate, Children: len(wave), Round: round,
-		}})
+		m := p.pl.msgControl()
+		m.Parent = p.id
+		m.View = append(m.View[:0], rv...)
+		m.SeqOffset, m.Rate = cur.Offset, cur.Rate
+		m.Children, m.Round = len(wave), round
+		effs = append(effs, p.pl.send(c, m))
 	}
 	// Timer last: the simulator driver historically registered the
 	// deadline after the sends, and effect order is driver-visible.
-	effs = append(effs, SetTimer{ID: TimerID{Kind: TimerConfirm, Gen: p.gen}, Delay: p.confirmDelay})
-	return effs
-}
-
-// addRestricted adds id to a scratch view, skipping out-of-range ids.
-func (p *Peer) addRestricted(v overlay.View, id PeerID) {
-	if id >= 0 && int(id) < p.cfg.N {
-		v.Add(id)
-	}
+	return append(effs, p.pl.setTimer(TimerID{Kind: TimerConfirm, Gen: p.gen}, p.confirmDelay))
 }
 
 // tcopOnControl handles a prospective parent's c1: accept iff not yet
@@ -70,13 +60,13 @@ func (p *Peer) addRestricted(v overlay.View, id PeerID) {
 // acceptance and cost the child its slot. The re-ack does not re-arm
 // the release deadline, so a parent that truly died still releases the
 // adoption on schedule.
-func (p *Peer) tcopOnControl(m MsgControl) []Effect {
+func (p *Peer) tcopOnControl(m *MsgControl) []Effect {
 	p.viewAdd(p.id)
 	p.viewAdd(m.Parent)
 	p.viewAddAll(m.View)
 	accept := !p.active && p.parent < 0
 	redundant := !p.active && p.parent == int(m.Parent)
-	var effs []Effect
+	effs := p.pl.slice()
 	if accept {
 		p.parent = int(m.Parent)
 		// If the commit never arrives (parent crashed between rounds),
@@ -84,33 +74,33 @@ func (p *Peer) tcopOnControl(m MsgControl) []Effect {
 		// Registered before the send to preserve the simulator's
 		// RNG-draw order.
 		p.relGen++
-		effs = append(effs, SetTimer{
-			ID:    TimerID{Kind: TimerRelease, Gen: p.relGen, Peer: m.Parent},
-			Delay: p.cfg.CommitRelease,
-		})
+		effs = append(effs, p.pl.setTimer(
+			TimerID{Kind: TimerRelease, Gen: p.relGen, Peer: m.Parent},
+			p.cfg.CommitRelease,
+		))
 	}
-	return append(effs, Send{To: m.Parent, Msg: MsgConfirm{
-		Child: p.id, Accept: accept || redundant, Round: m.Round + 1,
-	}})
+	cm := p.pl.msgConfirm()
+	cm.Child, cm.Accept, cm.Round = p.id, accept || redundant, m.Round+1
+	return append(effs, p.pl.send(m.Parent, cm))
 }
 
 // tcopOnConfirm handles a child's cc1. Refusals pull an alternate
 // candidate when the retry budget allows; otherwise the round completes
 // with whoever confirmed.
-func (p *Peer) tcopOnConfirm(m MsgConfirm, snap Snapshot) []Effect {
-	if p.final || p.outstanding == nil || !p.outstanding[m.Child] {
+func (p *Peer) tcopOnConfirm(m *MsgConfirm, snap Snapshot) []Effect {
+	if p.final || !p.outstandingOpen || !p.outstandingDrop(m.Child) {
 		return nil // stale round or duplicate
 	}
-	delete(p.outstanding, m.Child)
 	if m.Accept {
 		p.confirmed = append(p.confirmed, m.Child)
-		return p.maybeFinalize(snap)
+		return p.maybeFinalize(nil, snap)
 	}
 	if repl, ok := p.pullAlternate(); ok {
-		p.outstanding[repl] = true
-		return []Effect{Send{To: repl, Msg: p.retryControl(snap, repl)}}
+		p.outstanding = append(p.outstanding, repl)
+		effs := p.pl.slice()
+		return append(effs, p.pl.send(repl, p.retryControl(snap, repl)))
 	}
-	return p.maybeFinalize(snap)
+	return p.maybeFinalize(nil, snap)
 }
 
 // pullAlternate draws the next failover candidate, spending one retry.
@@ -127,27 +117,28 @@ func (p *Peer) pullAlternate() (PeerID, bool) {
 
 // retryControl builds the c1 for a failover candidate: same round and
 // child count as the original wave, view restricted to sender+candidate.
-func (p *Peer) retryControl(snap Snapshot, repl PeerID) MsgControl {
-	p.view.AddAll([]PeerID{repl})
-	cv := overlay.NewView(p.cfg.N)
-	p.addRestricted(cv, p.id)
-	p.addRestricted(cv, repl)
-	return MsgControl{
-		Parent: p.id, View: cv.Members(), SeqOffset: snap.Offset,
-		Rate: snap.Rate, Children: p.wanted, Round: p.ctlRound,
-	}
+func (p *Peer) retryControl(snap Snapshot, repl PeerID) *MsgControl {
+	p.viewAdd(repl)
+	p.one[0] = repl
+	rv := p.restrictedView(p.one[:])
+	m := p.pl.msgControl()
+	m.Parent = p.id
+	m.View = append(m.View[:0], rv...)
+	m.SeqOffset, m.Rate = snap.Offset, snap.Rate
+	m.Children, m.Round = p.wanted, p.ctlRound
+	return m
 }
 
 // maybeFinalize closes the handshake round once every outstanding
 // control has been answered and no further retry could raise the count.
-func (p *Peer) maybeFinalize(snap Snapshot) []Effect {
-	if p.final || p.outstanding == nil || len(p.outstanding) > 0 {
-		return nil
+func (p *Peer) maybeFinalize(effs []Effect, snap Snapshot) []Effect {
+	if p.final || !p.outstandingOpen || len(p.outstanding) > 0 {
+		return effs
 	}
 	if len(p.confirmed) >= p.wanted || len(p.candQueue) == 0 || p.retryLeft <= 0 {
-		return p.tcopFinalize(snap)
+		return p.tcopFinalize(effs, snap)
 	}
-	return nil
+	return effs
 }
 
 // tcopOnConfirmTimeout fires the confirmation deadline: silent children
@@ -155,75 +146,75 @@ func (p *Peer) maybeFinalize(snap Snapshot) []Effect {
 // a doubled deadline, or the round finalizes with the confirmations in
 // hand.
 func (p *Peer) tcopOnConfirmTimeout(id TimerID, snap Snapshot) []Effect {
-	if id.Gen != p.gen || p.final || p.outstanding == nil {
+	if id.Gen != p.gen || p.final || !p.outstandingOpen {
 		return nil
 	}
 	need := len(p.outstanding)
-	p.outstanding = make(map[PeerID]bool)
-	var wave []PeerID
+	p.outstanding = p.outstanding[:0]
 	for i := 0; i < need; i++ {
 		repl, ok := p.pullAlternate()
 		if !ok {
 			break
 		}
-		wave = append(wave, repl)
+		p.outstanding = append(p.outstanding, repl)
 	}
-	if len(wave) == 0 {
-		return p.tcopFinalize(snap)
+	if len(p.outstanding) == 0 {
+		return p.tcopFinalize(nil, snap)
 	}
 	p.gen++
 	p.confirmDelay *= 2
-	effs := make([]Effect, 0, len(wave)+1)
-	for _, repl := range wave {
-		p.outstanding[repl] = true
-		effs = append(effs, Send{To: repl, Msg: p.retryControl(snap, repl)})
+	effs := p.pl.slice()
+	for _, repl := range p.outstanding {
+		effs = append(effs, p.pl.send(repl, p.retryControl(snap, repl)))
 	}
-	return append(effs, SetTimer{ID: TimerID{Kind: TimerConfirm, Gen: p.gen}, Delay: p.confirmDelay})
+	return append(effs, p.pl.setTimer(TimerID{Kind: TimerConfirm, Gen: p.gen}, p.confirmDelay))
 }
 
 // tcopFinalize closes the round: divide the remaining stream into
 // c2.n = confirmed+1 parts with parity interval c2.n, commit each
 // confirmed child its part, and hand off own transmission to part 0.
-func (p *Peer) tcopFinalize(snap Snapshot) []Effect {
+func (p *Peer) tcopFinalize(effs []Effect, snap Snapshot) []Effect {
 	if p.final {
-		return nil
+		return effs
 	}
 	p.final = true
-	p.outstanding = nil
+	p.outstandingOpen = false
+	p.outstanding = p.outstanding[:0]
 	p.gen++ // invalidate any in-flight confirmation deadline
 	if len(p.confirmed) == 0 {
-		return nil
+		return effs
 	}
 	k := len(p.confirmed) + 1
 	mark := MarkOffset(snap.Offset, p.cfg.MarkDelta, snap.Rate)
 	parts, rate := ShareOut(snap.Stream, mark, snap.Rate, k, k)
-	effs := make([]Effect, 0, len(p.confirmed)+1)
+	if effs == nil {
+		effs = p.pl.slice()
+	}
 	for i, c := range p.confirmed {
 		assigned := seqAt(parts, i+1)
 		p.noteShare(c, assigned, rate)
-		effs = append(effs, Send{To: c, Msg: MsgCommit{
-			Parent: p.id, Streams: k, SeqOffset: snap.Offset,
-			Rate: rate, ChildIdx: i + 1, AssignedSeq: assigned,
-			Round: p.ctlRound + 2,
-		}})
+		m := p.pl.msgCommit()
+		m.Parent, m.Streams, m.SeqOffset = p.id, k, snap.Offset
+		m.Rate, m.ChildIdx = rate, i+1
+		m.AssignedSeq, m.Round = assigned, p.ctlRound+2
+		effs = append(effs, p.pl.send(c, m))
 	}
 	keep, given := SplitParts(parts)
-	return append(effs, Handoff{
-		Keep: keep, Given: given, OldRate: snap.Rate, NewRate: rate, Mark: mark,
-	})
+	return append(effs, p.pl.handoff(keep, given, snap.Rate, rate, mark))
 }
 
 // tcopOnCommit handles the parent's c2: adopt the assignment, start
 // transmitting, and open the next handshake round toward the unknown
 // part of the view. A commit is stale if the peer already transmits or
 // has since been adopted by a different parent.
-func (p *Peer) tcopOnCommit(m MsgCommit, snap Snapshot) []Effect {
+func (p *Peer) tcopOnCommit(m *MsgCommit, snap Snapshot) []Effect {
 	if p.active || (p.parent >= 0 && p.parent != int(m.Parent)) {
 		return nil
 	}
 	p.parent = int(m.Parent)
 	p.committed = true
 	p.noteActivated(m.Round, m.AssignedSeq)
-	effs := []Effect{Activate{Seq: m.AssignedSeq, Rate: m.Rate, Round: m.Round}}
-	return append(effs, p.tcopSelect(m.Round+1, afterActivate(m.AssignedSeq, m.Rate))...)
+	effs := p.pl.slice()
+	effs = append(effs, p.pl.activate(m.AssignedSeq, m.Rate, m.Round))
+	return p.tcopSelect(effs, m.Round+1, afterActivate(m.AssignedSeq, m.Rate))
 }

@@ -49,6 +49,10 @@ type Options struct {
 	// instance and results are collected by grid index, so tables,
 	// series and SVGs are byte-identical at any setting.
 	Parallel int
+	// PlaneMode selects the data-plane simulation strategy of data-plane
+	// sweeps (coord.PlanePacket or coord.PlaneFluid; empty = packet).
+	// Control-plane-only figures ignore it.
+	PlaneMode coord.DataPlaneMode
 	// Instrument attaches a fresh metrics registry to every run and
 	// includes its snapshot in the JSON records (SweepRecords,
 	// BaselineRecords). Instrumentation never perturbs results: series
@@ -139,6 +143,7 @@ func (o Options) pointConfig(H, seed int, dataPlane bool) coord.Config {
 	cfg.Churn = o.Churn
 	if dataPlane {
 		cfg.DataPlane = true
+		cfg.PlaneMode = o.PlaneMode
 		cfg.Rate = o.Rate
 		cfg.ContentLen = o.ContentLen
 		cfg.Window = o.Window

@@ -40,6 +40,9 @@ type Scenario struct {
 	// Retries and HandshakeTimeout echo the churn-tolerance tuning.
 	Retries          int     `json:"retries,omitempty"`
 	HandshakeTimeout float64 `json:"handshake_timeout,omitempty"`
+	// PlaneMode names the data-plane strategy when it deviates from the
+	// per-packet default ("fluid").
+	PlaneMode string `json:"plane_mode,omitempty"`
 }
 
 // scenarioFor derives a run's scenario stamp from its resolved config,
@@ -53,6 +56,9 @@ func scenarioFor(cfg coord.Config) *Scenario {
 	}
 	if cfg.Churn != nil {
 		s.ChurnEvents = len(cfg.Churn.Events)
+	}
+	if cfg.PlaneMode == coord.PlaneFluid {
+		s.PlaneMode = string(cfg.PlaneMode)
 	}
 	if s == (Scenario{}) {
 		return nil
@@ -71,17 +77,17 @@ func runRecords(jobs []runJob, workers int, instrument, collectSpans bool) ([]Ru
 	if instrument {
 		for i := range jobs {
 			regs[i] = metrics.New()
-			jobs[i].cfg.Metrics = regs[i]
+			jobs[i].cfg.Obs.Metrics = regs[i]
 		}
 	}
 	cols := make([]*span.Collector, len(jobs))
 	if collectSpans {
 		for i := range jobs {
 			cols[i] = span.NewCollector()
-			jobs[i].cfg.Spans = cols[i]
+			jobs[i].cfg.Obs.Spans = cols[i]
 			// One trace per grid point: the default seed-derived trace
 			// would collide across H values sharing a seed.
-			jobs[i].cfg.SpanTrace = span.DeriveTrace(fmt.Sprintf("%s/H=%d/seed=%d",
+			jobs[i].cfg.Obs.SpanTrace = span.DeriveTrace(fmt.Sprintf("%s/H=%d/seed=%d",
 				jobs[i].protocol, jobs[i].cfg.H, jobs[i].cfg.Seed))
 		}
 	}

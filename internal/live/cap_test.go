@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/protocol"
 	"p2pmss/internal/transport"
 )
 
@@ -28,7 +29,7 @@ func TestLiveDCoPChildrenCapSmallH(t *testing.T) {
 			H:        capH,
 			Interval: 2,
 			Delta:    5 * time.Millisecond,
-			Protocol: ProtocolDCoP,
+			Protocol: protocol.DCoP,
 			Seed:     int64(i) + 1,
 		}, WithFabric(f, name))
 		if err != nil {

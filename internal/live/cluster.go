@@ -8,6 +8,7 @@ import (
 	"p2pmss/internal/content"
 	"p2pmss/internal/flight"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/obs"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/span"
 	"p2pmss/internal/transport"
@@ -62,16 +63,28 @@ type ClusterConfig struct {
 	Retries          int
 	// Seed seeds all peers deterministically; 0 uses the clock.
 	Seed int64
+	// Obs bundles the session's observers in the struct shared with
+	// the simulation. Non-nil members override the corresponding
+	// legacy fields below; Obs.Trace and Obs.SpanTrace are ignored
+	// (the cluster derives per-session trace IDs itself). Prefer Obs
+	// for new code.
+	Obs obs.Observability
 	// Metrics, when non-nil, instruments the whole session — every
 	// peer, the leaf, and the transport — on one shared registry,
 	// ready to serve via metrics.DebugMux.
+	//
+	// Deprecated: set via Obs.Metrics.
 	Metrics *metrics.Registry
 	// Spans, when non-nil, collects the session's causal spans on one
 	// shared collector, ready to export via span.WritePerfetto.
+	//
+	// Deprecated: set via Obs.Spans.
 	Spans *span.Collector
 	// Flight, when non-nil, records every peer's engine event/effect
 	// stream into per-peer flight rings (see internal/flight), dumpable
 	// via Cluster.DumpFlight and served on /debug/flight.
+	//
+	// Deprecated: set via Obs.Flight.
 	Flight *flight.Set
 }
 
@@ -98,6 +111,17 @@ type Cluster struct {
 func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Content == nil {
 		return nil, fmt.Errorf("live: cluster needs a content")
+	}
+	// Fold the consolidated observability bundle into the legacy
+	// per-observer fields, which stay the internally-consumed ones.
+	if cfg.Obs.Metrics != nil {
+		cfg.Metrics = cfg.Obs.Metrics
+	}
+	if cfg.Obs.Spans != nil {
+		cfg.Spans = cfg.Obs.Spans
+	}
+	if cfg.Obs.Flight != nil {
+		cfg.Flight = cfg.Obs.Flight
 	}
 	if cfg.Peers <= 0 {
 		return nil, fmt.Errorf("live: cluster needs at least one peer")

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/protocol"
 	"p2pmss/internal/transport"
 )
 
@@ -41,7 +42,7 @@ func TestClusterTCPWithCrash(t *testing.T) {
 		Interval: 2,
 		Rate:     600,
 		UseTCP:   true,
-		Protocol: ProtocolDCoP,
+		Protocol: protocol.DCoP,
 		Seed:     2,
 	})
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"p2pmss/internal/content"
 	"p2pmss/internal/engine"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/obs"
 	"p2pmss/internal/span"
 	"p2pmss/internal/transport"
 )
@@ -51,15 +52,26 @@ type LeafConfig struct {
 	Session SessionID
 	// Seed seeds peer selection; 0 uses the clock.
 	Seed int64
+	// Obs bundles the leaf's observers in the struct shared with the
+	// simulation. Non-nil members override the corresponding legacy
+	// fields below; Obs.Trace and Obs.Flight are ignored (the leaf
+	// runs no coordination engine to record). Prefer Obs for new code.
+	Obs obs.Observability
 	// Metrics, when non-nil, receives the leaf's counters (arrivals,
 	// duplicates, repair requests, retries, failovers) and
 	// delivery-progress gauges.
+	//
+	// Deprecated: set via Obs.Metrics.
 	Metrics *metrics.Registry
 	// Spans, when non-nil, collects the session's causal spans; the leaf
 	// opens the root "session" span every member's spans nest under.
+	//
+	// Deprecated: set via Obs.Spans.
 	Spans *span.Collector
 	// SpanTrace identifies the session's trace; zero derives it from the
 	// Session id (matching the peers' derivation).
+	//
+	// Deprecated: set via Obs.SpanTrace.
 	SpanTrace span.TraceID
 	// Introspect, when non-nil, is invoked on a Wait timeout; whatever
 	// it returns is appended to the timeout error. StartCluster wires it
@@ -121,6 +133,17 @@ func NewLeaf(cfg LeafConfig, tr Transport) (*Leaf, error) {
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
+	}
+	// Fold the consolidated observability bundle into the legacy
+	// per-observer fields, which stay the internally-consumed ones.
+	if cfg.Obs.Metrics != nil {
+		cfg.Metrics = cfg.Obs.Metrics
+	}
+	if cfg.Obs.Spans != nil {
+		cfg.Spans = cfg.Obs.Spans
+	}
+	if cfg.Obs.SpanTrace != 0 && cfg.SpanTrace == 0 {
+		cfg.SpanTrace = cfg.Obs.SpanTrace
 	}
 	if cfg.Spans != nil && cfg.SpanTrace == 0 {
 		cfg.SpanTrace = span.DeriveTrace("live/session=" + string(cfg.Session))

@@ -42,6 +42,7 @@ import (
 	"p2pmss/internal/engine"
 	"p2pmss/internal/flight"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/obs"
 	"p2pmss/internal/parity"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/seq"
@@ -141,21 +142,10 @@ type joinBody struct {
 // with the simulation layer via internal/protocol.
 type Protocol = protocol.Protocol
 
-// Live protocol names.
-const (
-	// ProtocolTCoP coordinates with the three-round handshake (§3.5) —
-	// hand-offs are exact, so delivery never depends on repair.
-	//
-	// Deprecated: use the shared protocol.TCoP (p2pmss.TCoP); the sim and
-	// live layers accept the same Protocol values.
-	ProtocolTCoP = protocol.TCoP
-	// ProtocolDCoP coordinates with single-round redundant flooding
-	// (§3.4): children may be assigned by several parents and merge
-	// (union) their streams; duplicates are deduplicated at the leaf.
-	//
-	// Deprecated: use the shared protocol.DCoP (p2pmss.DCoP).
-	ProtocolDCoP = protocol.DCoP
-)
+// The live-only ProtocolTCoP / ProtocolDCoP aliases are gone: the sim
+// and live layers accept the same shared protocol.TCoP / protocol.DCoP
+// values (p2pmss.TCoP / p2pmss.DCoP), so the parallel names only
+// invited drift.
 
 // PeerConfig configures a live contents peer.
 type PeerConfig struct {
@@ -194,20 +184,35 @@ type PeerConfig struct {
 	Retries int
 	// Seed seeds the peer's random selection; 0 uses the clock.
 	Seed int64
+	// Obs bundles the peer's observers in the struct shared with the
+	// simulation. Non-nil members override the corresponding legacy
+	// fields below; Obs.Trace is ignored (sim-only) and Obs.Flight is
+	// resolved to this peer's per-(session, index) recorder at start.
+	// Prefer Obs for new code.
+	Obs obs.Observability
 	// Metrics, when non-nil, receives the peer's counters (data packets
 	// sent, hand-offs, activations, repair packets served, per-session
 	// retries and failovers). Several peers may share one registry.
+	//
+	// Deprecated: set via Obs.Metrics.
 	Metrics *metrics.Registry
 	// Spans, when non-nil, collects causal coordination spans (handshake
 	// rounds, confirmation waves, commits, hand-offs, streaming). All
 	// members of a session should share one collector.
+	//
+	// Deprecated: set via Obs.Spans.
 	Spans *span.Collector
 	// SpanTrace identifies the session's trace; zero derives it from the
 	// Session id so every member agrees without coordination.
+	//
+	// Deprecated: set via Obs.SpanTrace.
 	SpanTrace span.TraceID
 	// Flight, when non-nil, records the peer's engine event/effect
 	// stream into the given flight ring with wall-clock (seconds since
 	// process start) stamps; nil disables recording at zero cost.
+	//
+	// Deprecated: set via Obs.Flight (a *flight.Set; the peer resolves
+	// its own recorder from it).
 	Flight *flight.Recorder
 	// PayloadMemoCap bounds the derived-payload memo (entries); the memo
 	// is LRU-evicted past the cap. Zero means 4096.
@@ -242,6 +247,19 @@ func (cfg *PeerConfig) normalize() error {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = time.Now().UnixNano()
+	}
+	// Fold the consolidated observability bundle into the legacy
+	// per-observer fields, which stay the internally-consumed ones.
+	// Obs.Flight is per-set, not per-recorder; NewPeer resolves it once
+	// the peer knows its roster index.
+	if cfg.Obs.Metrics != nil {
+		cfg.Metrics = cfg.Obs.Metrics
+	}
+	if cfg.Obs.Spans != nil {
+		cfg.Spans = cfg.Obs.Spans
+	}
+	if cfg.Obs.SpanTrace != 0 && cfg.SpanTrace == 0 {
+		cfg.SpanTrace = cfg.Obs.SpanTrace
 	}
 	if cfg.Spans != nil && cfg.SpanTrace == 0 {
 		cfg.SpanTrace = span.DeriveTrace("live/session=" + string(cfg.Session))
@@ -360,6 +378,11 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 		CommitLatency:  p.met.commitLatency,
 		RetryWaveDepth: p.met.retryWaveDepth,
 	})
+	if cfg.Flight == nil {
+		// Obs carries the whole flight set; the per-peer recorder can
+		// only be resolved here, once the roster index is known.
+		cfg.Flight = cfg.Obs.Flight.Recorder(string(cfg.Session), int(self))
+	}
 	p.flight = engine.NewFlightObserver(cfg.Flight)
 	p.mu.Unlock()
 	go p.streamLoop()
@@ -623,12 +646,16 @@ func (p *Peer) dispatchCtx(ev engine.Event, parent span.Context) {
 	p.spans.Observe(p.core, liveNow(), ev, parent, effs)
 	p.flight.Observe(liveNow(), ev, effs)
 	sends := p.applyLocked(effs)
+	// The batch is consumed: applyLocked copied out everything a send
+	// needs (addresses, stripped payload copies), so the effect nodes
+	// can be recycled before the transmissions even start.
+	p.core.Release(effs)
 	p.mu.Unlock()
 	for _, s := range sends {
 		err := p.sendCtx(s.to, s.typ, s.body, s.ctx)
 		if err != nil {
 			if s.msg != nil {
-				p.dispatchCtx(engine.SendFailed{To: s.toID, Msg: s.msg}, engine.MsgSpan(s.msg))
+				p.dispatchCtx(&engine.SendFailed{To: s.toID, Msg: s.msg}, engine.MsgSpan(s.msg))
 			}
 			continue
 		}
@@ -640,6 +667,16 @@ func (p *Peer) dispatchCtx(ev engine.Event, parent span.Context) {
 			p.met.repairServed.Inc()
 		}
 	}
+	if len(sends) > 0 {
+		// Message nodes are recycled under the lock: the engine (and its
+		// pools) only ever run under p.mu, and every consumer — encoder,
+		// failure feedback — is done with them by now.
+		p.mu.Lock()
+		for _, s := range sends {
+			engine.ReleaseMsg(s.msg)
+		}
+		p.mu.Unlock()
+	}
 }
 
 // applyLocked executes the engine's effects in order, buffering the
@@ -650,18 +687,17 @@ func (p *Peer) applyLocked(effs []engine.Effect) []outSend {
 	var handoff *engine.Handoff
 	for _, eff := range effs {
 		switch e := eff.(type) {
-		case engine.Send:
+		case *engine.Send:
 			sends = append(sends, p.encodeLocked(e))
-		case engine.SetTimer:
+		case *engine.SetTimer:
 			p.armTimer(e)
-		case engine.Activate:
+		case *engine.Activate:
 			p.activateLocked(e.Seq, e.Rate)
-		case engine.Merge:
+		case *engine.Merge:
 			p.mergeLocked(e.Seq, e.Rate)
-		case engine.Handoff:
-			h := e
-			handoff = &h
-		case engine.Absorb:
+		case *engine.Handoff:
+			handoff = e
+		case *engine.Absorb:
 			p.met.failovers.Inc()
 			switch {
 			case handoff != nil:
@@ -673,7 +709,7 @@ func (p *Peer) applyLocked(effs []engine.Effect) []outSend {
 			default:
 				p.mergeLocked(e.Seq, e.RateDelta)
 			}
-		case engine.ServeRepair:
+		case *engine.ServeRepair:
 			sends = append(sends, p.repairSendsLocked(e.Indices)...)
 		}
 	}
@@ -688,25 +724,25 @@ func (p *Peer) applyLocked(effs []engine.Effect) []outSend {
 }
 
 // encodeLocked translates an engine Send into a wire message.
-func (p *Peer) encodeLocked(e engine.Send) outSend {
+func (p *Peer) encodeLocked(e *engine.Send) outSend {
 	to := p.addrOfLocked(e.To)
 	var cid string
 	if p.content != nil {
 		cid = p.content.ID()
 	}
 	switch m := e.Msg.(type) {
-	case engine.MsgControl:
+	case *engine.MsgControl:
 		return outSend{to: to, typ: typeControl, toID: e.To, msg: e.Msg, ctx: m.Span, body: controlBody{
 			Parent: p.Addr(), View: p.addrsOfLocked(m.View), Leaf: p.leaf, ContentID: cid,
 			SeqOffset: m.SeqOffset, Rate: m.Rate, ChildRate: m.ChildRate,
 			Children: m.Children, ChildIdx: m.ChildIdx,
 			Assigned: stripPayloads(m.AssignedSeq), Round: m.Round,
 		}}
-	case engine.MsgConfirm:
+	case *engine.MsgConfirm:
 		return outSend{to: to, typ: typeConfirm, toID: e.To, msg: e.Msg, ctx: m.Span, body: confirmBody{
 			Child: p.Addr(), Accept: m.Accept, Round: m.Round,
 		}}
-	case engine.MsgCommit:
+	case *engine.MsgCommit:
 		return outSend{to: to, typ: typeCommit, toID: e.To, msg: e.Msg, ctx: m.Span, body: commitBody{
 			Parent: p.Addr(), ContentID: cid, Leaf: p.leaf,
 			Streams: m.Streams, SeqOffset: m.SeqOffset, Rate: m.Rate,
@@ -717,7 +753,7 @@ func (p *Peer) encodeLocked(e engine.Send) outSend {
 }
 
 // armTimer schedules TimerFired delivery on the wall clock.
-func (p *Peer) armTimer(e engine.SetTimer) {
+func (p *Peer) armTimer(e *engine.SetTimer) {
 	id := e.ID
 	time.AfterFunc(time.Duration(e.Delay*float64(time.Second)), func() {
 		select {
@@ -725,7 +761,7 @@ func (p *Peer) armTimer(e engine.SetTimer) {
 			return
 		default:
 		}
-		p.dispatch(engine.TimerFired{Timer: id})
+		p.dispatch(&engine.TimerFired{Timer: id})
 	})
 }
 
@@ -754,11 +790,12 @@ func (p *Peer) mergeLocked(s seq.Sequence, rate float64) {
 	p.kick()
 }
 
-// installHandoffLocked plans the parent's own switch. If a hand-off is
-// already pending (a redundant DCoP parent re-selected before the first
-// mark), the older one is applied immediately — the subtraction is
-// key-based, so early application loses nothing — before the new one is
-// installed.
+// installHandoffLocked plans the parent's own switch, copying what it
+// needs out of the effect node (which is recycled right after the
+// batch is applied). If a hand-off is already pending (a redundant
+// DCoP parent re-selected before the first mark), the older one is
+// applied immediately — the subtraction is key-based, so early
+// application loses nothing — before the new one is installed.
 func (p *Peer) installHandoffLocked(h *engine.Handoff) {
 	if p.pending != nil {
 		p.applyPendingLocked()
@@ -885,7 +922,7 @@ func (p *Peer) onRequest(b requestBody, parent span.Context) {
 	p.leaf = b.Leaf
 	sel := p.idsOfLocked(b.Selected)
 	p.mu.Unlock()
-	p.dispatchCtx(engine.Request{Assigned: assigned, Rate: rate, Selected: sel, Round: 1}, parent)
+	p.dispatchCtx(&engine.Request{Assigned: assigned, Rate: rate, Selected: sel, Round: 1}, parent)
 }
 
 func (p *Peer) onControl(b controlBody, parent span.Context) {
@@ -896,21 +933,21 @@ func (p *Peer) onControl(b controlBody, parent span.Context) {
 	if p.leaf == "" {
 		p.leaf = b.Leaf
 	}
-	msg := engine.MsgControl{
+	msg := &engine.MsgControl{
 		Parent: p.idOfLocked(b.Parent), View: p.idsOfLocked(b.View),
 		SeqOffset: b.SeqOffset, Rate: b.Rate, ChildRate: b.ChildRate,
 		Children: b.Children, ChildIdx: b.ChildIdx,
 		AssignedSeq: p.hydrateLocked(p.content, b.Assigned), Round: b.Round,
 	}
 	p.mu.Unlock()
-	p.dispatchCtx(engine.Control{Msg: msg}, parent)
+	p.dispatchCtx(&engine.Control{Msg: msg}, parent)
 }
 
 func (p *Peer) onConfirm(b confirmBody, parent span.Context) {
 	p.mu.Lock()
-	msg := engine.MsgConfirm{Child: p.idOfLocked(b.Child), Accept: b.Accept, Round: b.Round}
+	msg := &engine.MsgConfirm{Child: p.idOfLocked(b.Child), Accept: b.Accept, Round: b.Round}
 	p.mu.Unlock()
-	p.dispatchCtx(engine.Confirm{Msg: msg}, parent)
+	p.dispatchCtx(&engine.Confirm{Msg: msg}, parent)
 }
 
 func (p *Peer) onCommit(b commitBody, parent span.Context) {
@@ -923,13 +960,13 @@ func (p *Peer) onCommit(b commitBody, parent span.Context) {
 	if p.leaf == "" {
 		p.leaf = b.Leaf
 	}
-	msg := engine.MsgCommit{
+	msg := &engine.MsgCommit{
 		Parent: p.idOfLocked(b.Parent), Streams: b.Streams,
 		SeqOffset: b.SeqOffset, Rate: b.Rate, ChildIdx: b.ChildIdx,
 		AssignedSeq: p.hydrateLocked(c, b.Assigned), Round: b.Round,
 	}
 	p.mu.Unlock()
-	p.dispatchCtx(engine.Commit{Msg: msg}, parent)
+	p.dispatchCtx(&engine.Commit{Msg: msg}, parent)
 }
 
 // onRepair retransmits the requested data packets immediately.
@@ -942,7 +979,7 @@ func (p *Peer) onRepair(b repairBody, parent span.Context) {
 	p.repairContent = c
 	p.repairTo = b.Leaf
 	p.mu.Unlock()
-	p.dispatchCtx(engine.Repair{Indices: b.Indices}, parent)
+	p.dispatchCtx(&engine.Repair{Indices: b.Indices}, parent)
 }
 
 // onJoin hands a mid-stream joiner a slice of the remaining stream (the
@@ -959,7 +996,7 @@ func (p *Peer) onJoin(b joinBody, parent span.Context) {
 	if !ok {
 		return
 	}
-	p.dispatchCtx(engine.Join{Joiner: joiner}, parent)
+	p.dispatchCtx(&engine.Join{Joiner: joiner}, parent)
 }
 
 // ---- streaming ----------------------------------------------------------

@@ -9,6 +9,7 @@ import (
 	"p2pmss/internal/content"
 	"p2pmss/internal/flight"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/obs"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/span"
 	"p2pmss/internal/transport"
@@ -35,15 +36,26 @@ type NodeConfig struct {
 	// Seed seeds per-session randomness deterministically; 0 uses the
 	// clock.
 	Seed int64
+	// Obs bundles the node's observers in the struct shared with the
+	// simulation. Non-nil members override the corresponding legacy
+	// fields below; Obs.Trace and Obs.SpanTrace are ignored (trace IDs
+	// are derived per session). Prefer Obs for new code.
+	Obs obs.Observability
 	// Metrics, when non-nil, instruments the node and all its sessions.
+	//
+	// Deprecated: set via Obs.Metrics.
 	Metrics *metrics.Registry
 	// Spans, when non-nil, collects causal spans for every session this
 	// node participates in; each session gets its own trace, derived
 	// from the session id so all nodes agree.
+	//
+	// Deprecated: set via Obs.Spans.
 	Spans *span.Collector
 	// Flight, when non-nil, records every serving peer's engine
 	// event/effect stream into per-(session, peer) flight rings; all
 	// nodes of a population share one set.
+	//
+	// Deprecated: set via Obs.Flight.
 	Flight *flight.Set
 }
 
@@ -87,6 +99,17 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 	case protocol.TCoP, protocol.DCoP:
 	default:
 		return nil, fmt.Errorf("live: unknown protocol %q", cfg.Protocol)
+	}
+	// Fold the consolidated observability bundle into the legacy
+	// per-observer fields, which stay the internally-consumed ones.
+	if cfg.Obs.Metrics != nil {
+		cfg.Metrics = cfg.Obs.Metrics
+	}
+	if cfg.Obs.Spans != nil {
+		cfg.Spans = cfg.Obs.Spans
+	}
+	if cfg.Obs.Flight != nil {
+		cfg.Flight = cfg.Obs.Flight
 	}
 	n := &Node{
 		cfg:     cfg,
@@ -468,14 +491,25 @@ type NodesConfig struct {
 	QueuePolicy transport.QueuePolicy
 	// Seed seeds all nodes deterministically; 0 uses the clock.
 	Seed int64
+	// Obs bundles the population's observers in the struct shared with
+	// the simulation. Non-nil members override the corresponding legacy
+	// fields below; Obs.Trace and Obs.SpanTrace are ignored. Prefer
+	// Obs for new code.
+	Obs obs.Observability
 	// Metrics instruments all nodes and the transport when non-nil.
+	//
+	// Deprecated: set via Obs.Metrics.
 	Metrics *metrics.Registry
 	// Spans, when non-nil, collects causal spans across every node and
 	// session on one shared collector.
+	//
+	// Deprecated: set via Obs.Spans.
 	Spans *span.Collector
 	// Flight, when non-nil, records every serving peer's engine
 	// event/effect stream across all nodes and sessions on one shared
 	// set, served on /debug/flight via DebugHandlers.
+	//
+	// Deprecated: set via Obs.Flight.
 	Flight *flight.Set
 }
 
@@ -501,6 +535,17 @@ func StartNodes(cfg NodesConfig) (*NodeCluster, error) {
 	}
 	if cfg.UseTCP && cfg.Impair.Enabled() {
 		return nil, fmt.Errorf("live: impairment needs a datagram transport (in-memory fabric or UDP), not TCP")
+	}
+	// Fold the consolidated observability bundle into the legacy
+	// per-observer fields, which stay the internally-consumed ones.
+	if cfg.Obs.Metrics != nil {
+		cfg.Metrics = cfg.Obs.Metrics
+	}
+	if cfg.Obs.Spans != nil {
+		cfg.Spans = cfg.Obs.Spans
+	}
+	if cfg.Obs.Flight != nil {
+		cfg.Flight = cfg.Obs.Flight
 	}
 	nc := &NodeCluster{flight: cfg.Flight}
 	var roster []string

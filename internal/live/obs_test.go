@@ -1,0 +1,121 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/flight"
+	"p2pmss/internal/metrics"
+	"p2pmss/internal/obs"
+	"p2pmss/internal/span"
+	"p2pmss/internal/transport"
+)
+
+// A cluster configured through the consolidated Obs bundle must stream
+// to completion with every observer live: the registry fills with
+// counters, the collector with spans, and the flight set with per-peer
+// engine events.
+func TestClusterObsBundle(t *testing.T) {
+	data := randomData(5000, 47)
+	o := obs.Observability{
+		Metrics: metrics.New(),
+		Spans:   span.NewCollector(),
+		Flight:  flight.NewSet(256),
+	}
+	c, err := StartCluster(ClusterConfig{
+		Content:  content.New("m", data, 64),
+		Peers:    6,
+		H:        3,
+		Interval: 2,
+		Rate:     400,
+		Seed:     3,
+		Obs:      o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Bytes()
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("cluster content mismatch")
+	}
+	if snap := o.Metrics.Snapshot(); len(snap.Counters) == 0 {
+		t.Error("Obs.Metrics recorded nothing")
+	}
+	if len(o.Spans.Spans()) == 0 {
+		t.Error("Obs.Spans recorded nothing")
+	}
+	if len(o.Flight.Events()) == 0 {
+		t.Error("Obs.Flight recorded nothing")
+	}
+}
+
+// A standalone peer given Obs.Flight (a whole set) resolves its own
+// per-(session, roster-index) recorder at start — the set ends up with
+// events from every peer without any caller-side Recorder plumbing.
+func TestPeerObsFlightResolution(t *testing.T) {
+	data := randomData(2000, 48)
+	f := transport.NewFabric()
+	c := content.New("movie", data, 64)
+	names := []string{"a", "b", "c", "d", "e"}
+	set := flight.NewSet(256)
+	var peers []*Peer
+	for i, name := range names {
+		p, err := NewPeer(PeerConfig{
+			Content:  c,
+			Roster:   names,
+			H:        3,
+			Interval: 2,
+			Delta:    5 * time.Millisecond,
+			Seed:     int64(i) + 1,
+			Obs:      obs.Observability{Flight: set},
+		}, WithFabric(f, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+	leaf, err := NewLeaf(LeafConfig{
+		Roster:      names,
+		H:           3,
+		Interval:    2,
+		Rate:        400,
+		ContentSize: len(data),
+		PacketSize:  64,
+		RepairAfter: 300 * time.Millisecond,
+		Seed:        99,
+	}, WithFabric(f, "leaf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	if err := leaf.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaf.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	events := set.Events()
+	if len(events) == 0 {
+		t.Fatal("Obs.Flight recorded nothing")
+	}
+	recorded := make(map[int]bool)
+	for _, e := range events {
+		recorded[e.Peer] = true
+	}
+	// The leaf selects H=3 of 5 peers; at minimum those participated and
+	// must have resolved distinct recorders from the shared set.
+	if len(recorded) < 3 {
+		t.Fatalf("events from %d peers, want >= 3 (got %v)", len(recorded), recorded)
+	}
+}

@@ -1,0 +1,82 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"p2pmss/internal/content"
+	"p2pmss/internal/protocol"
+	"p2pmss/internal/transport"
+)
+
+// Regression for the effect-recycling contract: dispatchCtx releases the
+// engine's effect nodes BEFORE the transmissions they produced are
+// performed, relying on encodeLocked having copied everything a send
+// needs out of the pooled nodes. A bounded blocking fabric keeps those
+// sends in flight (parked on a full queue, outside the peer lock) while
+// timers and deliveries keep dispatching into the same peer — every such
+// dispatch reuses the just-released nodes and overwrites their fields.
+// If any outSend still aliased pooled memory, the race detector would
+// flag the concurrent write (and the leaf would reassemble corrupted
+// bytes); the session must instead complete exactly.
+func TestEffectRecycleWithQueuedSendsInFlight(t *testing.T) {
+	for _, proto := range []Protocol{protocol.DCoP, protocol.TCoP} {
+		t.Run(string(proto), func(t *testing.T) {
+			data := randomData(6000, 53)
+			c, err := StartCluster(ClusterConfig{
+				Content:     content.New("m", data, 64),
+				Peers:       8,
+				H:           3,
+				Interval:    2,
+				Rate:        600,
+				Protocol:    proto,
+				QueueCap:    1, // every burst of sends blocks mid-flight
+				QueuePolicy: transport.QueueBlock,
+				Seed:        5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Wait(20 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := c.Bytes()
+			if !ok || !bytes.Equal(got, data) {
+				t.Fatal("content corrupted under queued sends + effect recycling")
+			}
+		})
+	}
+}
+
+// The same window under drop-newest: a full queue must only lose whole
+// messages (repair recovers them), never deliver frames assembled from
+// recycled effect memory.
+func TestEffectRecycleWithDroppingQueue(t *testing.T) {
+	data := randomData(4000, 54)
+	c, err := StartCluster(ClusterConfig{
+		Content:     content.New("m", data, 64),
+		Peers:       6,
+		H:           3,
+		Interval:    2,
+		Rate:        400,
+		Protocol:    protocol.DCoP,
+		QueueCap:    64,
+		QueuePolicy: transport.QueueDropNewest,
+		RepairAfter: 250 * time.Millisecond,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Wait(20 * time.Second); err != nil {
+		t.Fatal(fmt.Errorf("session did not complete under dropping queue: %w", err))
+	}
+	got, ok := c.Bytes()
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("content corrupted under dropping queue + effect recycling")
+	}
+}

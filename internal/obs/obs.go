@@ -1,0 +1,39 @@
+// Package obs consolidates the observability configuration shared by
+// the simulated (coord) and live runtimes into one struct. Before it
+// existed every config carried its own parallel Trace/Metrics/Spans/
+// SpanTrace/Flight fields; Observability is the single place to set
+// them, and each runtime folds it into its legacy fields during
+// normalization, so the two spellings stay equivalent.
+package obs
+
+import (
+	"p2pmss/internal/flight"
+	"p2pmss/internal/metrics"
+	"p2pmss/internal/span"
+	"p2pmss/internal/trace"
+)
+
+// Observability bundles every optional observer a run can attach. The
+// zero value attaches nothing. All observers are strictly passive:
+// none of them feeds back into protocol behavior, so an instrumented
+// run is event-for-event identical to a bare one.
+type Observability struct {
+	// Metrics, when non-nil, registers and updates the run's counters,
+	// gauges and histograms on the registry.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, records activations, control packets and
+	// hand-offs. Simulation only: the live runtime has no virtual
+	// clock to stamp trace events with, and ignores it.
+	Trace *trace.Tracer
+	// Spans, when non-nil, collects causal spans (handshake rounds,
+	// confirmation waves, commits, hand-offs, streaming, leaf stalls).
+	Spans *span.Collector
+	// SpanTrace is the trace (session) ID spans are recorded under.
+	// Zero lets each runtime derive one (from the seed in the sim,
+	// from the session name in the live runtime).
+	SpanTrace span.TraceID
+	// Flight, when non-nil, records every peer's engine event/effect
+	// stream into per-peer flight rings for topology forensics and
+	// sim-vs-live divergence diffing.
+	Flight *flight.Set
+}

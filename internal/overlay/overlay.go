@@ -33,6 +33,14 @@ func NewView(n int) View {
 // Size returns n, the total number of contents peers.
 func (v View) Size() int { return v.n }
 
+// Clear resets every bit, so a long-lived view can be reused across
+// coordination rounds without reallocating its word array.
+func (v *View) Clear() {
+	for i := range v.bits {
+		v.bits[i] = 0
+	}
+}
+
 // Clone returns an independent copy of the view.
 func (v View) Clone() View {
 	c := View{n: v.n, bits: make([]uint64, len(v.bits))}
@@ -98,24 +106,44 @@ func (v View) Union(o View) View {
 
 // Members returns the set peers in ascending order.
 func (v View) Members() []PeerID {
-	out := make([]PeerID, 0, v.Count())
-	for p := PeerID(0); int(p) < v.n; p++ {
-		if v.Has(p) {
-			out = append(out, p)
+	return v.MembersInto(make([]PeerID, 0, v.Count()))
+}
+
+// MembersInto appends the set peers to buf in ascending order and
+// returns it — the zero-steady-state-allocation form of Members for
+// callers that retain a scratch buffer.
+func (v View) MembersInto(buf []PeerID) []PeerID {
+	for wi, w := range v.bits {
+		base := PeerID(wi * 64)
+		for w != 0 {
+			buf = append(buf, base+PeerID(bits.TrailingZeros64(w)))
+			w &= w - 1
 		}
 	}
-	return out
+	return buf
 }
 
 // Missing returns the unset peers in ascending order.
 func (v View) Missing() []PeerID {
-	out := make([]PeerID, 0, v.n-v.Count())
-	for p := PeerID(0); int(p) < v.n; p++ {
-		if !v.Has(p) {
-			out = append(out, p)
+	return v.MissingInto(make([]PeerID, 0, v.n-v.Count()))
+}
+
+// MissingInto appends the unset peers to buf in ascending order and
+// returns it.
+func (v View) MissingInto(buf []PeerID) []PeerID {
+	for wi, w := range v.bits {
+		w = ^w
+		base := int(wi * 64)
+		for w != 0 {
+			p := base + bits.TrailingZeros64(w)
+			if p >= v.n {
+				break
+			}
+			buf = append(buf, PeerID(p))
+			w &= w - 1
 		}
 	}
-	return out
+	return buf
 }
 
 // String renders the view as the set of active peers.
@@ -128,23 +156,22 @@ func (v View) String() string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// selectSampleThreshold switches Select to rejection sampling: when the
+// complement of the view is larger than this, materializing and
+// shuffling the full candidate list costs O(n) per call — quadratic
+// over a sweep — so large overlays sample candidates directly instead.
+// Below the threshold the historical shuffle is kept bit-for-bit, so
+// seeded runs at the paper's scales (n ≤ a few thousand) reproduce
+// results recorded before the fast path existed.
+const selectSampleThreshold = 4096
+
 // Select implements the paper's Select(CP, CP_i, m): it returns up to m
 // distinct contents peers drawn uniformly at random from the peers NOT in
 // view (CP − {CP_k | CP_k ∈ VW_i}). If the view is full it returns nil
 // (the paper's φ). The caller's own ID should already be in its view.
 func Select(rng *rand.Rand, view View, m int) []PeerID {
-	if m <= 0 {
-		return nil
-	}
-	cand := view.Missing()
-	if len(cand) == 0 {
-		return nil
-	}
-	rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
-	if m < len(cand) {
-		cand = cand[:m]
-	}
-	return cand
+	sel, _ := SelectWithSparesInto(rng, view, m, nil, false)
+	return sel
 }
 
 // SelectWithSpares is Select, also returning the candidates that did
@@ -153,18 +180,65 @@ func Select(rng *rand.Rand, view View, m int) []PeerID {
 // (one shuffle of the full candidate list), so a caller that ignores
 // the spares observes the same random stream.
 func SelectWithSpares(rng *rand.Rand, view View, m int) (sel, spares []PeerID) {
+	return SelectWithSparesInto(rng, view, m, nil, true)
+}
+
+// SelectWithSparesInto is SelectWithSpares writing into buf (the
+// returned slices alias it), so steady-state callers that retain a
+// scratch buffer select without allocating. withSpares=false skips the
+// spare list (it still consumes the RNG identically on the shuffle
+// path). Above selectSampleThreshold missing peers, candidates are
+// rejection-sampled instead of shuffled — the RNG stream differs from
+// the small-overlay path, and the spare list is truncated to at most m
+// entries (a full preference list over ~n peers is useless at that
+// scale and would cost O(n) to build).
+func SelectWithSparesInto(rng *rand.Rand, view View, m int, buf []PeerID, withSpares bool) (sel, spares []PeerID) {
 	if m <= 0 {
 		return nil, nil
 	}
-	cand := view.Missing()
-	if len(cand) == 0 {
+	missing := view.n - view.Count()
+	if missing == 0 {
 		return nil, nil
 	}
+	if missing > selectSampleThreshold && missing >= 8*m {
+		return selectSampled(rng, view, m, buf, withSpares)
+	}
+	cand := view.MissingInto(buf[:0])
 	rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
 	if m < len(cand) {
-		return cand[:m], cand[m:]
+		if withSpares {
+			return cand[:m], cand[m:]
+		}
+		return cand[:m], nil
 	}
 	return cand, nil
+}
+
+// selectSampled draws want = m (+ up to m spares) distinct out-of-view
+// peers by uniform rejection sampling. Picks are transiently marked in
+// the view's own bit array to keep the draw distinct without an
+// auxiliary set, and unmarked before returning.
+func selectSampled(rng *rand.Rand, view View, m int, buf []PeerID, withSpares bool) (sel, spares []PeerID) {
+	want := m
+	if withSpares {
+		want += m
+	}
+	out := buf[:0]
+	for len(out) < want {
+		p := PeerID(rng.Intn(view.n))
+		if view.Has(p) {
+			continue
+		}
+		view.bits[p/64] |= 1 << (uint(p) % 64) // transient: undone below
+		out = append(out, p)
+	}
+	for _, p := range out {
+		view.bits[p/64] &^= 1 << (uint(p) % 64)
+	}
+	if withSpares {
+		return out[:m], out[m:]
+	}
+	return out[:m], nil
 }
 
 // SelectFrom returns up to m distinct peers drawn uniformly at random

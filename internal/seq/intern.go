@@ -1,0 +1,157 @@
+package seq
+
+import "slices"
+
+// Packet interning. The engine's bookkeeping unions (pkt_i := pkt_i ∪
+// pkt_ji on every merge) used to copy full Sequence values — O(len)
+// packet structs per merge, every packet re-compared by identity key.
+// A Table assigns each distinct packet identity a dense ID once, and a
+// Set holds sorted IDs, so repeated unions are integer merges that
+// reuse the set's capacity instead of reallocating packet slices.
+//
+// IDs are only meaningful relative to the Table that issued them.
+// Tables are not safe for concurrent use; the engine gives each Peer
+// its own, so no cross-goroutine coordination is needed.
+
+// ID is a dense interned packet identity issued by a Table.
+type ID int32
+
+// Table interns packet identities. The first packet seen for an
+// identity is kept as the representative returned by Packet.
+type Table struct {
+	byIndex map[int64]ID  // data packets, keyed by content index
+	byKey   map[string]ID // parity packets, keyed by identity string
+	pkts    []Packet
+}
+
+// NewTable returns an empty intern table.
+func NewTable() *Table {
+	return &Table{byIndex: make(map[int64]ID), byKey: make(map[string]ID)}
+}
+
+// Len returns the number of distinct identities interned.
+func (t *Table) Len() int { return len(t.pkts) }
+
+// Intern returns the ID of p's identity, assigning the next dense ID on
+// first sight. Data packets intern by content index (no key-string
+// hashing on the hot path); parity packets by identity key.
+func (t *Table) Intern(p Packet) ID {
+	if p.Kind == Data {
+		if id, ok := t.byIndex[p.Index]; ok {
+			return id
+		}
+		id := ID(len(t.pkts))
+		t.byIndex[p.Index] = id
+		t.pkts = append(t.pkts, p)
+		return id
+	}
+	k := p.Key()
+	if id, ok := t.byKey[k]; ok {
+		return id
+	}
+	id := ID(len(t.pkts))
+	t.byKey[k] = id
+	t.pkts = append(t.pkts, p)
+	return id
+}
+
+// Packet returns the representative packet of id. It panics if id was
+// not issued by this table.
+func (t *Table) Packet(id ID) Packet { return t.pkts[id] }
+
+// Set is a set of interned packet identities, stored as sorted unique
+// IDs. The zero value is the empty set. Mutating operations reuse the
+// underlying array, so a long-lived set reaches a steady state with no
+// allocation per union.
+type Set struct {
+	ids []ID
+}
+
+// Len returns |s|.
+func (s *Set) Len() int { return len(s.ids) }
+
+// IDs returns the sorted backing slice (shared, not a copy).
+func (s *Set) IDs() []ID { return s.ids }
+
+// Clear empties the set, keeping capacity.
+func (s *Set) Clear() { s.ids = s.ids[:0] }
+
+// Has reports whether id is in the set.
+func (s *Set) Has(id ID) bool {
+	_, ok := slices.BinarySearch(s.ids, id)
+	return ok
+}
+
+// AddSeq unions the identities of q into the set (pkt_i := pkt_i ∪
+// pkt_ji), interning through t. Amortized zero-allocation: new IDs are
+// appended and the slice re-sorted only when something was added.
+func (s *Set) AddSeq(t *Table, q Sequence) {
+	if len(q) == 0 {
+		return
+	}
+	sorted := len(s.ids)
+	for _, p := range q {
+		id := t.Intern(p)
+		if _, ok := slices.BinarySearch(s.ids[:sorted], id); ok {
+			continue
+		}
+		if slices.Contains(s.ids[sorted:], id) {
+			continue
+		}
+		s.ids = append(s.ids, id)
+	}
+	if len(s.ids) > sorted {
+		slices.Sort(s.ids)
+	}
+}
+
+// AddSet unions o into s.
+func (s *Set) AddSet(o *Set) {
+	sorted := len(s.ids)
+	for _, id := range o.ids {
+		if _, ok := slices.BinarySearch(s.ids[:sorted], id); !ok {
+			s.ids = append(s.ids, id)
+		}
+	}
+	if len(s.ids) > sorted {
+		slices.Sort(s.ids)
+		s.ids = slices.Compact(s.ids)
+	}
+}
+
+// IntersectCount returns |s ∩ o| without materializing the intersection.
+func (s *Set) IntersectCount(o *Set) int {
+	i, j, n := 0, 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		switch {
+		case s.ids[i] == o.ids[j]:
+			n++
+			i++
+			j++
+		case s.ids[i] < o.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Covers reports whether every identity of o is in s (o ⊆ s).
+func (s *Set) Covers(o *Set) bool {
+	return s.IntersectCount(o) == o.Len()
+}
+
+// Materialize returns the set as a Sequence in canonical order,
+// resolving representatives through t.
+func (s *Set) Materialize(t *Table) Sequence {
+	if len(s.ids) == 0 {
+		return nil
+	}
+	out := make(Sequence, len(s.ids))
+	for i, id := range s.ids {
+		out[i] = t.Packet(id)
+	}
+	out.Sort()
+	return out
+}

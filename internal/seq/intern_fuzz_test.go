@@ -1,0 +1,140 @@
+package seq
+
+import (
+	"testing"
+)
+
+// decodeSeq turns fuzzer bytes into a Sequence mixing data and parity
+// packets from a small identity universe, so collisions between the two
+// decoded sequences are common. High bit picks parity; the low bits
+// pick which identities, so equal bytes decode to equal identities.
+func decodeSeq(plan []byte) Sequence {
+	var out Sequence
+	for _, b := range plan {
+		if b&0x80 != 0 {
+			// Parity over a 3-packet group; 16 distinct identities.
+			base := int64(b&0x0f) * 3
+			out = append(out, NewParity(
+				[]Packet{NewData(base), NewData(base + 1), NewData(base + 2)},
+				MidPos(float64(base), float64(base+3)),
+			))
+		} else {
+			out = append(out, NewData(int64(b&0x3f)))
+		}
+	}
+	return out
+}
+
+// distinct counts the distinct identities of q.
+func distinct(q Sequence) int {
+	keys := make(map[string]bool, len(q))
+	for _, p := range q {
+		keys[p.Key()] = true
+	}
+	return len(keys)
+}
+
+// FuzzInternSetAlgebra checks that the interned-ID set (the engine's
+// zero-alloc bookkeeping representation) agrees with the reference
+// Sequence algebra on every fuzzer-chosen pair of sequences:
+//
+//   - Materialize after AddSeq ≡ Union (same identities, canonical order);
+//   - IntersectCount ≡ |Intersect| counted by identity;
+//   - Covers ≡ the subset relation Intersect(a, b) == distinct(b);
+//   - AddSet ≡ AddSeq of the materialized sequence.
+func FuzzInternSetAlgebra(f *testing.F) {
+	f.Add([]byte{0}, []byte{0})
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{0x81, 0x81, 5}, []byte{0x81, 5, 9})
+	f.Add([]byte{10, 20, 30, 0x8f}, []byte{})
+	f.Add([]byte{63, 0x80, 0, 63}, []byte{0x80, 63, 1})
+	f.Fuzz(func(t *testing.T, pa, pb []byte) {
+		a, b := decodeSeq(pa), decodeSeq(pb)
+
+		tab := NewTable()
+		var sa, sb Set
+		sa.AddSeq(tab, a)
+		sb.AddSeq(tab, b)
+
+		// Each set holds exactly its sequence's distinct identities.
+		if sa.Len() != distinct(a) {
+			t.Fatalf("sa.Len()=%d, distinct(a)=%d", sa.Len(), distinct(a))
+		}
+		if sb.Len() != distinct(b) {
+			t.Fatalf("sb.Len()=%d, distinct(b)=%d", sb.Len(), distinct(b))
+		}
+
+		// IntersectCount agrees with the reference Intersect.
+		ref := Intersect(a, b)
+		if got, want := sa.IntersectCount(&sb), distinct(ref); got != want {
+			t.Fatalf("IntersectCount=%d, |Intersect|=%d", got, want)
+		}
+
+		// Covers is the subset relation.
+		wantCovers := distinct(ref) == distinct(b)
+		if got := sa.Covers(&sb); got != wantCovers {
+			t.Fatalf("Covers=%v, want %v (|a∩b|=%d |b|=%d)",
+				got, wantCovers, distinct(ref), distinct(b))
+		}
+
+		// Union via AddSeq materializes to exactly the distinct
+		// identities of a ∪ b, duplicate-free. (seq.Union itself assumes
+		// duplicate-free operands, so the reference here is the identity
+		// key set, which tolerates the duplicates decodeSeq produces.)
+		var su Set
+		su.AddSeq(tab, a)
+		su.AddSeq(tab, b)
+		got := su.Materialize(tab)
+		wantKeys := make(map[string]bool)
+		for _, p := range a {
+			wantKeys[p.Key()] = true
+		}
+		for _, p := range b {
+			wantKeys[p.Key()] = true
+		}
+		if len(got) != len(wantKeys) {
+			t.Fatalf("union materialized %d packets, want %d distinct", len(got), len(wantKeys))
+		}
+		for _, p := range got {
+			if !wantKeys[p.Key()] {
+				t.Fatalf("union contains foreign identity %s", p.Key())
+			}
+		}
+
+		// On duplicate-free operands the materialized union matches
+		// seq.Union exactly, in canonical order.
+		da, db := a.Clone(), b.Clone()
+		da.Sort()
+		db.Sort()
+		da, db = dedupe(da), dedupe(db)
+		tab2 := NewTable()
+		var sd Set
+		sd.AddSeq(tab2, da)
+		sd.AddSeq(tab2, db)
+		union := Union(da.Clone(), db)
+		union.Sort()
+		got2 := sd.Materialize(tab2)
+		got2.Sort()
+		if !Equal(got2, union) {
+			t.Fatalf("Materialize(AddSeq da,db) != Union(da,db):\n%v\n%v", got2, union)
+		}
+
+		// AddSet agrees with AddSeq of the same identities, and is
+		// idempotent.
+		var sv Set
+		sv.AddSeq(tab, a)
+		sv.AddSet(&sb)
+		sv.AddSet(&sb)
+		if sv.Len() != su.Len() || !sv.Covers(&su) || !su.Covers(&sv) {
+			t.Fatalf("AddSet union (%d ids) disagrees with AddSeq union (%d ids)", sv.Len(), su.Len())
+		}
+
+		// A set covers itself and its parts.
+		if !su.Covers(&sa) || !su.Covers(&sb) {
+			t.Fatal("union must cover both operands")
+		}
+		if sa.Len() > 0 && !sa.Covers(&sa) {
+			t.Fatal("set must cover itself")
+		}
+	})
+}

@@ -44,6 +44,7 @@ import (
 	"p2pmss/internal/flight"
 	"p2pmss/internal/live"
 	"p2pmss/internal/metrics"
+	"p2pmss/internal/obs"
 	"p2pmss/internal/overlay"
 	"p2pmss/internal/protocol"
 	"p2pmss/internal/schedule"
@@ -96,6 +97,19 @@ type PeerID = overlay.PeerID
 // every simulated channel (§3.2's bursty loss).
 type BurstParams = coord.BurstParams
 
+// DataPlaneMode selects how a simulated run's data plane is executed:
+// one DES event per packet (PlanePacket, the default) or closed-form
+// per-flow rate arithmetic (PlaneFluid), which makes sweeps up to
+// n = 10⁵ peers tractable. See SimConfig.PlaneMode and DESIGN.md §11.
+type DataPlaneMode = coord.DataPlaneMode
+
+// Data-plane modes accepted by SimConfig.PlaneMode and
+// ExperimentOptions.PlaneMode.
+const (
+	PlanePacket = coord.PlanePacket
+	PlaneFluid  = coord.PlaneFluid
+)
+
 // Tracer records simulation events (activations, control packets,
 // hand-offs, crashes) for timeline analysis; see cmd/msstrace.
 type Tracer = trace.Tracer
@@ -111,6 +125,18 @@ func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
 func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
 	return trace.WriteJSONL(w, events)
 }
+
+// ---- observability --------------------------------------------------------
+
+// Observability bundles every optional observer a run can attach —
+// metrics registry, event tracer (sim only), span collector + trace ID,
+// and flight recorder set — in one struct accepted by both the
+// simulation (SimConfig.Obs) and the live runtime (LivePeerConfig.Obs,
+// LiveClusterConfig.Obs, LiveNodeConfig.Obs, LiveNodesConfig.Obs,
+// LiveLeafConfig.Obs). The zero value attaches nothing; the per-config
+// Metrics/Trace/Spans/SpanTrace/Flight fields it supersedes remain as
+// deprecated aliases.
+type Observability = obs.Observability
 
 // ---- metrics --------------------------------------------------------------
 
@@ -174,6 +200,26 @@ func Figure12(o ExperimentOptions) (dcop, tcop Series, err error) { return exper
 
 // Baselines compares all five protocols at fanout H.
 func Baselines(o ExperimentOptions, H int) ([]BaselineRow, error) { return experiment.Baselines(o, H) }
+
+// ScalePoint is one overlay size of a scale sweep.
+type ScalePoint = experiment.ScalePoint
+
+// ScaleCurve sweeps the overlay size at a fixed fanout with the data
+// plane on — combine with ExperimentOptions.PlaneMode = PlaneFluid to
+// reach n = 10⁵ peers.
+func ScaleCurve(proto Protocol, o ExperimentOptions, H int, ns []int) ([]ScalePoint, error) {
+	return experiment.ScaleCurve(proto, o, H, ns)
+}
+
+// PrintScaleCurve writes a scale sweep as an aligned table.
+func PrintScaleCurve(w io.Writer, title string, pts []ScalePoint) {
+	experiment.FprintScaleCurve(w, title, pts)
+}
+
+// ScaleCurveCSV renders a scale sweep as CSV.
+func ScaleCurveCSV(proto Protocol, pts []ScalePoint) string {
+	return experiment.ScaleCurveCSV(proto, pts)
+}
 
 // PrintSeries writes a sweep as an aligned table.
 func PrintSeries(w io.Writer, title string, s Series) { experiment.FprintSeries(w, title, s) }
@@ -437,20 +483,10 @@ func StartLiveLeaf(cfg LiveLeafConfig, tr LiveTransport) (*LiveLeaf, error) {
 	return live.NewLeaf(cfg, tr)
 }
 
-// NewLivePeer starts a live contents peer; attach receives the peer's
-// message handler and must return its transport endpoint.
-//
-// Deprecated: use StartLivePeer with WithFabric, WithTCP, or WithAttach.
-func NewLivePeer(cfg LivePeerConfig, attach func(TransportHandler) (TransportEndpoint, error)) (*LivePeer, error) {
-	return live.NewPeer(cfg, live.WithAttach(attach))
-}
-
-// NewLiveLeaf starts a live leaf peer.
-//
-// Deprecated: use StartLiveLeaf with WithFabric, WithTCP, or WithAttach.
-func NewLiveLeaf(cfg LiveLeafConfig, attach func(TransportHandler) (TransportEndpoint, error)) (*LiveLeaf, error) {
-	return live.NewLeaf(cfg, live.WithAttach(attach))
-}
+// The attach-callback constructors NewLivePeer / NewLiveLeaf are gone:
+// StartLivePeer / StartLiveLeaf with WithFabric, WithTCP, WithUDP, or
+// WithAttach cover every attachment style through one transport
+// argument instead of a second constructor shape.
 
 // WriteRoundsSVG renders a Figure 10/11-style chart (rounds + control
 // packets vs H) into dir/name.svg.
@@ -471,15 +507,9 @@ type LiveCluster = live.Cluster
 // LiveClusterConfig wires a whole live session in one call.
 type LiveClusterConfig = live.ClusterConfig
 
-// Live protocol names for LivePeerConfig.Protocol and
-// LiveClusterConfig.Protocol.
-//
-// Deprecated: the live layer accepts the shared TCoP / DCoP constants;
-// these aliases remain for pre-unification callers.
-const (
-	LiveTCoP = TCoP
-	LiveDCoP = DCoP
-)
+// The LiveTCoP / LiveDCoP aliases are gone: LivePeerConfig.Protocol and
+// LiveClusterConfig.Protocol accept the shared TCoP / DCoP constants
+// directly.
 
 // StartLiveCluster builds and starts a live session: n contents peers
 // plus a leaf over the in-memory fabric or TCP loopback, with the

@@ -90,17 +90,14 @@ func TestLiveSessionPublicAPI(t *testing.T) {
 	roster := []string{"p0", "p1", "p2", "p3", "p4"}
 	var peers []*LivePeer
 	for i, name := range roster {
-		name := name
-		p, err := NewLivePeer(LivePeerConfig{
+		p, err := StartLivePeer(LivePeerConfig{
 			Content:  c,
 			Roster:   roster,
 			H:        3,
 			Interval: 2,
 			Delta:    5 * time.Millisecond,
 			Seed:     int64(i) + 1,
-		}, func(h TransportHandler) (TransportEndpoint, error) {
-			return f.Endpoint(name, h), nil
-		})
+		}, WithFabric(f, name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +108,7 @@ func TestLiveSessionPublicAPI(t *testing.T) {
 			p.Close()
 		}
 	}()
-	leaf, err := NewLiveLeaf(LiveLeafConfig{
+	leaf, err := StartLiveLeaf(LiveLeafConfig{
 		Roster:      roster,
 		H:           3,
 		Interval:    2,
@@ -120,9 +117,7 @@ func TestLiveSessionPublicAPI(t *testing.T) {
 		PacketSize:  64,
 		RepairAfter: 300 * time.Millisecond,
 		Seed:        9,
-	}, func(h TransportHandler) (TransportEndpoint, error) {
-		return f.Endpoint("leaf", h), nil
-	})
+	}, WithFabric(f, "leaf"))
 	if err != nil {
 		t.Fatal(err)
 	}
