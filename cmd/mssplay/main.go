@@ -21,11 +21,17 @@
 // stream concurrently over one set of sockets, surviving -kill node
 // crashes via the churn-tolerant hand-off.
 //
+// With -discover the population drops the static roster entirely: every
+// node gossips signed announcements of its catalog (-announce-interval
+// tunes the cadence) and sessions resolve their serving peers from the
+// swarm directory, inspectable on /debug/directory with -listen.
+//
 // Usage:
 //
 //	mssplay -peers 8 -h 3 -size 65536 -kill 2
 //	mssplay -udp -loss 0.05 -reorder 0.05    # lossy UDP; parity covers the gaps
 //	mssplay -peers 10 -sessions 4 -kill 1
+//	mssplay -sessions 4 -discover            # roster-free: gossip discovery
 //	mssplay -listen 127.0.0.1:9090   # then: curl localhost:9090/metrics
 //	mssplay -sessions 4 -trace-out t.jsonl   # then: msstrace perfetto t.jsonl
 package main
@@ -60,6 +66,10 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "delivery deadline")
 		seed     = flag.Int64("seed", 1, "random seed")
 		sessions = flag.Int("sessions", 1, "stream this many concurrent sessions over one node population")
+		discover = flag.Bool("discover", false,
+			"no static roster: nodes gossip their catalogs and resolve session rosters from the swarm (needs -sessions)")
+		announceEvery = flag.Duration("announce-interval", 200*time.Millisecond,
+			"discovery announcement period (with -discover)")
 		retries  = flag.Int("retries", 0, "alternate-peer retries per failed child slot (0 = per-peer default H)")
 		hsTime   = flag.Duration("handshake-timeout", 0, "control/confirm handshake deadline (0 = per-peer default)")
 		useUDP   = flag.Bool("udp", false, "run every peer on its own UDP socket (real datagram semantics; default is TCP)")
@@ -127,9 +137,13 @@ func main() {
 
 	wire := wiring{useUDP: *useUDP, useMem: *useMem, impair: impair, queueCap: *queueCap, policy: policy}
 
+	if *discover && *sessions <= 1 {
+		fatal(fmt.Errorf("-discover needs the session-oriented node API: set -sessions"))
+	}
 	if *sessions > 1 {
 		runSessions(*nPeers, *sessions, *fanout, *interval, *size, *pktSize, *rate,
-			*kill, *proto, *timeout, *seed, *retries, *hsTime, wire, reg, mux, flightSet, spanCol, *traceOut, *flightOut)
+			*kill, *proto, *timeout, *seed, *retries, *hsTime, wire, *discover, *announceEvery,
+			reg, mux, flightSet, spanCol, *traceOut, *flightOut)
 		return
 	}
 
@@ -241,7 +255,8 @@ type wiring struct {
 
 func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate float64,
 	kill int, proto string, timeout time.Duration, seed int64,
-	retries int, hsTimeout time.Duration, wire wiring, reg *p2pmss.MetricsRegistry,
+	retries int, hsTimeout time.Duration, wire wiring, discover bool,
+	announceEvery time.Duration, reg *p2pmss.MetricsRegistry,
 	mux *lateMux, flightSet *p2pmss.FlightSet,
 	spanCol *p2pmss.SpanCollector, traceOut, flightOut string) {
 	if sessions > nodes {
@@ -259,6 +274,8 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 	nc, err := p2pmss.StartLiveNodes(p2pmss.LiveNodesConfig{
 		Nodes:            nodes,
 		Store:            store,
+		Discover:         discover,
+		AnnounceInterval: announceEvery,
 		H:                fanout,
 		Interval:         interval,
 		Protocol:         proto,
@@ -294,6 +311,13 @@ func runSessions(nodes, sessions, fanout, interval, size, pktSize int, rate floa
 	})
 	for i, nd := range nc.Nodes {
 		fmt.Printf("node %2d listening on %s\n", i, nd.Addr())
+	}
+	if discover {
+		fmt.Printf("discovery: no static roster; nodes announce every %s...\n", announceEvery)
+		if err := nc.WaitDiscovery(30 * time.Second); err != nil {
+			fatal(err)
+		}
+		fmt.Println("discovery converged: every node resolved the full swarm (inspect with -listen on /debug/directory)")
 	}
 
 	start := time.Now()

@@ -1,0 +1,116 @@
+// Swarm discovery example: a node population with NO static roster.
+// Every node holds a different slice of the catalog and gossips signed
+// announcements of what it serves; sessions resolve their serving peers
+// from the swarm directory. One node then crash-stops and its directory
+// records expire everywhere within a TTL — nobody had to be told.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pmss"
+)
+
+func main() {
+	// Twelve nodes; each movie is held by a different subset of four, so
+	// discovery resolves genuinely different rosters per content.
+	const nodes = 12
+	movies := map[string][]byte{}
+	stores := make([]*p2pmss.ContentStore, nodes)
+	for i := range stores {
+		stores[i] = p2pmss.NewContentStore()
+	}
+	for j, id := range []string{"alpha", "beta", "gamma", "delta"} {
+		data := make([]byte, 64<<10)
+		rand.New(rand.NewSource(int64(j) + 1)).Read(data)
+		movies[id] = data
+		for _, off := range []int{0, 3, 6, 9} {
+			stores[(j+off)%nodes].Put(p2pmss.NewContent(id, data, 512))
+		}
+	}
+
+	nc, err := p2pmss.StartLiveNodes(p2pmss.LiveNodesConfig{
+		Nodes:            nodes,
+		Stores:           stores,
+		Discover:         true, // no Roster anywhere: the swarm discovers itself
+		AnnounceInterval: 25 * time.Millisecond,
+		DirectoryTTL:     400 * time.Millisecond,
+		H:                3,
+		Interval:         2,
+		Seed:             11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nc.Close()
+	if err := nc.WaitDiscovery(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	dir := nc.Nodes[0].Directory()
+	fmt.Printf("swarm converged: node0 sees %d nodes; %q served by %v\n",
+		len(dir.Roster()), "alpha", dir.Lookup("alpha"))
+
+	// Open one session per movie, each from a node that does NOT hold it.
+	ids := []string{"alpha", "beta", "gamma", "delta"}
+	var leaves []*p2pmss.LiveLeafSession
+	for j, id := range ids {
+		opener := (j + 1) % nodes // not in {j, j+3, j+6, j+9} mod 12
+		ls, err := nc.Open(opener, p2pmss.LiveSessionConfig{
+			ContentID:   id,
+			ContentSize: len(movies[id]),
+			PacketSize:  512,
+			Rate:        2000,
+			RepairAfter: 300 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %d discovered and opened %q as session %q\n", opener, id, ls.ID)
+		leaves = append(leaves, ls)
+	}
+
+	var wg sync.WaitGroup
+	for j, ls := range leaves {
+		wg.Add(1)
+		go func(j int, ls *p2pmss.LiveLeafSession) {
+			defer wg.Done()
+			if err := ls.Wait(60 * time.Second); err != nil {
+				log.Fatalf("session %q: %v", ls.ID, err)
+			}
+			got, ok := ls.Bytes()
+			if !ok || !bytes.Equal(got, movies[ids[j]]) {
+				log.Fatalf("session %q delivered wrong bytes", ls.ID)
+			}
+			fmt.Printf("session %q complete, byte-identical\n", ls.ID)
+		}(j, ls)
+	}
+	wg.Wait()
+
+	// Crash-stop the last node: its announcements cease and its records
+	// age out of every surviving directory within the TTL.
+	victim := nc.Nodes[nodes-1].Addr()
+	nc.Nodes[nodes-1].Close()
+	fmt.Printf("crash-stopped %s; waiting for its records to expire...\n", victim)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		alive := false
+		for _, a := range nc.Nodes[0].Directory().Roster() {
+			if a == victim {
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("%s never expired from the directory", victim)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("directory healed: node0 now sees %d nodes\n", len(nc.Nodes[0].Directory().Roster()))
+}

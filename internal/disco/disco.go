@@ -1,0 +1,49 @@
+// Package disco is the decentralized discovery layer: it answers "which
+// peers serve content C" so a leaf can resolve a session roster without
+// static wiring. The Directory interface has two implementations — Static
+// wraps a fixed roster (the original configuration model, where every
+// contents peer holds every content), and Catalog is a gossip-backed
+// directory in which nodes periodically push signed announcements
+// (addr, contentIDs, bandwidth) with per-entry TTL/expiry over the
+// internal/gossip live driver.
+//
+// Roster order matters downstream: the coordination engine numbers peers
+// by roster position, so every member of a session must resolve the same
+// order. Static preserves the configured order; Catalog returns sorted
+// addresses, which every converged node agrees on.
+package disco
+
+// Directory answers content-to-peers lookups for session establishment.
+// Implementations must be safe for concurrent use.
+type Directory interface {
+	// Lookup returns the addresses currently serving contentID, in the
+	// directory's canonical order (identical on every converged node).
+	Lookup(contentID string) []string
+	// Roster returns every known serving address, canonically ordered.
+	Roster() []string
+	// Close releases any background machinery (a no-op for Static).
+	Close() error
+}
+
+// Static is the fixed-roster directory: every peer serves every content,
+// exactly the pre-discovery configuration model. It adapts a configured
+// roster to the Directory interface so static setups keep working
+// unchanged through the same resolution path as gossip discovery.
+type Static struct {
+	roster []string
+}
+
+// NewStatic wraps a fixed roster (order preserved — it defines the
+// engine's peer numbering).
+func NewStatic(roster []string) *Static {
+	return &Static{roster: append([]string(nil), roster...)}
+}
+
+// Lookup returns the whole roster: a static population serves everything.
+func (s *Static) Lookup(string) []string { return append([]string(nil), s.roster...) }
+
+// Roster returns the configured roster.
+func (s *Static) Roster() []string { return append([]string(nil), s.roster...) }
+
+// Close is a no-op.
+func (s *Static) Close() error { return nil }

@@ -1,0 +1,31 @@
+package disco
+
+import "p2pmss/internal/metrics"
+
+// catalogMetrics holds a catalog node's instrument handles; the zero
+// value (nil registry) records nothing, matching the package-wide
+// nil-is-disabled convention.
+type catalogMetrics struct {
+	// records gauges the live directory entries (own announcement
+	// included); expired counts entries dropped by TTL.
+	records *metrics.Gauge
+	expired *metrics.Counter
+	// sent/received count announcement payloads; rejected counts
+	// payloads or records refused (undecodable, bad signature).
+	sent     *metrics.Counter
+	received *metrics.Counter
+	rejected *metrics.Counter
+	// lookups counts directory queries.
+	lookups *metrics.Counter
+}
+
+func newCatalogMetrics(reg *metrics.Registry, self string) catalogMetrics {
+	return catalogMetrics{
+		records:  reg.Gauge("disco_records", "node", self),
+		expired:  reg.Counter("disco_records_expired_total", "node", self),
+		sent:     reg.Counter("disco_announce_sent_total", "node", self),
+		received: reg.Counter("disco_announce_received_total", "node", self),
+		rejected: reg.Counter("disco_announce_rejected_total", "node", self),
+		lookups:  reg.Counter("disco_lookups_total", "node", self),
+	}
+}

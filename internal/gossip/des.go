@@ -1,0 +1,53 @@
+package gossip
+
+import (
+	"p2pmss/internal/des"
+	"p2pmss/internal/simnet"
+)
+
+// This file is the discrete-event driver: the round engine wired to the
+// simulated network, preserving the original Run semantics (and, per
+// seed, the exact results) of the pre-split package.
+
+// Run disseminates one rumor from node 0 and reports coverage.
+func Run(cfg Config) (Result, error) {
+	eng := des.New(cfg.Seed)
+	nw := simnet.New(eng)
+	nw.SetDefaultLink(simnet.LinkParams{Latency: cfg.Latency, LossProb: cfg.LossProb})
+
+	g, err := NewEngine(cfg, eng.Rand(), func(from, to int, p Push) {
+		nw.Send(simnet.NodeID(from), simnet.NodeID(to), p)
+	}, eng.Now)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < cfg.N; i++ {
+		to := i
+		nw.AttachFunc(simnet.NodeID(i), func(from simnet.NodeID, m simnet.Message) {
+			g.Deliver(to, m.(Push))
+		})
+	}
+
+	eng.At(0, func() { g.Start(0) })
+	eng.Run()
+	return g.Result(), nil
+}
+
+// CoverageCurve sweeps the fanout and returns the mean infected fraction
+// per fanout over the given number of seeds — the [6]-style phase
+// transition around fanout ≈ ln(n).
+func CoverageCurve(n int, fanouts []int, seeds int, directional bool) (map[int]float64, error) {
+	out := make(map[int]float64, len(fanouts))
+	for _, f := range fanouts {
+		var sum float64
+		for s := 0; s < seeds; s++ {
+			res, err := Run(Config{N: n, Fanout: f, Seed: int64(s + 1), Directional: directional})
+			if err != nil {
+				return nil, err
+			}
+			sum += float64(res.Infected) / float64(n)
+		}
+		out[f] = sum / float64(seeds)
+	}
+	return out, nil
+}

@@ -1,18 +1,19 @@
 // Package gossip implements the probabilistic dissemination substrate the
 // paper's flooding protocols build on (references [6] Kermarrec/Massoulié/
 // Ganesh, "Probabilistic Reliable Dissemination in Large-Scale Systems",
-// and [7] Lin/Marzullo, "Directional Gossip"). It provides a generic
-// push-gossip round engine over the discrete-event simulator, used both to
-// study fanout/coverage trade-offs (why DCoP needs H ≳ log n) and as a
-// standalone reusable component.
+// and [7] Lin/Marzullo, "Directional Gossip"). The round logic — who an
+// infected node pushes to, when it re-pushes, what it learns from a push —
+// lives in the transport-agnostic Engine; drivers supply delivery and a
+// clock. Two drivers ship with the package: Run executes a dissemination
+// over the discrete-event simulator (fanout/coverage studies, why DCoP
+// needs H ≳ log n), and Live runs periodic wall-clock rounds over real
+// send callbacks (the decentralized directory in internal/disco gossips
+// catalog announcements through it).
 package gossip
 
 import (
 	"fmt"
 	"math/rand"
-
-	"p2pmss/internal/des"
-	"p2pmss/internal/simnet"
 )
 
 // Config parameterizes a gossip dissemination.
@@ -50,9 +51,11 @@ type Result struct {
 	Time float64
 }
 
-type push struct {
-	hop   int
-	known []int // infected nodes the sender knows (directional mode)
+// Push is one rumor push on the wire: the sender's hop count plus the
+// infected nodes it knows about (consumed in directional mode).
+type Push struct {
+	Hop   int
+	Known []int // infected nodes the sender knows (directional mode)
 }
 
 type node struct {
@@ -63,68 +66,98 @@ type node struct {
 	forwards int
 }
 
-// Run disseminates one rumor from node 0 and reports coverage.
-func Run(cfg Config) (Result, error) {
+// Engine is the transport-agnostic push-gossip round engine: it decides
+// who an infected node pushes to and what each delivery teaches the
+// receiver, while the driver owns delivery (network, loss, latency) and
+// the clock. Engine is not safe for concurrent use; drivers serialize
+// Deliver/Start calls (the DES is single-threaded, Live runs one round
+// goroutine).
+type Engine struct {
+	cfg   Config
+	rng   *rand.Rand
+	nodes []*node
+	send  func(from, to int, p Push)
+	now   func() float64
+	res   Result
+}
+
+// NewEngine builds an engine over cfg.N nodes. send delivers one push
+// (required); now stamps first-infection times (nil keeps Time at 0).
+// The rng drives target selection — drivers that need reproducible
+// results pass a seeded source and serialize deliveries.
+func NewEngine(cfg Config, rng *rand.Rand, send func(from, to int, p Push), now func() float64) (*Engine, error) {
 	if cfg.N <= 0 || cfg.Fanout <= 0 {
-		return Result{}, fmt.Errorf("gossip: N=%d and Fanout=%d must be positive", cfg.N, cfg.Fanout)
+		return nil, fmt.Errorf("gossip: N=%d and Fanout=%d must be positive", cfg.N, cfg.Fanout)
 	}
-	eng := des.New(cfg.Seed)
-	nw := simnet.New(eng)
-	nw.SetDefaultLink(simnet.LinkParams{Latency: cfg.Latency, LossProb: cfg.LossProb})
-
-	nodes := make([]*node, cfg.N)
-	var res Result
-	rng := eng.Rand()
-
-	var infect func(n *node, hop int, known []int)
-	forward := func(n *node) {
-		targets := selectTargets(rng, cfg, n)
-		if len(targets) == 0 {
-			return
-		}
-		knownList := knownOf(n)
-		for _, t := range targets {
-			n.known[t] = true
-			res.Messages++
-			nw.Send(simnet.NodeID(n.id), simnet.NodeID(t), push{hop: n.hop + 1, known: knownList})
-		}
+	if send == nil {
+		return nil, fmt.Errorf("gossip: engine needs a send function")
 	}
-	infect = func(n *node, hop int, known []int) {
-		for _, k := range known {
-			n.known[k] = true
-		}
-		if n.infected {
-			// Re-pushes in multi-round mode.
-			if cfg.Rounds > 0 && n.forwards < cfg.Rounds {
-				n.forwards++
-				forward(n)
-			}
-			return
-		}
-		n.infected = true
-		n.hop = hop
-		n.known[n.id] = true
-		res.Infected++
-		if hop > res.Rounds {
-			res.Rounds = hop
-		}
-		res.Time = eng.Now()
-		n.forwards++
-		forward(n)
+	if now == nil {
+		now = func() float64 { return 0 }
 	}
-
-	for i := 0; i < cfg.N; i++ {
-		n := &node{id: i, known: make(map[int]bool)}
-		nodes[i] = n
-		nw.AttachFunc(simnet.NodeID(i), func(from simnet.NodeID, m simnet.Message) {
-			p := m.(push)
-			infect(n, p.hop, p.known)
-		})
+	e := &Engine{cfg: cfg, rng: rng, send: send, now: now}
+	e.nodes = make([]*node, cfg.N)
+	for i := range e.nodes {
+		e.nodes[i] = &node{id: i, known: make(map[int]bool)}
 	}
+	return e, nil
+}
 
-	eng.At(0, func() { infect(nodes[0], 0, nil) })
-	eng.Run()
-	return res, nil
+// Start infects the origin node at hop 0, triggering its first pushes.
+func (e *Engine) Start(origin int) {
+	e.infect(e.nodes[origin], 0, nil)
+}
+
+// Deliver hands one push to its destination node, as the driver's
+// network delivers it.
+func (e *Engine) Deliver(to int, p Push) {
+	e.infect(e.nodes[to], p.Hop, p.Known)
+}
+
+// Result reports the dissemination outcome so far.
+func (e *Engine) Result() Result { return e.res }
+
+// Infected reports whether a node has received the rumor.
+func (e *Engine) Infected(id int) bool { return e.nodes[id].infected }
+
+// Forwards reports how many forwarding rounds a node has initiated.
+func (e *Engine) Forwards(id int) int { return e.nodes[id].forwards }
+
+func (e *Engine) forward(n *node) {
+	targets := selectTargets(e.rng, e.cfg, n)
+	if len(targets) == 0 {
+		return
+	}
+	knownList := knownOf(n)
+	for _, t := range targets {
+		n.known[t] = true
+		e.res.Messages++
+		e.send(n.id, t, Push{Hop: n.hop + 1, Known: knownList})
+	}
+}
+
+func (e *Engine) infect(n *node, hop int, known []int) {
+	for _, k := range known {
+		n.known[k] = true
+	}
+	if n.infected {
+		// Re-pushes in multi-round mode.
+		if e.cfg.Rounds > 0 && n.forwards < e.cfg.Rounds {
+			n.forwards++
+			e.forward(n)
+		}
+		return
+	}
+	n.infected = true
+	n.hop = hop
+	n.known[n.id] = true
+	e.res.Infected++
+	if hop > e.res.Rounds {
+		e.res.Rounds = hop
+	}
+	e.res.Time = e.now()
+	n.forwards++
+	e.forward(n)
 }
 
 func knownOf(n *node) []int {
@@ -148,28 +181,16 @@ func selectTargets(rng *rand.Rand, cfg Config, n *node) []int {
 		}
 		cands = append(cands, i)
 	}
-	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-	if len(cands) > cfg.Fanout {
-		cands = cands[:cfg.Fanout]
-	}
-	return cands
+	return pickFanout(rng, cands, cfg.Fanout)
 }
 
-// CoverageCurve sweeps the fanout and returns the mean infected fraction
-// per fanout over the given number of seeds — the [6]-style phase
-// transition around fanout ≈ ln(n).
-func CoverageCurve(n int, fanouts []int, seeds int, directional bool) (map[int]float64, error) {
-	out := make(map[int]float64, len(fanouts))
-	for _, f := range fanouts {
-		var sum float64
-		for s := 0; s < seeds; s++ {
-			res, err := Run(Config{N: n, Fanout: f, Seed: int64(s + 1), Directional: directional})
-			if err != nil {
-				return nil, err
-			}
-			sum += float64(res.Infected) / float64(n)
-		}
-		out[f] = sum / float64(seeds)
+// pickFanout shuffles the candidates and truncates to the fanout — the
+// one place the engine consumes randomness, shared by both drivers so a
+// seed means the same selection everywhere.
+func pickFanout[T any](rng *rand.Rand, cands []T, fanout int) []T {
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > fanout {
+		cands = cands[:fanout]
 	}
-	return out, nil
+	return cands
 }

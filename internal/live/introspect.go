@@ -198,9 +198,16 @@ func (nc *NodeCluster) Sessions() []SessionID {
 // their last coordination state.
 func (nc *NodeCluster) Snapshot(sid SessionID) overlay.Snapshot {
 	var outs []engine.Outcome
+	var roster []string
 	for _, nd := range nc.Nodes {
 		if p, ok := nd.Serving()[sid]; ok {
 			outs = append(outs, p.Outcome())
+			if roster == nil {
+				// Engine peer ids are positions in the session's roster —
+				// which, under discovery, is the resolved serving subset,
+				// not the node-population order.
+				roster = p.cfg.Roster
+			}
 		}
 	}
 	sort.Slice(outs, func(i, j int) bool { return outs[i].ID < outs[j].ID })
@@ -209,12 +216,27 @@ func (nc *NodeCluster) Snapshot(sid SessionID) overlay.Snapshot {
 		Session:  string(sid),
 		Time:     liveNow(),
 		Addr: func(id engine.PeerID) string {
-			if id >= 0 && int(id) < len(nc.Nodes) {
-				return nc.Nodes[id].Addr()
+			if id >= 0 && int(id) < len(roster) {
+				return roster[id]
 			}
 			return ""
 		},
 	})
+}
+
+// Directory renders every node's directory view: a JSON object keyed by
+// node address, listing the records (discovery) or the static roster.
+func (nc *NodeCluster) Directory() map[string]any {
+	out := make(map[string]any, len(nc.Nodes))
+	for _, nd := range nc.Nodes {
+		rt := nd.runtime()
+		if rt.catalog != nil {
+			out[nd.Addr()] = rt.catalog.Records()
+		} else {
+			out[nd.Addr()] = rt.dir.Roster()
+		}
+	}
+	return out
 }
 
 // protoName returns the population's protocol label.
@@ -236,8 +258,15 @@ func (nc *NodeCluster) Flight() *flight.Set { return nc.flight }
 //	                session id; ?session=S narrows to one (with
 //	                ?format=dot for Graphviz)
 //	/debug/flight   flight log (JSONL; ?session= and ?peer= filter)
+//	/debug/directory  every node's directory view (JSON keyed by node)
 func (nc *NodeCluster) DebugHandlers() []metrics.DebugHandler {
 	return []metrics.DebugHandler{
+		{Pattern: "/debug/directory", Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(nc.Directory()) //nolint:errcheck // client went away
+		})},
 		{Pattern: "/debug/overlay", Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if sid := r.URL.Query().Get("session"); sid != "" {
 				serveOverlay(w, r, nc.Snapshot(SessionID(sid)))

@@ -20,6 +20,13 @@ import (
 type LeafConfig struct {
 	// Roster lists the contents peers' addresses.
 	Roster []string
+	// SessionRoster, when non-nil, is the session's full membership
+	// (typically Roster plus the leaf's own node) stamped into every
+	// content request, so nodes that resolved nothing statically can
+	// reconstruct the session's peer numbering from the request itself.
+	// Leave nil for statically configured sessions — the requests stay
+	// byte-identical to the pre-discovery wire format.
+	SessionRoster []string
 	// H is how many peers the leaf initially selects.
 	H int
 	// Interval is the parity interval h.
@@ -228,6 +235,7 @@ func (l *Leaf) Start() error {
 				Index:     idx,
 				Selected:  sel,
 				Leaf:      l.Addr(),
+				Roster:    l.cfg.SessionRoster,
 			}
 			err := l.sendCtx(sel[idx], typeRequest, body, root)
 			if err == nil {
@@ -291,6 +299,7 @@ func (l *Leaf) requestLoop(sel []string, root span.Context) {
 				Index:     idx,
 				Selected:  sel,
 				Leaf:      l.Addr(),
+				Roster:    l.cfg.SessionRoster,
 			}
 			// Errors are ignored: on a connected transport Start already
 			// failed over, and on datagrams there is nothing to hear.
@@ -506,6 +515,11 @@ func (l *Leaf) Wait(timeout time.Duration) error {
 		return err
 	}
 }
+
+// Done returns a channel closed when reassembly completes. The leaf's
+// results (Bytes, Stats) stay readable afterwards, even if the session
+// state is reaped from its node.
+func (l *Leaf) Done() <-chan struct{} { return l.done }
 
 // Bytes returns the reassembled content once complete.
 func (l *Leaf) Bytes() ([]byte, bool) {

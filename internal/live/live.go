@@ -68,9 +68,17 @@ const (
 	typeData    = "data"
 	typeRepair  = "repair"
 	typeJoin    = "join"
+	// typeAnnounce is session-less node traffic: a discovery catalog
+	// announcement (internal/disco) riding the node's endpoint.
+	typeAnnounce = "announce"
 )
 
-// requestBody is the leaf's content request.
+// requestBody is the leaf's content request. Roster carries the
+// session's resolved membership when it was discovered dynamically
+// (gossip directory) instead of configured statically: the receiving
+// node cannot otherwise know which peer numbering the session runs
+// under. Static sessions leave it empty, keeping their wire bytes
+// identical to the pre-discovery protocol.
 type requestBody struct {
 	ContentID string   `json:"content_id"`
 	Rate      float64  `json:"rate"` // packets per second
@@ -79,6 +87,7 @@ type requestBody struct {
 	Index     int      `json:"index"`
 	Selected  []string `json:"selected"`
 	Leaf      string   `json:"leaf"`
+	Roster    []string `json:"roster,omitempty"`
 }
 
 // controlBody is the control packet c1 — engine.MsgControl on the wire,
@@ -96,6 +105,9 @@ type controlBody struct {
 	ChildIdx  int          `json:"child_idx,omitempty"`
 	Assigned  seq.Sequence `json:"assigned,omitempty"`
 	Round     int          `json:"round"`
+	// Roster propagates a discovered session membership (see
+	// requestBody.Roster); empty on static sessions.
+	Roster []string `json:"roster,omitempty"`
 }
 
 // confirmBody is TCoP's confirmation cc1.
@@ -117,6 +129,9 @@ type commitBody struct {
 	ChildIdx  int          `json:"child_idx"`
 	Assigned  seq.Sequence `json:"assigned,omitempty"`
 	Round     int          `json:"round"`
+	// Roster propagates a discovered session membership (see
+	// requestBody.Roster); empty on static sessions.
+	Roster []string `json:"roster,omitempty"`
 }
 
 // dataBody carries one packet.
@@ -160,6 +175,13 @@ type PeerConfig struct {
 	// one). Its order defines the engine's peer numbering, so every
 	// session member must use the same roster order.
 	Roster []string
+	// CarryRoster stamps Roster into outgoing control and commit bodies,
+	// so a node that has never seen this session can reconstruct the
+	// membership (and hence the peer numbering) from the first message
+	// that reaches it. Set for sessions whose roster was resolved from a
+	// dynamic directory; static sessions leave it off, keeping the wire
+	// byte-identical to the pre-discovery protocol.
+	CarryRoster bool
 	// H is the selection fanout (§3.3): the per-round handshake width
 	// and the lifetime cap on children per parent.
 	H int
@@ -319,6 +341,10 @@ type Peer struct {
 
 	lastRetried int
 
+	// lastTouch is when the peer last received a message or transmitted
+	// a data packet — the idle clock Quiesced reads for session reaping.
+	lastTouch time.Time
+
 	stopCh  chan struct{}
 	stopped sync.Once
 	wake    chan struct{}
@@ -337,10 +363,11 @@ func NewPeer(cfg PeerConfig, tr Transport) (*Peer, error) {
 		return nil, err
 	}
 	p := &Peer{
-		cfg:    cfg,
-		ids:    make(map[string]engine.PeerID, len(cfg.Roster)),
-		stopCh: make(chan struct{}),
-		wake:   make(chan struct{}, 1),
+		cfg:       cfg,
+		ids:       make(map[string]engine.PeerID, len(cfg.Roster)),
+		stopCh:    make(chan struct{}),
+		wake:      make(chan struct{}, 1),
+		lastTouch: time.Now(),
 	}
 	ep, err := tr.open(p.handle)
 	if err != nil {
@@ -408,6 +435,21 @@ func (p *Peer) Active() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.active
+}
+
+// Quiesced reports whether this peer's work is visibly over: it was
+// activated, transmitted its whole stream (no hand-off pending), and
+// neither received a message nor sent a packet for at least grace.
+// Never-activated peers do not quiesce — they may be mid-handshake, and
+// coordination deadlines already bound how long that can take. Node
+// session reaping polls this.
+func (p *Peer) Quiesced(now time.Time, grace time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active || p.pending != nil || p.pos < len(p.stream) {
+		return false
+	}
+	return now.Sub(p.lastTouch) >= grace
 }
 
 // Outcome returns the peer's coordination outcome (parent, children,
@@ -730,13 +772,17 @@ func (p *Peer) encodeLocked(e *engine.Send) outSend {
 	if p.content != nil {
 		cid = p.content.ID()
 	}
+	var carried []string
+	if p.cfg.CarryRoster {
+		carried = p.cfg.Roster
+	}
 	switch m := e.Msg.(type) {
 	case *engine.MsgControl:
 		return outSend{to: to, typ: typeControl, toID: e.To, msg: e.Msg, ctx: m.Span, body: controlBody{
 			Parent: p.Addr(), View: p.addrsOfLocked(m.View), Leaf: p.leaf, ContentID: cid,
 			SeqOffset: m.SeqOffset, Rate: m.Rate, ChildRate: m.ChildRate,
 			Children: m.Children, ChildIdx: m.ChildIdx,
-			Assigned: stripPayloads(m.AssignedSeq), Round: m.Round,
+			Assigned: stripPayloads(m.AssignedSeq), Round: m.Round, Roster: carried,
 		}}
 	case *engine.MsgConfirm:
 		return outSend{to: to, typ: typeConfirm, toID: e.To, msg: e.Msg, ctx: m.Span, body: confirmBody{
@@ -747,6 +793,7 @@ func (p *Peer) encodeLocked(e *engine.Send) outSend {
 			Parent: p.Addr(), ContentID: cid, Leaf: p.leaf,
 			Streams: m.Streams, SeqOffset: m.SeqOffset, Rate: m.Rate,
 			ChildIdx: m.ChildIdx, Assigned: stripPayloads(m.AssignedSeq), Round: m.Round,
+			Roster: carried,
 		}}
 	}
 	return outSend{to: to}
@@ -856,6 +903,9 @@ func (p *Peer) repairSendsLocked(indices []int64) []outSend {
 
 // handle dispatches inbound messages. It runs on transport goroutines.
 func (p *Peer) handle(m transport.Msg) {
+	p.mu.Lock()
+	p.lastTouch = time.Now()
+	p.mu.Unlock()
 	// The frame's causal context (zero when the sender traces nothing)
 	// parents whatever spans handling this message opens.
 	parent := span.Context{Trace: span.TraceID(m.Trace), Span: span.SpanID(m.Span)}
@@ -1050,6 +1100,7 @@ func (p *Peer) sendOne() {
 	pkt := p.stream[p.pos]
 	p.pos++
 	p.sent++
+	p.lastTouch = time.Now()
 	leaf := p.leaf
 	p.mu.Unlock()
 	p.met.sent.Inc()

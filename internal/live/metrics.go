@@ -97,11 +97,21 @@ func newLeafMetrics(reg *metrics.Registry, sid SessionID) leafMetrics {
 type nodeMetrics struct {
 	servingSessions *metrics.Gauge
 	leafSessions    *metrics.Gauge
+	// servingReaped/leafReaped count idle sessions torn down by the
+	// node's reaper (finished leaves; quiesced serving peers).
+	servingReaped *metrics.Counter
+	leafReaped    *metrics.Counter
+	// admissionRejected counts sessions refused by the MaxSessions
+	// budget (dropped requests and failed Opens).
+	admissionRejected *metrics.Counter
 }
 
 func newNodeMetrics(reg *metrics.Registry, addr string) nodeMetrics {
 	return nodeMetrics{
-		servingSessions: reg.Gauge("live_node_sessions_active", "node", addr, "role", "peer"),
-		leafSessions:    reg.Gauge("live_node_sessions_active", "node", addr, "role", "leaf"),
+		servingSessions:   reg.Gauge("live_node_sessions_active", "node", addr, "role", "peer"),
+		leafSessions:      reg.Gauge("live_node_sessions_active", "node", addr, "role", "leaf"),
+		servingReaped:     reg.Counter("live_node_sessions_reaped_total", "node", addr, "role", "peer"),
+		leafReaped:        reg.Counter("live_node_sessions_reaped_total", "node", addr, "role", "leaf"),
+		admissionRejected: reg.Counter("live_node_admission_rejected_total", "node", addr),
 	}
 }

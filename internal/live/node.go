@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2pmss/internal/content"
+	"p2pmss/internal/disco"
 	"p2pmss/internal/flight"
 	"p2pmss/internal/metrics"
 	"p2pmss/internal/obs"
@@ -20,8 +22,42 @@ type NodeConfig struct {
 	// Store is the node's content catalog: it serves any session
 	// requesting a content it holds.
 	Store *content.Store
-	// Roster lists every node's address (including this one).
+	// Roster lists every node's address (including this one). It may be
+	// empty when Discover (or Directory) resolves the membership
+	// dynamically.
 	Roster []string
+	// Directory, when non-nil, resolves which peers serve a content for
+	// session establishment, replacing the static Roster. The node does
+	// not close an injected directory (it may be shared).
+	Directory disco.Directory
+	// Discover makes the node build its own gossip-backed directory
+	// (internal/disco): it announces the Store's catalog over the node's
+	// endpoint and resolves session rosters from the swarm, so Roster
+	// can stay empty. Ignored when Directory is set.
+	Discover bool
+	// Bootstrap lists initial announcement contacts for Discover.
+	Bootstrap []string
+	// AnnounceInterval is the discovery announcement period (default
+	// 500 ms); DirectoryTTL is how long an un-refreshed directory entry
+	// lives (default 6×AnnounceInterval).
+	AnnounceInterval time.Duration
+	DirectoryTTL     time.Duration
+	// DirectorySeed seeds the discovery gossip and signs announcements —
+	// it is the swarm's shared secret, so every node must use the same
+	// value (unlike Seed, which is perturbed per node). Zero falls back
+	// to Seed.
+	DirectorySeed int64
+	// MaxSessions bounds the sessions (serving peers plus leaves) the
+	// node admits concurrently; 0 is unlimited. Past the budget, inbound
+	// session-opening traffic is dropped (the requesting leaf fails over
+	// to another peer) and local Opens error.
+	MaxSessions int
+	// ReapAfter is how long a finished serving peer may sit idle before
+	// its session state is reaped. Zero defaults to 5 s; negative
+	// disables serving-peer reaping. Completed leaf sessions are always
+	// reaped promptly (their results stay readable via the returned
+	// LeafSession).
+	ReapAfter time.Duration
 	// H is the selection fanout; Interval the parity interval h.
 	H, Interval int
 	// Delta is the assumed one-way latency for marking (default 10 ms).
@@ -59,23 +95,65 @@ type NodeConfig struct {
 	Flight *flight.Set
 }
 
+// sessionShards fixes the width of the node's session table. Power of
+// two so the shard index is a mask of the session-id hash.
+const sessionShards = 32
+
+// sessionShard is one slice of a node's session table: its own lock,
+// its own maps. Demultiplexing a thousand concurrent sessions through
+// one node mutex made every data packet of every session contend on
+// the same cache line; hashing the SessionID over fixed shards keeps
+// unrelated sessions on unrelated locks.
+type sessionShard struct {
+	mu      sync.Mutex
+	closed  bool
+	serving map[SessionID]*Peer
+	leaves  map[SessionID]*Leaf
+}
+
+// shardIndex hashes a session id (inline FNV-1a, no allocation) onto a
+// shard slot.
+func shardIndex(sid SessionID) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(sid); i++ {
+		h ^= uint32(sid[i])
+		h *= 16777619
+	}
+	return h & (sessionShards - 1)
+}
+
+// nodeRuntime is the node state assembled during construction and
+// published with a single atomic store: a handler that races the
+// constructor (datagram transports dispatch the moment open binds)
+// either sees all of it or none of it.
+type nodeRuntime struct {
+	ep      transport.Endpoint
+	met     nodeMetrics
+	dir     disco.Directory
+	catalog *disco.Catalog // non-nil only when this node runs discovery
+	ownDir  bool           // the node built dir and closes it
+}
+
 // Node hosts a content store on one transport endpoint and participates
 // in many concurrent streaming sessions — serving some as a contents
 // peer and consuming others as a leaf. Inbound traffic is demultiplexed
-// by the SessionID carried in every message; a request, control, or
-// commit for an unknown session lazily creates the serving-peer state
-// for it.
+// by the SessionID carried in every message onto a sharded session
+// table; a request, control, or commit for an unknown session lazily
+// creates the serving-peer state for it.
 type Node struct {
 	cfg NodeConfig
-	ep  transport.Endpoint
-	met nodeMetrics
+	rt  atomic.Pointer[nodeRuntime]
 
-	mu      sync.Mutex
-	serving map[SessionID]*Peer
-	leaves  map[SessionID]*Leaf
-	nextID  int
-	closed  bool
+	closed   atomic.Bool
+	sessions atomic.Int64 // admitted sessions, serving + leaf
+	shards   [sessionShards]sessionShard
+	carry    bool // sessions resolve rosters dynamically; stamp them on the wire
 
+	mu     sync.Mutex // guards nextID
+	nextID int
+
+	reapStop  chan struct{}
+	reapDone  chan struct{}
 	closeOnce sync.Once
 }
 
@@ -92,6 +170,9 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 	}
 	if cfg.Delta == 0 {
 		cfg.Delta = 10 * time.Millisecond
+	}
+	if cfg.ReapAfter == 0 {
+		cfg.ReapAfter = 5 * time.Second
 	}
 	switch cfg.Protocol {
 	case "":
@@ -112,72 +193,174 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 		cfg.Flight = cfg.Obs.Flight
 	}
 	n := &Node{
-		cfg:     cfg,
-		serving: make(map[SessionID]*Peer),
-		leaves:  make(map[SessionID]*Leaf),
+		cfg:      cfg,
+		carry:    cfg.Directory != nil || cfg.Discover,
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	if _, static := cfg.Directory.(*disco.Static); static {
+		// An injected static directory is the configured-roster model;
+		// its sessions need no wire roster.
+		n.carry = false
+	}
+	for i := range n.shards {
+		n.shards[i].serving = make(map[SessionID]*Peer)
+		n.shards[i].leaves = make(map[SessionID]*Leaf)
 	}
 	ep, err := tr.open(n.handle)
 	if err != nil {
 		return nil, err
 	}
-	// A datagram transport can dispatch n.handle the moment open binds
-	// it, concurrently with this constructor; publish the endpoint under
-	// n.mu, which handle acquires before touching node state.
-	n.mu.Lock()
-	n.ep = ep
-	n.met = newNodeMetrics(cfg.Metrics, ep.Name())
-	n.mu.Unlock()
+	rt := &nodeRuntime{ep: ep, met: newNodeMetrics(cfg.Metrics, ep.Name())}
+	switch {
+	case cfg.Directory != nil:
+		rt.dir = cfg.Directory
+	case cfg.Discover:
+		dseed := cfg.DirectorySeed
+		if dseed == 0 {
+			dseed = cfg.Seed
+		}
+		cat, err := disco.NewCatalog(disco.CatalogConfig{
+			Self:      ep.Name(),
+			Contents:  cfg.Store.IDs,
+			Bootstrap: cfg.Bootstrap,
+			Send: func(to string, payload []byte) {
+				ep.Send(to, transport.Msg{Type: typeAnnounce, From: ep.Name(), Payload: payload}) //nolint:errcheck // gossip redundancy is the retry
+			},
+			Interval: cfg.AnnounceInterval,
+			TTL:      cfg.DirectoryTTL,
+			Seed:     dseed,
+			Metrics:  cfg.Metrics,
+		})
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+		rt.catalog = cat
+		rt.dir = cat
+		rt.ownDir = true
+	default:
+		rt.dir = disco.NewStatic(cfg.Roster)
+		rt.ownDir = true
+	}
+	// Messages that beat this store are dropped, like any datagram
+	// arriving while a process is still booting.
+	n.rt.Store(rt)
+	go n.reaper()
 	return n, nil
 }
 
+// runtime returns the node's published runtime (never nil after NewNode
+// returns).
+func (n *Node) runtime() *nodeRuntime { return n.rt.Load() }
+
 // Addr returns the node's transport address.
-func (n *Node) Addr() string { return n.ep.Name() }
+func (n *Node) Addr() string { return n.runtime().ep.Name() }
+
+// Directory returns the directory this node resolves session rosters
+// from (a static roster wrapper unless discovery is configured).
+func (n *Node) Directory() disco.Directory { return n.runtime().dir }
 
 // handle demultiplexes inbound traffic by session: data goes to the
 // session's leaf; coordination goes to the session's serving peer,
 // lazily created when a request, control, or commit opens a session this
-// node has not seen.
+// node has not seen. Session-less announce traffic feeds the discovery
+// catalog.
 func (n *Node) handle(m transport.Msg) {
-	sid := SessionID(m.Session)
-	if sid == "" {
-		return // node traffic is always session-scoped
-	}
-	n.mu.Lock()
-	if n.closed || n.ep == nil {
-		// ep == nil: the message beat the constructor; drop it like any
-		// datagram for a process still booting.
-		n.mu.Unlock()
+	rt := n.rt.Load()
+	if rt == nil || n.closed.Load() {
+		// The message beat the constructor (or the node is going down);
+		// drop it like any datagram for a process still booting.
 		return
 	}
+	sid := SessionID(m.Session)
+	if sid == "" {
+		if m.Type == typeAnnounce && rt.catalog != nil {
+			rt.catalog.Deliver(m.From, []byte(m.Payload))
+		}
+		return // all other node traffic is session-scoped
+	}
+	sh := &n.shards[shardIndex(sid)]
 	if m.Type == typeData {
-		l := n.leaves[sid]
-		n.mu.Unlock()
+		sh.mu.Lock()
+		l := sh.leaves[sid]
+		sh.mu.Unlock()
 		if l != nil {
 			l.handle(m)
 		}
 		return
 	}
-	p := n.serving[sid]
+	sh.mu.Lock()
+	p := sh.serving[sid]
+	sh.mu.Unlock()
 	if p == nil {
 		switch m.Type {
 		case typeRequest, typeControl, typeCommit:
-			p = n.newServingPeerLocked(sid)
+			p = n.openServingPeer(rt, sh, sid, m)
+			// Confirm, repair, and join only make sense for sessions the
+			// node already participates in.
 		}
-		// Confirm, repair, and join only make sense for sessions the
-		// node already participates in.
 	}
-	n.mu.Unlock()
 	if p != nil {
 		p.handle(m)
 	}
 }
 
-// rosterIndex returns this node's position in the roster — the engine
-// peer id its serving peers run under — or -1 when the node is not on
-// its own roster.
-func (n *Node) rosterIndex() int {
-	self := n.ep.Name()
-	for i, a := range n.cfg.Roster {
+// sessionRosterFrom resolves the roster a session-opening message runs
+// under: the roster carried on the wire when present (dynamically
+// discovered sessions), else the node's static roster. Returns nil when
+// neither exists — the session has no derivable peer numbering and the
+// message must be dropped.
+func (n *Node) sessionRosterFrom(m transport.Msg) []string {
+	if n.carry {
+		var probe struct {
+			Roster []string `json:"roster"`
+		}
+		if m.Decode(&probe) == nil && len(probe.Roster) > 0 {
+			return probe.Roster
+		}
+	}
+	if len(n.cfg.Roster) > 0 {
+		return n.cfg.Roster
+	}
+	return nil
+}
+
+// openServingPeer creates per-session serving state for an inbound
+// session-opening message, enforcing the admission budget.
+func (n *Node) openServingPeer(rt *nodeRuntime, sh *sessionShard, sid SessionID, m transport.Msg) *Peer {
+	roster := n.sessionRosterFrom(m)
+	if roster == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p := sh.serving[sid]; p != nil {
+		return p // lost the race to a concurrent creator
+	}
+	if sh.closed {
+		return nil
+	}
+	return n.newServingPeerLocked(rt, sh, sid, roster)
+}
+
+// admit claims one slot of the session budget, or rejects.
+func (n *Node) admit(rt *nodeRuntime) bool {
+	if n.cfg.MaxSessions > 0 && n.sessions.Add(1) > int64(n.cfg.MaxSessions) {
+		n.sessions.Add(-1)
+		rt.met.admissionRejected.Inc()
+		return false
+	}
+	if n.cfg.MaxSessions <= 0 {
+		n.sessions.Add(1)
+	}
+	return true
+}
+
+// rosterIndex returns the node's position in a session roster — the
+// engine peer id its serving peer runs under — or -1 when off-roster.
+func rosterIndex(roster []string, self string) int {
+	for i, a := range roster {
 		if a == self {
 			return i
 		}
@@ -191,19 +374,23 @@ func (n *Node) sessionSeed(sid SessionID) int64 {
 		return 0
 	}
 	h := fnv.New64a()
-	h.Write([]byte(n.ep.Name()))
+	h.Write([]byte(n.Addr()))
 	h.Write([]byte(sid))
 	return n.cfg.Seed + int64(h.Sum64()&0x7fffffff)
 }
 
-// newServingPeerLocked creates per-session serving state. Callers hold
-// n.mu. The config was validated at NewNode, so construction cannot
-// fail.
-func (n *Node) newServingPeerLocked(sid SessionID) *Peer {
+// newServingPeerLocked creates per-session serving state under the
+// session roster. Callers hold sh.mu. The config was validated at
+// NewNode, so construction cannot fail.
+func (n *Node) newServingPeerLocked(rt *nodeRuntime, sh *sessionShard, sid SessionID, roster []string) *Peer {
+	if !n.admit(rt) {
+		return nil
+	}
 	se := &sessionEndpoint{n: n, sid: sid}
 	p, err := NewPeer(PeerConfig{
 		Store:            n.cfg.Store,
-		Roster:           n.cfg.Roster,
+		Roster:           roster,
+		CarryRoster:      n.carry,
 		H:                n.cfg.H,
 		Interval:         n.cfg.Interval,
 		Delta:            n.cfg.Delta,
@@ -214,13 +401,14 @@ func (n *Node) newServingPeerLocked(sid SessionID) *Peer {
 		Seed:             n.sessionSeed(sid),
 		Metrics:          n.cfg.Metrics,
 		Spans:            n.cfg.Spans,
-		Flight:           n.cfg.Flight.Recorder(string(sid), n.rosterIndex()),
+		Flight:           n.cfg.Flight.Recorder(string(sid), rosterIndex(roster, rt.ep.Name())),
 	}, WithAttach(func(transport.Handler) (transport.Endpoint, error) { return se, nil }))
 	if err != nil {
+		n.sessions.Add(-1)
 		return nil
 	}
-	n.serving[sid] = p
-	n.met.servingSessions.Add(1)
+	sh.serving[sid] = p
+	rt.met.servingSessions.Add(1)
 	return p
 }
 
@@ -253,25 +441,29 @@ type LeafSession struct {
 	*Leaf
 }
 
-// Open starts a leaf session on the node: the content is requested from
-// the other nodes and reassembled here. Many sessions may be open
-// concurrently on one node.
+// Open starts a leaf session on the node: the serving peers are
+// resolved from the node's directory (which peers announce the
+// content), the content is requested from them, and reassembled here.
+// Many sessions may be open concurrently on one node.
 func (n *Node) Open(sc SessionConfig) (*LeafSession, error) {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return nil, fmt.Errorf("live: node closed")
 	}
+	rt := n.runtime()
 	sid := sc.ID
 	if sid == "" {
+		n.mu.Lock()
 		n.nextID++
-		sid = makeSessionID(n.ep.Name(), sc.ContentID, n.nextID)
-	}
-	if _, dup := n.leaves[sid]; dup {
+		sid = makeSessionID(rt.ep.Name(), sc.ContentID, n.nextID)
 		n.mu.Unlock()
+	}
+	sh := &n.shards[shardIndex(sid)]
+	sh.mu.Lock()
+	_, dup := sh.leaves[sid]
+	sh.mu.Unlock()
+	if dup {
 		return nil, fmt.Errorf("live: session %q already open", sid)
 	}
-	n.mu.Unlock()
 
 	h := sc.H
 	if h <= 0 {
@@ -281,44 +473,64 @@ func (n *Node) Open(sc SessionConfig) (*LeafSession, error) {
 	if interval <= 0 {
 		interval = n.cfg.Interval
 	}
+	full := rt.dir.Lookup(sc.ContentID)
 	var roster []string
-	for _, a := range n.cfg.Roster {
-		if a != n.Addr() {
+	for _, a := range full {
+		if a != rt.ep.Name() {
 			roster = append(roster, a)
 		}
+	}
+	if len(roster) == 0 {
+		return nil, fmt.Errorf("live: no peers serve content %q", sc.ContentID)
 	}
 	seed := sc.Seed
 	if seed == 0 {
 		seed = n.sessionSeed(sid)
 	}
+	if !n.admit(rt) {
+		return nil, fmt.Errorf("live: session budget exhausted (%d of %d open)", n.sessions.Load(), n.cfg.MaxSessions)
+	}
+	var sessionRoster []string
+	if n.carry {
+		sessionRoster = full
+	}
 	se := &sessionEndpoint{n: n, sid: sid, leaf: true}
 	l, err := NewLeaf(LeafConfig{
-		Roster:       roster,
-		H:            h,
-		Interval:     interval,
-		Rate:         sc.Rate,
-		ContentID:    sc.ContentID,
-		ContentSize:  sc.ContentSize,
-		PacketSize:   sc.PacketSize,
-		RepairAfter:  sc.RepairAfter,
-		RequestRetry: sc.RequestRetry,
-		Session:      sid,
-		Seed:         seed,
-		Metrics:      n.cfg.Metrics,
-		Spans:        n.cfg.Spans,
+		Roster:        roster,
+		SessionRoster: sessionRoster,
+		H:             h,
+		Interval:      interval,
+		Rate:          sc.Rate,
+		ContentID:     sc.ContentID,
+		ContentSize:   sc.ContentSize,
+		PacketSize:    sc.PacketSize,
+		RepairAfter:   sc.RepairAfter,
+		RequestRetry:  sc.RequestRetry,
+		Session:       sid,
+		Seed:          seed,
+		Metrics:       n.cfg.Metrics,
+		Spans:         n.cfg.Spans,
 	}, WithAttach(func(transport.Handler) (transport.Endpoint, error) { return se, nil }))
 	if err != nil {
+		n.sessions.Add(-1)
 		return nil, err
 	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		n.sessions.Add(-1)
 		l.Close()
 		return nil, fmt.Errorf("live: node closed")
 	}
-	n.leaves[sid] = l
-	n.met.leafSessions.Add(1)
-	n.mu.Unlock()
+	if _, dup := sh.leaves[sid]; dup {
+		sh.mu.Unlock()
+		n.sessions.Add(-1)
+		l.Close()
+		return nil, fmt.Errorf("live: session %q already open", sid)
+	}
+	sh.leaves[sid] = l
+	rt.met.leafSessions.Add(1)
+	sh.mu.Unlock()
 	if err := l.Start(); err != nil {
 		l.Close()
 		return nil, err
@@ -327,27 +539,41 @@ func (n *Node) Open(sc SessionConfig) (*LeafSession, error) {
 }
 
 // Join volunteers this node for an in-flight session: it asks the other
-// nodes, round-robin, to hand over a slice of their remaining stream,
-// and returns the node's serving peer once a member commits one. It
-// errors when no member hands a slice before the timeout (e.g. the
-// session already ended, or every member's stream is merged beyond
-// slicing).
+// nodes serving the content, round-robin, to hand over a slice of their
+// remaining stream, and returns the node's serving peer once a member
+// commits one. It errors when no member hands a slice before the
+// timeout (e.g. the session already ended, or every member's stream is
+// merged beyond slicing).
 func (n *Node) Join(sid SessionID, contentID string, timeout time.Duration) (*Peer, error) {
 	if sid == "" {
 		return nil, fmt.Errorf("live: join needs a session id")
 	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return nil, fmt.Errorf("live: node closed")
 	}
-	p := n.serving[sid]
-	if p == nil {
-		p = n.newServingPeerLocked(sid)
+	rt := n.runtime()
+	full := rt.dir.Lookup(contentID)
+	if len(full) == 0 {
+		full = n.cfg.Roster
 	}
-	n.mu.Unlock()
+	var targets []string
+	for _, a := range full {
+		if a != rt.ep.Name() {
+			targets = append(targets, a)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("live: join %q: no peers serve content %q", sid, contentID)
+	}
+	sh := &n.shards[shardIndex(sid)]
+	sh.mu.Lock()
+	p := sh.serving[sid]
+	if p == nil && !sh.closed {
+		p = n.newServingPeerLocked(rt, sh, sid, full)
+	}
+	sh.mu.Unlock()
 	if p == nil {
-		return nil, fmt.Errorf("live: node closed")
+		return nil, fmt.Errorf("live: node closed or session budget exhausted")
 	}
 	poll := n.cfg.Delta / 4
 	if poll < time.Millisecond {
@@ -361,10 +587,7 @@ func (n *Node) Join(sid SessionID, contentID string, timeout time.Duration) (*Pe
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("live: join %q: no member handed a slice within %s", sid, timeout)
 		}
-		target := n.cfg.Roster[i%len(n.cfg.Roster)]
-		if target == n.Addr() {
-			continue
-		}
+		target := targets[i%len(targets)]
 		p.send(target, typeJoin, joinBody{ContentID: contentID, Joiner: n.Addr()}) //nolint:errcheck // crashed members are skipped; the next roster entry is tried
 		// Give the member a handshake period to commit a slice.
 		round := time.Now().Add(4*n.cfg.Delta + 20*time.Millisecond)
@@ -380,52 +603,146 @@ func (n *Node) Join(sid SessionID, contentID string, timeout time.Duration) (*Pe
 // Serving returns a snapshot of the sessions this node serves as a
 // contents peer.
 func (n *Node) Serving() map[SessionID]*Peer {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make(map[SessionID]*Peer, len(n.serving))
-	for sid, p := range n.serving {
-		out[sid] = p
+	out := make(map[SessionID]*Peer)
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		for sid, p := range sh.serving {
+			out[sid] = p
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Leaf returns the leaf for a session this node hosts, if any.
 func (n *Node) Leaf(sid SessionID) (*Leaf, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	l, ok := n.leaves[sid]
+	sh := &n.shards[shardIndex(sid)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	l, ok := sh.leaves[sid]
 	return l, ok
 }
 
 // LeafCount returns how many leaf sessions the node hosts.
 func (n *Node) LeafCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.leaves)
+	count := 0
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		count += len(sh.leaves)
+		sh.mu.Unlock()
+	}
+	return count
+}
+
+// SessionCount returns the sessions currently admitted (serving plus
+// leaf), the number the MaxSessions budget meters.
+func (n *Node) SessionCount() int { return int(n.sessions.Load()) }
+
+// reaper periodically tears down idle session state: leaves whose
+// reassembly completed, and serving peers that finished their stream
+// and have been quiet for ReapAfter. Without it a long-lived node
+// accretes one Peer (goroutine, engine, maps) per session it ever
+// served.
+func (n *Node) reaper() {
+	defer close(n.reapDone)
+	grace := n.cfg.ReapAfter
+	tick := 50 * time.Millisecond
+	if grace > 0 && grace/4 < tick {
+		tick = grace / 4
+		if tick < 5*time.Millisecond {
+			tick = 5 * time.Millisecond
+		}
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.reapStop:
+			return
+		case <-t.C:
+		}
+		n.reap(time.Now())
+	}
+}
+
+// reap sweeps every shard once, removing and closing idle sessions.
+// Removal happens here, under the shard lock, so the Close calls (which
+// funnel into sessionEndpoint.Close) find the maps already clean and
+// the gauges are decremented exactly once.
+func (n *Node) reap(now time.Time) {
+	rt := n.runtime()
+	grace := n.cfg.ReapAfter
+	for i := range n.shards {
+		sh := &n.shards[i]
+		var lvs []*Leaf
+		var prs []*Peer
+		sh.mu.Lock()
+		for sid, l := range sh.leaves {
+			select {
+			case <-l.Done():
+				delete(sh.leaves, sid)
+				lvs = append(lvs, l)
+			default:
+			}
+		}
+		if grace > 0 {
+			for sid, p := range sh.serving {
+				if p.Quiesced(now, grace) {
+					delete(sh.serving, sid)
+					prs = append(prs, p)
+				}
+			}
+		}
+		sh.mu.Unlock()
+		for _, l := range lvs {
+			l.Close()
+			rt.met.leafSessions.Add(-1)
+			rt.met.leafReaped.Inc()
+			n.sessions.Add(-1)
+		}
+		for _, p := range prs {
+			p.Close()
+			rt.met.servingSessions.Add(-1)
+			rt.met.servingReaped.Inc()
+			n.sessions.Add(-1)
+		}
+	}
 }
 
 // Close stops every session and the node's endpoint. It is idempotent
 // and safe to call concurrently or after individual sessions closed.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
-		n.mu.Lock()
-		n.closed = true
-		peers := make([]*Peer, 0, len(n.serving))
-		for _, p := range n.serving {
-			peers = append(peers, p)
+		n.closed.Store(true)
+		close(n.reapStop)
+		<-n.reapDone
+		rt := n.runtime()
+		var peers []*Peer
+		var leaves []*Leaf
+		for i := range n.shards {
+			sh := &n.shards[i]
+			sh.mu.Lock()
+			sh.closed = true
+			for _, p := range sh.serving {
+				peers = append(peers, p)
+			}
+			for _, l := range sh.leaves {
+				leaves = append(leaves, l)
+			}
+			sh.mu.Unlock()
 		}
-		leaves := make([]*Leaf, 0, len(n.leaves))
-		for _, l := range n.leaves {
-			leaves = append(leaves, l)
-		}
-		n.mu.Unlock()
 		for _, p := range peers {
 			p.Close()
 		}
 		for _, l := range leaves {
 			l.Close()
 		}
-		n.ep.Close()
+		if rt.ownDir {
+			rt.dir.Close()
+		}
+		rt.ep.Close()
 	})
 	return nil
 }
@@ -439,22 +756,28 @@ type sessionEndpoint struct {
 	leaf bool
 }
 
-func (e *sessionEndpoint) Name() string                          { return e.n.ep.Name() }
-func (e *sessionEndpoint) Send(to string, m transport.Msg) error { return e.n.ep.Send(to, m) }
+func (e *sessionEndpoint) Name() string { return e.n.runtime().ep.Name() }
+func (e *sessionEndpoint) Send(to string, m transport.Msg) error {
+	return e.n.runtime().ep.Send(to, m)
+}
 
 func (e *sessionEndpoint) Close() error {
 	n := e.n
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	rt := n.runtime()
+	sh := &n.shards[shardIndex(e.sid)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if e.leaf {
-		if _, ok := n.leaves[e.sid]; ok {
-			delete(n.leaves, e.sid)
-			n.met.leafSessions.Add(-1)
+		if _, ok := sh.leaves[e.sid]; ok {
+			delete(sh.leaves, e.sid)
+			rt.met.leafSessions.Add(-1)
+			n.sessions.Add(-1)
 		}
 	} else {
-		if _, ok := n.serving[e.sid]; ok {
-			delete(n.serving, e.sid)
-			n.met.servingSessions.Add(-1)
+		if _, ok := sh.serving[e.sid]; ok {
+			delete(sh.serving, e.sid)
+			rt.met.servingSessions.Add(-1)
+			n.sessions.Add(-1)
 		}
 	}
 	return nil
@@ -468,8 +791,24 @@ type NodesConfig struct {
 	// Nodes is the population size.
 	Nodes int
 	// Store is the catalog every node holds (per the MSS model, every
-	// contents peer has the content).
+	// contents peer has the content). Ignored when Stores is set.
 	Store *content.Store
+	// Stores, when non-nil, gives each node its own catalog (len must
+	// equal Nodes) — with Discover, nodes then announce genuinely
+	// different contents and sessions resolve only the serving subset.
+	Stores []*content.Store
+	// Discover replaces the static roster wiring with gossip discovery:
+	// every node runs its own directory catalog, bootstrapped off the
+	// first node, and NodeConfig.Roster stays empty. Wait for
+	// WaitDiscovery before opening sessions.
+	Discover bool
+	// AnnounceInterval and DirectoryTTL tune discovery (see NodeConfig).
+	AnnounceInterval time.Duration
+	DirectoryTTL     time.Duration
+	// MaxSessions bounds each node's admitted sessions; 0 is unlimited.
+	MaxSessions int
+	// ReapAfter tunes idle serving-peer reaping (see NodeConfig).
+	ReapAfter time.Duration
 	// H, Interval, Protocol, Delta, HandshakeTimeout, Retries: see
 	// NodeConfig.
 	H, Interval      int
@@ -524,8 +863,11 @@ type NodeCluster struct {
 
 // StartNodes builds a node population ready to open sessions.
 func StartNodes(cfg NodesConfig) (*NodeCluster, error) {
-	if cfg.Store == nil {
+	if cfg.Store == nil && cfg.Stores == nil {
 		return nil, fmt.Errorf("live: nodes need a store")
+	}
+	if cfg.Stores != nil && len(cfg.Stores) != cfg.Nodes {
+		return nil, fmt.Errorf("live: %d stores for %d nodes", len(cfg.Stores), cfg.Nodes)
 	}
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("live: need at least one node")
@@ -603,20 +945,39 @@ func StartNodes(cfg NodesConfig) (*NodeCluster, error) {
 		if seed != 0 {
 			seed += int64(i) + 1
 		}
-		nd, err := NewNode(NodeConfig{
-			Store:            cfg.Store,
-			Roster:           roster,
+		store := cfg.Store
+		if cfg.Stores != nil {
+			store = cfg.Stores[i]
+		}
+		ncfg := NodeConfig{
+			Store:            store,
 			H:                cfg.H,
 			Interval:         cfg.Interval,
 			Delta:            cfg.Delta,
 			Protocol:         cfg.Protocol,
 			HandshakeTimeout: cfg.HandshakeTimeout,
 			Retries:          cfg.Retries,
+			MaxSessions:      cfg.MaxSessions,
+			ReapAfter:        cfg.ReapAfter,
 			Seed:             seed,
 			Metrics:          cfg.Metrics,
 			Spans:            cfg.Spans,
 			Flight:           cfg.Flight,
-		}, trs[i])
+		}
+		if cfg.Discover {
+			// No static roster: each node announces its own catalog and
+			// resolves sessions from the swarm, bootstrapped off node 0.
+			ncfg.Discover = true
+			ncfg.Bootstrap = []string{roster[0]}
+			ncfg.AnnounceInterval = cfg.AnnounceInterval
+			ncfg.DirectoryTTL = cfg.DirectoryTTL
+			// The announcement signature is a swarm-wide shared secret:
+			// use the unperturbed population seed, not the per-node one.
+			ncfg.DirectorySeed = cfg.Seed
+		} else {
+			ncfg.Roster = roster
+		}
+		nd, err := NewNode(ncfg, trs[i])
 		if err != nil {
 			nc.Close()
 			return nil, err
@@ -636,6 +997,27 @@ func (nc *NodeCluster) Open(i int, sc SessionConfig) (*LeafSession, error) {
 		return nil, fmt.Errorf("live: node %d out of range", i)
 	}
 	return nc.Nodes[i].Open(sc)
+}
+
+// WaitDiscovery blocks until every node's discovery directory has
+// converged on the full population, or errors at the timeout. A no-op
+// (nil) for statically wired clusters.
+func (nc *NodeCluster) WaitDiscovery(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for i, nd := range nc.Nodes {
+		cat := nd.runtime().catalog
+		if cat == nil {
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			remaining = time.Millisecond
+		}
+		if err := cat.WaitRoster(len(nc.Nodes), remaining); err != nil {
+			return fmt.Errorf("live: node %d (%s): %w", i, nd.Addr(), err)
+		}
+	}
+	return nil
 }
 
 // CrashServing crash-stops up to k nodes that are actively serving at

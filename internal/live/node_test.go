@@ -123,15 +123,27 @@ func TestNodeSessionsChaos(t *testing.T) {
 	if churnHandled == 0 {
 		t.Error("no per-session retries/failovers recorded despite injected crashes")
 	}
-	// The node gauges saw the sessions.
-	var leafGauge float64
+	// The node gauges saw the sessions. Completed leaves are reaped, so
+	// every session is either still active or counted by the reaper:
+	// active + reaped must account for exactly the sessions opened, and
+	// the gauge must never go negative (no double decrement).
+	var leafGauge, leafReaped float64
 	for _, g := range snap.Gauges {
 		if g.Name == "live_node_sessions_active" && label(g.Labels, "role") == "leaf" {
+			if g.Value < 0 {
+				t.Errorf("live_node_sessions_active{role=leaf,%v} went negative: %v", g.Labels, g.Value)
+			}
 			leafGauge += g.Value
 		}
 	}
-	if leafGauge != sessions {
-		t.Errorf("live_node_sessions_active{role=leaf} sums to %v, want %d", leafGauge, sessions)
+	for _, c := range snap.Counters {
+		if c.Name == "live_node_sessions_reaped_total" && label(c.Labels, "role") == "leaf" {
+			leafReaped += float64(c.Value)
+		}
+	}
+	if leafGauge+leafReaped != sessions {
+		t.Errorf("leaf sessions active(%v) + reaped(%v) = %v, want %d",
+			leafGauge, leafReaped, leafGauge+leafReaped, sessions)
 	}
 }
 

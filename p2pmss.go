@@ -40,6 +40,7 @@ import (
 
 	"p2pmss/internal/content"
 	"p2pmss/internal/coord"
+	"p2pmss/internal/disco"
 	"p2pmss/internal/experiment"
 	"p2pmss/internal/flight"
 	"p2pmss/internal/live"
@@ -557,6 +558,39 @@ type LiveNodesConfig = live.NodesConfig
 // StartLiveNodes builds a node population ready to open sessions.
 func StartLiveNodes(cfg LiveNodesConfig) (*LiveNodeCluster, error) {
 	return live.StartNodes(cfg)
+}
+
+// ---- decentralized discovery ----------------------------------------------
+
+// Directory resolves which peers serve a content — the abstraction a
+// live node opens sessions through. NewStaticDirectory wraps a
+// configured roster; NewDirectoryCatalog joins the gossip-backed
+// discovery swarm; LiveNodeConfig.Discover wires the latter into a node
+// automatically.
+type Directory = disco.Directory
+
+// StaticDirectory is the configured-roster Directory: every lookup
+// answers with the full static roster, in its original order.
+type StaticDirectory = disco.Static
+
+// NewStaticDirectory wraps a static roster as a Directory.
+func NewStaticDirectory(roster []string) *StaticDirectory { return disco.NewStatic(roster) }
+
+// DirectoryRecord is one entry of a discovery directory: a node's
+// signed announcement of the contents it serves.
+type DirectoryRecord = disco.Record
+
+// DirectoryCatalog is the gossip-backed Directory: it announces this
+// node's catalog, accumulates other nodes' signed announcements, and
+// expires entries whose owner went silent.
+type DirectoryCatalog = disco.Catalog
+
+// DirectoryCatalogConfig parameterizes a DirectoryCatalog.
+type DirectoryCatalogConfig = disco.CatalogConfig
+
+// NewDirectoryCatalog starts a gossip-backed directory node.
+func NewDirectoryCatalog(cfg DirectoryCatalogConfig) (*DirectoryCatalog, error) {
+	return disco.NewCatalog(cfg)
 }
 
 // ---- overlay introspection & flight recording -----------------------------
